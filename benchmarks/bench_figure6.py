@@ -1,0 +1,40 @@
+"""Figure 6 — effectiveness of NN vs MLIQ (precision/recall, x1..x9).
+
+Regenerates both panels of Figure 6. Paper reference points:
+  (a) data set 1: NN precision/recall 42% at x1, NN recall saturating
+      near 60% by x9; MLIQ 98%.
+  (b) data set 2: NN 61%, MLIQ 99%.
+The benchmark prints the full reproduction table and stores the headline
+numbers in ``extra_info``.
+"""
+
+from repro.eval.figures import figure6
+from repro.eval.report import format_figure6
+
+
+def _run(db, workload, title, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure6(db, workload), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure6(rows, title))
+    x1, x9 = rows[0], rows[-1]
+    benchmark.extra_info.update(
+        {
+            "nn_precision_x1": round(100 * x1.nn.precision, 1),
+            "mliq_precision_x1": round(100 * x1.mliq.precision, 1),
+            "nn_recall_x9": round(100 * x9.nn.recall, 1),
+            "mliq_recall_x9": round(100 * x9.mliq.recall, 1),
+        }
+    )
+    # Reproduction contract: the probabilistic model dominates NN.
+    assert x1.mliq.recall > x1.nn.recall
+    assert x9.nn.recall >= x1.nn.recall
+
+
+def test_figure6_ds1(benchmark, ds1, ds1_workload):
+    _run(ds1, ds1_workload, "Figure 6(a) - data set 1", benchmark)
+
+
+def test_figure6_ds2(benchmark, ds2, ds2_workload):
+    _run(ds2, ds2_workload, "Figure 6(b) - data set 2", benchmark)

@@ -1,0 +1,31 @@
+"""Figure 7(a) — efficiency grid on data set 1 (10,987 x 27-d histograms).
+
+Page accesses, modeled CPU and modeled overall time of Gauss-tree,
+X-tree-on-approximations and sequential scan, each as a percentage of the
+scan, for 1-MLIQ, TIQ(0.8) and TIQ(0.2). Paper reference: the Gauss-tree
+cuts pages and CPU ~4.2x on every query type and overall time by >= 46%;
+the X-tree offers little.
+"""
+
+from repro.eval.figures import figure7
+from repro.eval.report import format_figure7
+
+
+def test_figure7_ds1(benchmark, ds1, ds1_workload):
+    cells = benchmark.pedantic(
+        lambda: figure7(ds1, ds1_workload), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure7(cells, "Figure 7(a) - data set 1"))
+    by = {(c.method, c.query_kind): c for c in cells}
+    for c in cells:
+        benchmark.extra_info[
+            f"{c.method}/{c.query_kind}"
+        ] = f"pages {c.pages_percent:.1f}% cpu {c.cpu_percent:.1f}% overall {c.overall_percent:.1f}%"
+    # Reproduction contract (shape, not absolute numbers): the Gauss-tree
+    # beats the scan on pages, CPU and overall time for every query type.
+    for kind in ("1-MLIQ", "TIQ(P=0.8)", "TIQ(P=0.2)"):
+        cell = by[("G-Tree", kind)]
+        assert cell.pages_percent < 100.0
+        assert cell.cpu_percent < 100.0
+        assert cell.overall_percent < 100.0

@@ -1,0 +1,41 @@
+"""Image retrieval on colour histograms: the paper's data set 1 scenario.
+
+Builds (a scaled-down version of) the 27-dimensional colour-histogram
+data set, generates re-observation queries, and reproduces the
+effectiveness comparison of Figure 6(a): precision and recall of
+conventional k-NN versus k-MLIQ at growing result-set sizes.
+
+Run:  python examples/image_retrieval.py         (2,000 images, fast)
+      REPRO_N=10987 python examples/image_retrieval.py  (paper scale)
+"""
+
+import os
+
+from repro.data.histograms import color_histogram_dataset
+from repro.data.workload import identification_workload
+from repro.eval.figures import figure6
+from repro.eval.report import format_figure6
+
+n = int(os.environ.get("REPRO_N", "2000"))
+db = color_histogram_dataset(n=n)
+print(f"image database: {len(db)} histograms, {db.dims} colour bins")
+
+workload = identification_workload(db, n_queries=60, seed=7)
+print(f"workload: {len(workload)} re-observed query images\n")
+
+rows = figure6(db, workload, multiples=(1, 2, 3, 6, 9))
+print(format_figure6(rows, f"Figure 6(a) reproduction at n={n}"))
+
+x1 = rows[0]
+print(
+    f"\nAt the exact result size, MLIQ identifies "
+    f"{x1.mliq.recall:.0%} of the queries while Euclidean NN manages "
+    f"{x1.nn.recall:.0%} - heterogeneous measurement uncertainty defeats "
+    "plain distance-based retrieval (Section 6, Figure 6)."
+)
+x9 = rows[-1]
+print(
+    f"Even 9x larger NN result sets only reach {x9.nn.recall:.0%} recall "
+    f"at {x9.nn.precision:.0%} precision: 'the right selection of k cannot "
+    "compensate for the missing handling of uncertainty'."
+)

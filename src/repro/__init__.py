@@ -1,0 +1,60 @@
+"""Reproduction of "The Gauss-Tree: Efficient Object Identification in
+Databases of Probabilistic Feature Vectors" (Boehm, Pryakhin, Schubert;
+ICDE 2006).
+
+Public API overview
+-------------------
+Model (Sections 3-4):
+    :class:`repro.core.PFV` — probabilistic feature vectors,
+    :class:`repro.core.PFVDatabase`, :class:`repro.core.SigmaRule`,
+    :func:`repro.core.scan_mliq` / :func:`repro.core.scan_tiq` — the exact
+    sequential-scan reference algorithms.
+
+Index (Section 5):
+    :class:`repro.gausstree.GaussTree` with ``insert`` / ``delete`` /
+    ``mliq`` / ``tiq`` and :func:`repro.gausstree.bulk_load`.
+
+Baselines (Section 6):
+    :class:`repro.baselines.XTreePFVIndex`,
+    :class:`repro.baselines.SequentialScanIndex`,
+    :func:`repro.baselines.knn_euclidean`.
+
+Data / evaluation:
+    :mod:`repro.data` (datasets and ground-truthed workloads) and
+    :mod:`repro.eval` (the figure-by-figure experiment harness).
+
+See ``examples/quickstart.py`` for a five-minute tour and DESIGN.md for
+the full system inventory.
+"""
+
+from repro.core import (
+    PFV,
+    Match,
+    MLIQuery,
+    PFVDatabase,
+    ProbabilisticFeatureVector,
+    QueryStats,
+    SigmaRule,
+    ThresholdQuery,
+    scan_mliq,
+    scan_tiq,
+)
+from repro.gausstree import GaussTree, bulk_load
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PFV",
+    "ProbabilisticFeatureVector",
+    "PFVDatabase",
+    "SigmaRule",
+    "Match",
+    "MLIQuery",
+    "ThresholdQuery",
+    "QueryStats",
+    "scan_mliq",
+    "scan_tiq",
+    "GaussTree",
+    "bulk_load",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Competitor access methods of the paper's evaluation (Section 6).
+
+``rect``       — plain d-dimensional rectangles.
+``rtree``      — a from-scratch R*-tree (substrate of the X-tree).
+``xtree``      — the X-tree: overlap-bounded splits and supernodes.
+``approx``     — 95%-quantile hyper-rectangle approximations of pfv.
+``xtree_pfv``  — the paper's filter-and-refine X-tree competitor.
+``seqscan``    — the paged "Seq. File" competitor.
+``nn``         — conventional (weighted) Euclidean k-NN on the means.
+"""
+
+from repro.baselines.approx import quantile_rect, quantile_z
+from repro.baselines.nn import knn_euclidean, knn_weighted_euclidean
+from repro.baselines.rect import Rect
+from repro.baselines.rtree import RStarTree
+from repro.baselines.seqscan import SequentialScanIndex
+from repro.baselines.xtree import XTree
+from repro.baselines.xtree_pfv import XTreePFVIndex
+
+__all__ = [
+    "Rect",
+    "RStarTree",
+    "XTree",
+    "XTreePFVIndex",
+    "SequentialScanIndex",
+    "quantile_rect",
+    "quantile_z",
+    "knn_euclidean",
+    "knn_weighted_euclidean",
+]

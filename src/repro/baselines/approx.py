@@ -1,0 +1,62 @@
+"""Rectangular approximation of pfv for the X-tree baseline (Section 6).
+
+The paper derives, per pfv, "the 95% quantiles in each dimension, i.e. we
+determine the interval around the mean value of a Gaussian that contains a
+random observation with a probability of 95%", and combines those
+intervals into a hyper-rectangle. That is the central interval
+``[mu - z * sigma, mu + z * sigma]`` with ``z = Phi^{-1}(0.975)``.
+
+A query pfv is approximated the same way and candidates are all database
+rectangles *intersecting* the query rectangle. The filter admits false
+dismissals (two Gaussians whose 95% boxes are disjoint still overlap a
+little), which is exactly why the paper calls the method inexact — our
+effectiveness tests quantify that.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro.baselines.rect import Rect
+from repro.core.pfv import PFV
+
+__all__ = ["quantile_rect", "quantile_z", "DEFAULT_COVERAGE"]
+
+#: Central coverage probability the paper uses.
+DEFAULT_COVERAGE = 0.95
+
+
+def quantile_z(coverage: float = DEFAULT_COVERAGE) -> float:
+    """Half-width in sigmas of a central interval with given coverage.
+
+    ``coverage = 0.95`` gives the familiar ``z ~= 1.95996``.
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+    return float(ndtri(0.5 + 0.5 * coverage))
+
+
+def quantile_rect(v: PFV, coverage: float = DEFAULT_COVERAGE) -> Rect:
+    """The paper's per-pfv hyper-rectangle approximation."""
+    z = quantile_z(coverage)
+    return Rect(v.mu - z * v.sigma, v.mu + z * v.sigma)
+
+
+def quantile_rects(
+    mu: np.ndarray, sigma: np.ndarray, coverage: float = DEFAULT_COVERAGE
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised variant over ``(n, d)`` stacks; returns ``(lo, hi)``."""
+    mu = np.asarray(mu, dtype=np.float64)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if mu.shape != sigma.shape:
+        raise ValueError("mu and sigma must have identical shapes")
+    z = quantile_z(coverage)
+    return mu - z * sigma, mu + z * sigma
+
+
+def rect_coverage_probability(z: float) -> float:
+    """Inverse sanity check: coverage of a ``+- z sigma`` interval."""
+    return math.erf(z / math.sqrt(2.0))

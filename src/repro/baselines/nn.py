@@ -1,0 +1,77 @@
+"""Conventional similarity search on the mean vectors (Figure 6 baseline).
+
+The paper's effectiveness experiment compares identification by posterior
+probability (MLIQ on pfv) against plain nearest-neighbour retrieval on the
+observed feature values with the Euclidean distance — the "simplest
+solution" its introduction dismisses. This module provides that baseline
+(vectorised, exact), plus the weighted-Euclidean variant the related-work
+section mentions (per-dimension weights, e.g. the inverse query variances)
+so the ablation benchmark can show that even an adaptable distance measure
+cannot model per-*object* uncertainty.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.database import PFVDatabase
+
+__all__ = ["knn_euclidean", "knn_weighted_euclidean", "euclidean_distances"]
+
+
+def euclidean_distances(
+    db: PFVDatabase, query_mu: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Euclidean distances from the query means to every stored mean."""
+    q = np.asarray(query_mu, dtype=np.float64)
+    if q.ndim != 1 or q.shape[0] != db.dims:
+        raise ValueError(f"query must be a {db.dims}-d vector")
+    diff = db.mu_matrix - q[np.newaxis, :]
+    return np.sqrt(np.sum(diff * diff, axis=1))
+
+
+def _top_k(db: PFVDatabase, dist: np.ndarray, k: int) -> list[tuple[Hashable, float]]:
+    order = np.lexsort((np.arange(dist.size), dist))[:k]
+    return [(db[int(i)].key, float(dist[int(i)])) for i in order]
+
+
+def knn_euclidean(
+    db: PFVDatabase, query_mu: Sequence[float] | np.ndarray, k: int
+) -> list[tuple[Hashable, float]]:
+    """k nearest database objects by Euclidean distance on the means.
+
+    Returns ``(key, distance)`` pairs, closest first. This ignores every
+    sigma — deliberately: it is the strawman whose precision/recall
+    Figure 6 shows collapsing.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return _top_k(db, euclidean_distances(db, query_mu), k)
+
+
+def knn_weighted_euclidean(
+    db: PFVDatabase,
+    query_mu: Sequence[float] | np.ndarray,
+    weights: Sequence[float] | np.ndarray,
+    k: int,
+) -> list[tuple[Hashable, float]]:
+    """Weighted Euclidean k-NN: ``sqrt(sum_i w_i (mu_i - q_i)^2)``.
+
+    The related-work section's "adaptable" distance: weights can encode
+    per-*dimension* importance (e.g. ``1 / sigma_q^2``), but remain the
+    same for every database object — which is exactly why it still cannot
+    model per-object uncertainty (quantified in the ablation benchmark).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (db.dims,):
+        raise ValueError(f"weights must have shape ({db.dims},)")
+    if np.any(w < 0.0):
+        raise ValueError("weights must be non-negative")
+    q = np.asarray(query_mu, dtype=np.float64)
+    diff = db.mu_matrix - q[np.newaxis, :]
+    dist = np.sqrt(np.sum(w[np.newaxis, :] * diff * diff, axis=1))
+    return _top_k(db, dist, k)

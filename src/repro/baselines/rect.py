@@ -1,0 +1,109 @@
+"""Plain d-dimensional axis-parallel rectangles for the R-/X-tree baseline.
+
+Unlike :class:`repro.gausstree.bounds.ParameterRect` (which bounds Gaussian
+*parameters*), these rectangles live in the feature space itself: the
+X-tree competitor of Section 6 stores a 95%-quantile hyper-rectangle per
+pfv and answers queries by rectangle intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Rect"]
+
+
+class Rect:
+    """An axis-parallel box ``[lo_i, hi_i]`` in d dimensions."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        self.lo = np.asarray(lo, dtype=np.float64).copy()
+        self.hi = np.asarray(hi, dtype=np.float64).copy()
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 1:
+            raise ValueError("lo and hi must be 1-d arrays of equal length")
+        if np.any(self.lo > self.hi):
+            raise ValueError("lo must not exceed hi")
+
+    @classmethod
+    def of_point(cls, p: np.ndarray) -> "Rect":
+        return cls(p, p)
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        rects = list(rects)
+        if not rects:
+            raise ValueError("cannot union an empty collection")
+        return cls(
+            np.min([r.lo for r in rects], axis=0),
+            np.max([r.hi for r in rects], axis=0),
+        )
+
+    @property
+    def dims(self) -> int:
+        return int(self.lo.shape[0])
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    def copy(self) -> "Rect":
+        return Rect(self.lo, self.hi)
+
+    def extend(self, other: "Rect") -> None:
+        np.minimum(self.lo, other.lo, out=self.lo)
+        np.maximum(self.hi, other.hi, out=self.hi)
+
+    def union(self, other: "Rect") -> "Rect":
+        r = self.copy()
+        r.extend(other)
+        return r
+
+    def intersects(self, other: "Rect") -> bool:
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return bool(np.all(self.lo <= other.lo) and np.all(other.hi <= self.hi))
+
+    def contains_point(self, p: np.ndarray) -> bool:
+        return bool(np.all(self.lo <= p) and np.all(p <= self.hi))
+
+    def volume(self) -> float:
+        return float(np.prod(self.hi - self.lo))
+
+    def margin(self) -> float:
+        return float(np.sum(self.hi - self.lo))
+
+    def overlap_volume(self, other: "Rect") -> float:
+        """Volume of the intersection (0 when disjoint)."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        extents = hi - lo
+        if np.any(extents < 0.0):
+            return 0.0
+        return float(np.prod(extents))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Volume increase of this box if it had to cover ``other``."""
+        lo = np.minimum(self.lo, other.lo)
+        hi = np.maximum(self.hi, other.hi)
+        return float(np.prod(hi - lo)) - self.volume()
+
+    def min_dist_sq(self, p: np.ndarray) -> float:
+        """Squared MINDIST of a point to the box (0 inside) — for kNN."""
+        gaps = np.maximum(np.maximum(self.lo - p, p - self.hi), 0.0)
+        return float(np.dot(gaps, gaps))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi)
+
+    def __repr__(self) -> str:
+        return (
+            f"Rect(lo={np.array2string(self.lo, precision=3, threshold=4)}, "
+            f"hi={np.array2string(self.hi, precision=3, threshold=4)})"
+        )

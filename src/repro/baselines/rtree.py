@@ -1,0 +1,517 @@
+"""An R*-tree over d-dimensional rectangles — substrate of the X-tree.
+
+The paper's efficiency competitor stores rectangular approximations of the
+pfv "in an X-tree" (Berchtold et al., VLDB'96), which is itself an R*-tree
+(Beckmann et al., SIGMOD'90) extended with supernodes. This module
+implements the R* part from scratch:
+
+* **choose-subtree**: minimum overlap enlargement at the leaf level,
+  minimum volume enlargement above (the R* rule);
+* **split**: choose the split axis by minimum margin sum over all
+  distributions, then the distribution with minimum overlap (volume as
+  tie-breaker) — the topological R* split;
+* optional **forced reinsert** of the 30% farthest entries on the first
+  overflow per level, the R* trick that improves packing.
+
+:class:`repro.baselines.xtree.XTree` subclasses this and replaces the split
+policy with the X-tree's overlap-bounded split / supernode mechanism.
+
+Entries carry an opaque integer payload (a database row id); queries report
+payloads. Page accounting runs through the same
+:class:`~repro.storage.pagestore.PageStore` machinery as the Gauss-tree, so
+Figure 7's page-access comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.rect import Rect
+from repro.storage.pagestore import PageStore
+
+__all__ = ["RStarTree", "RTreeLeaf", "RTreeInner", "LeafEntry"]
+
+
+class LeafEntry:
+    """A data rectangle plus its payload (a database row id)."""
+
+    __slots__ = ("rect", "payload")
+
+    def __init__(self, rect: Rect, payload: int) -> None:
+        self.rect = rect
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"LeafEntry(payload={self.payload}, rect={self.rect!r})"
+
+
+class _RNode:
+    __slots__ = ("rect", "parent", "page_id", "capacity")
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        self.rect: Optional[Rect] = None
+        self.parent: Optional["RTreeInner"] = None
+        self.page_id = page_id
+        self.capacity = capacity  # supernodes raise this (X-tree)
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def refresh_rect(self) -> None:
+        raise NotImplementedError
+
+
+class RTreeLeaf(_RNode):
+    __slots__ = ("entries",)
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        super().__init__(page_id, capacity)
+        self.entries: list[LeafEntry] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    def refresh_rect(self) -> None:
+        self.rect = (
+            Rect.union_of([e.rect for e in self.entries]) if self.entries else None
+        )
+
+
+class RTreeInner(_RNode):
+    __slots__ = ("children",)
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        super().__init__(page_id, capacity)
+        self.children: list[_RNode] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def size(self) -> int:
+        return len(self.children)
+
+    def refresh_rect(self) -> None:
+        rects = [c.rect for c in self.children if c.rect is not None]
+        self.rect = Rect.union_of(rects) if rects else None
+
+    def add_child(self, child: _RNode) -> None:
+        self.children.append(child)
+        child.parent = self
+        if self.rect is None:
+            self.rect = child.rect.copy()  # type: ignore[union-attr]
+        else:
+            self.rect.extend(child.rect)  # type: ignore[arg-type]
+
+
+class RStarTree:
+    """R*-tree over :class:`Rect` data with integer payloads.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality of the indexed rectangles.
+    capacity:
+        Maximum entries per node; minimum fill is 40% (the R* default).
+    page_store:
+        Shared storage accounting backend.
+    reinsert_fraction:
+        Fraction of entries force-reinserted on first overflow per level
+        (0 disables the R* reinsert).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        capacity: int = 32,
+        page_store: PageStore | None = None,
+        reinsert_fraction: float = 0.3,
+    ) -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        if capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        if not 0.0 <= reinsert_fraction < 0.5:
+            raise ValueError("reinsert_fraction must be in [0, 0.5)")
+        self.dims = dims
+        self.capacity = capacity
+        self.min_fill = max(2, int(0.4 * capacity))
+        self.reinsert_fraction = reinsert_fraction
+        self.store = page_store if page_store is not None else PageStore()
+        self.root: _RNode = RTreeLeaf(self.store.allocate(), capacity)
+        self._size = 0
+        self._reinserting_levels: set[int] = set()
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        h, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            h += 1
+        return h
+
+    def nodes(self) -> Iterator[_RNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[attr-defined]
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, rect: Rect, payload: int) -> None:
+        if rect.dims != self.dims:
+            raise ValueError(f"rect is {rect.dims}-d, tree is {self.dims}-d")
+        self._reinserting_levels.clear()
+        self._insert_entry(LeafEntry(rect, payload))
+        self._size += 1
+
+    def _insert_entry(self, entry: LeafEntry) -> None:
+        leaf = self._choose_leaf(self.root, entry.rect)
+        leaf.entries.append(entry)
+        if leaf.rect is None:
+            leaf.rect = entry.rect.copy()
+        else:
+            leaf.rect.extend(entry.rect)
+        node: Optional[RTreeInner] = leaf.parent
+        while node is not None:
+            node.rect.extend(entry.rect)  # type: ignore[union-attr]
+            node = node.parent
+        if leaf.size > leaf.capacity:
+            self._handle_overflow(leaf, level=0)
+
+    def _choose_leaf(self, node: _RNode, rect: Rect) -> RTreeLeaf:
+        while not node.is_leaf:
+            inner: RTreeInner = node  # type: ignore[assignment]
+            children = inner.children
+            if children[0].is_leaf:
+                # R* rule: minimise overlap enlargement at the leaf level.
+                node = self._min_overlap_child(children, rect)
+            else:
+                node = min(
+                    children,
+                    key=lambda c: (
+                        c.rect.enlargement(rect),  # type: ignore[union-attr]
+                        c.rect.volume(),  # type: ignore[union-attr]
+                    ),
+                )
+        return node  # type: ignore[return-value]
+
+    #: R* optimisation for large fanouts: evaluate the overlap criterion
+    #: only for this many least-enlargement candidates (Beckmann et al.
+    #: suggest 32; 8 keeps the pure-Python build fast with near-identical
+    #: trees on our workloads).
+    CHOOSE_SUBTREE_P = 8
+
+    @classmethod
+    def _min_overlap_child(cls, children: Sequence[_RNode], rect: Rect) -> _RNode:
+        """R* leaf-level choose-subtree, vectorised over the siblings.
+
+        Grow each candidate child to cover ``rect`` and measure how much
+        extra overlap with its siblings that creates; pick the child with
+        the least overlap growth (enlargement, then volume, as
+        tie-breakers). Only the ``CHOOSE_SUBTREE_P`` least-enlargement
+        children enter the quadratic overlap test.
+        """
+        lo = np.array([c.rect.lo for c in children])  # (k, d)
+        hi = np.array([c.rect.hi for c in children])
+        grown_lo = np.minimum(lo, rect.lo[np.newaxis, :])
+        grown_hi = np.maximum(hi, rect.hi[np.newaxis, :])
+        volume = np.prod(hi - lo, axis=1)
+        enlargement = np.prod(grown_hi - grown_lo, axis=1) - volume
+
+        k = len(children)
+        p = min(cls.CHOOSE_SUBTREE_P, k)
+        cand = np.lexsort((np.arange(k), volume, enlargement))[:p]
+
+        def overlap_with_all(a_lo, a_hi):
+            inter = np.minimum(a_hi[:, np.newaxis, :], hi[np.newaxis, :, :]) - (
+                np.maximum(a_lo[:, np.newaxis, :], lo[np.newaxis, :, :])
+            )
+            return np.prod(np.maximum(inter, 0.0), axis=2)  # (p, k)
+
+        before = overlap_with_all(lo[cand], hi[cand])
+        after = overlap_with_all(grown_lo[cand], grown_hi[cand])
+        # A candidate's overlap with itself is its own volume both before
+        # and after growth only if untouched; zero the self term exactly.
+        for row, j in enumerate(cand):
+            before[row, j] = 0.0
+            after[row, j] = 0.0
+        overlap_delta = (after - before).sum(axis=1)
+        order = np.lexsort(
+            (cand, volume[cand], enlargement[cand], overlap_delta)
+        )
+        return children[int(cand[int(order[0])])]
+
+    # -- overflow ------------------------------------------------------------
+
+    def _handle_overflow(self, node: _RNode, level: int) -> None:
+        if (
+            self.reinsert_fraction > 0.0
+            and node.is_leaf
+            and node.parent is not None
+            and level not in self._reinserting_levels
+        ):
+            # Forced reinsert on first overflow, leaves only (the classic
+            # R* applies it per level; restricting it to the data level is
+            # a common simplification with nearly all of the benefit).
+            self._reinserting_levels.add(level)
+            self._forced_reinsert(node)
+            return
+        new_node = self._split_policy(node)
+        if new_node is None:
+            return  # the X-tree turned the node into a supernode instead
+        parent = node.parent
+        if parent is None:
+            new_root = RTreeInner(self.store.allocate(), self.capacity)
+            node.refresh_rect()
+            new_root.add_child(node)
+            new_root.add_child(new_node)
+            self.root = new_root
+            return
+        node.refresh_rect()
+        parent.refresh_rect()
+        parent.add_child(new_node)
+        if parent.size > parent.capacity:
+            self._handle_overflow(parent, level + 1)
+
+    def _forced_reinsert(self, leaf: _RNode) -> None:
+        """Re-insert the entries farthest from the node centre (R* 4.3)."""
+        assert leaf.is_leaf and leaf.rect is not None
+        entries: list[LeafEntry] = leaf.entries  # type: ignore[attr-defined]
+        center = leaf.rect.center
+        count = max(1, int(self.reinsert_fraction * len(entries)))
+        entries.sort(
+            key=lambda e: float(np.sum((e.rect.center - center) ** 2)),
+            reverse=True,
+        )
+        evicted = entries[:count]
+        leaf.entries = entries[count:]  # type: ignore[attr-defined]
+        self._refresh_upward(leaf)
+        for entry in evicted:
+            self._insert_entry(entry)
+
+    def _refresh_upward(self, node: _RNode) -> None:
+        node.refresh_rect()
+        parent = node.parent
+        while parent is not None:
+            parent.refresh_rect()
+            parent = parent.parent
+
+    # -- split (R* topological; overridden by the X-tree) ----------------------
+
+    def _split_policy(self, node: _RNode) -> Optional[_RNode]:
+        """Split ``node``, returning the new sibling (never None here)."""
+        left, right = self._rstar_split(node)
+        return self._apply_split(node, left, right)
+
+    def _apply_split(self, node: _RNode, left: list, right: list) -> _RNode:
+        if node.is_leaf:
+            sibling: _RNode = RTreeLeaf(self.store.allocate(), self.capacity)
+            node.entries = left  # type: ignore[attr-defined]
+            sibling.entries = right  # type: ignore[attr-defined]
+        else:
+            sibling = RTreeInner(self.store.allocate(), self.capacity)
+            node.children = left  # type: ignore[attr-defined]
+            for c in left:
+                c.parent = node
+            sibling.children = right  # type: ignore[attr-defined]
+            for c in right:
+                c.parent = sibling
+        node.refresh_rect()
+        sibling.refresh_rect()
+        self.store.buffer.invalidate(node.page_id)
+        return sibling
+
+    def _node_items_rects(self, node: _RNode) -> tuple[list, list[Rect]]:
+        if node.is_leaf:
+            items = list(node.entries)  # type: ignore[attr-defined]
+            return items, [e.rect for e in items]
+        items = list(node.children)  # type: ignore[attr-defined]
+        return items, [c.rect for c in items]
+
+    def _rstar_split(self, node: _RNode) -> tuple[list, list]:
+        """The R* split: margin-minimal axis, overlap-minimal distribution.
+
+        Vectorised: for each axis and sort order, prefix/suffix cumulative
+        min/max give the MBRs of every candidate distribution in one pass,
+        so the whole split is O(d^2 n) numpy work instead of O(d n^2)
+        Python loops.
+        """
+        items, rects = self._node_items_rects(node)
+        n = len(items)
+        m = self.min_fill
+        lo = np.array([r.lo for r in rects])  # (n, d)
+        hi = np.array([r.hi for r in rects])
+        split_positions = np.arange(m, n - m + 1)
+
+        def distributions(order: np.ndarray):
+            """Left/right MBRs for every split position along one order."""
+            slo, shi = lo[order], hi[order]
+            pre_lo = np.minimum.accumulate(slo, axis=0)
+            pre_hi = np.maximum.accumulate(shi, axis=0)
+            suf_lo = np.minimum.accumulate(slo[::-1], axis=0)[::-1]
+            suf_hi = np.maximum.accumulate(shi[::-1], axis=0)[::-1]
+            left_lo = pre_lo[split_positions - 1]
+            left_hi = pre_hi[split_positions - 1]
+            right_lo = suf_lo[split_positions]
+            right_hi = suf_hi[split_positions]
+            return left_lo, left_hi, right_lo, right_hi
+
+        best_axis = None
+        best_axis_margin = math.inf
+        axis_orders: dict[int, list[np.ndarray]] = {}
+        for axis in range(self.dims):
+            orders = [
+                np.lexsort((np.arange(n), lo[:, axis])),
+                np.lexsort((np.arange(n), hi[:, axis])),
+            ]
+            axis_orders[axis] = orders
+            margin = 0.0
+            for order in orders:
+                llo, lhi, rlo, rhi = distributions(order)
+                margin += float(np.sum(lhi - llo) + np.sum(rhi - rlo))
+            if margin < best_axis_margin:
+                best_axis_margin = margin
+                best_axis = axis
+        assert best_axis is not None
+
+        best_key = None
+        best_groups: tuple[list, list] | None = None
+        for order in axis_orders[best_axis]:
+            llo, lhi, rlo, rhi = distributions(order)
+            inter = np.minimum(lhi, rhi) - np.maximum(llo, rlo)
+            overlap = np.prod(np.maximum(inter, 0.0), axis=1)
+            volume = np.prod(lhi - llo, axis=1) + np.prod(rhi - rlo, axis=1)
+            for j, k in enumerate(split_positions):
+                key = (float(overlap[j]), float(volume[j]))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_groups = (
+                        [items[i] for i in order[:k]],
+                        [items[i] for i in order[k:]],
+                    )
+        assert best_groups is not None
+        return best_groups
+
+    # -- queries ----------------------------------------------------------------
+
+    def intersecting(self, query: Rect) -> list[LeafEntry]:
+        """All entries whose rectangle intersects ``query``.
+
+        Counts one page access per visited node, like every other access
+        method in this repository.
+        """
+        result: list[LeafEntry] = []
+        stack: list[_RNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            self.store.read(node.page_id)
+            if node.rect is None or not node.rect.intersects(query):
+                continue
+            if node.is_leaf:
+                result.extend(
+                    e
+                    for e in node.entries  # type: ignore[attr-defined]
+                    if e.rect.intersects(query)
+                )
+            else:
+                stack.extend(
+                    c
+                    for c in node.children  # type: ignore[attr-defined]
+                    if c.rect is not None and c.rect.intersects(query)
+                )
+        return result
+
+    def knn(self, point: np.ndarray, k: int) -> list[tuple[float, LeafEntry]]:
+        """k nearest entries by MINDIST (best-first, Hjaltason/Samet)."""
+        point = np.asarray(point, dtype=np.float64)
+        counter = itertools.count()
+        heap: list[tuple[float, int, object, bool]] = [
+            (0.0, next(counter), self.root, False)
+        ]
+        result: list[tuple[float, LeafEntry]] = []
+        while heap and len(result) < k:
+            dist, _, obj, is_entry = heapq.heappop(heap)
+            if is_entry:
+                result.append((math.sqrt(dist), obj))  # type: ignore[arg-type]
+                continue
+            node: _RNode = obj  # type: ignore[assignment]
+            self.store.read(node.page_id)
+            if node.is_leaf:
+                for e in node.entries:  # type: ignore[attr-defined]
+                    heapq.heappush(
+                        heap, (e.rect.min_dist_sq(point), next(counter), e, True)
+                    )
+            else:
+                for c in node.children:  # type: ignore[attr-defined]
+                    if c.rect is not None:
+                        heapq.heappush(
+                            heap,
+                            (c.rect.min_dist_sq(point), next(counter), c, False),
+                        )
+        return result
+
+    # -- validation ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (fill, MBRs, depth, parents)."""
+        depths: set[int] = set()
+        self._check(self.root, 0, depths)
+        assert len(depths) <= 1, f"leaves at depths {sorted(depths)}"
+        assert self._count(self.root) == self._size
+
+    def _count(self, node: _RNode) -> int:
+        if node.is_leaf:
+            return len(node.entries)  # type: ignore[attr-defined]
+        return sum(self._count(c) for c in node.children)  # type: ignore[attr-defined]
+
+    def _check(self, node: _RNode, depth: int, depths: set[int]) -> None:
+        is_root = node is self.root
+        assert node.size <= node.capacity, "node overfull"
+        if not is_root:
+            assert node.size >= self.min_fill or node.capacity > self.capacity, (
+                "node underfull"
+            )
+        if node.is_leaf:
+            depths.add(depth)
+            if node.entries:  # type: ignore[attr-defined]
+                tight = Rect.union_of(
+                    [e.rect for e in node.entries]  # type: ignore[attr-defined]
+                )
+                assert node.rect == tight, "leaf MBR not tight"
+            return
+        assert node.size >= 2 or not is_root, "inner root needs 2 children"
+        tight = Rect.union_of(
+            [c.rect for c in node.children]  # type: ignore[attr-defined]
+        )
+        assert node.rect == tight, "inner MBR not tight"
+        for c in node.children:  # type: ignore[attr-defined]
+            assert c.parent is node, "broken parent pointer"
+            self._check(c, depth + 1, depths)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(d={self.dims}, cap={self.capacity}, "
+            f"n={self._size}, height={self.height})"
+        )

@@ -1,0 +1,114 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's figures without writing any Python:
+
+    python -m repro figure6 --dataset 1 --queries 50
+    python -m repro figure7 --dataset 2 --queries 25 --scale 0.1
+    python -m repro example
+
+``figure6``/``figure7`` print the same tables the paper reports (and the
+benchmarks commit); ``example`` runs the Figure-1 worked example. Scales
+below 1.0 shrink the datasets proportionally for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.data.workload import identification_workload
+from repro.eval.figures import dataset1, dataset2, figure6, figure7
+from repro.eval.report import format_figure6, format_figure7
+
+__all__ = ["main"]
+
+
+def _build_dataset(which: int, scale: float | None):
+    if which == 1:
+        return dataset1(scale=scale)
+    if which == 2:
+        return dataset2(scale=scale)
+    raise SystemExit(f"unknown dataset {which}; the paper has 1 and 2")
+
+
+def _cmd_figure6(args: argparse.Namespace) -> None:
+    db = _build_dataset(args.dataset, args.scale)
+    workload = identification_workload(db, args.queries, seed=args.seed)
+    started = time.perf_counter()
+    rows = figure6(db, workload)
+    title = (
+        f"Figure 6({'a' if args.dataset == 1 else 'b'}) - data set "
+        f"{args.dataset} (n={len(db)}, {args.queries} queries)"
+    )
+    print(format_figure6(rows, title))
+    print(f"[{time.perf_counter() - started:.1f}s]")
+
+
+def _cmd_figure7(args: argparse.Namespace) -> None:
+    db = _build_dataset(args.dataset, args.scale)
+    workload = identification_workload(db, args.queries, seed=args.seed)
+    started = time.perf_counter()
+    cells = figure7(db, workload)
+    title = (
+        f"Figure 7({'a' if args.dataset == 1 else 'b'}) - data set "
+        f"{args.dataset} (n={len(db)}, {args.queries} queries)"
+    )
+    print(format_figure7(cells, title))
+    print(f"[{time.perf_counter() - started:.1f}s]")
+
+
+def _cmd_example(_args: argparse.Namespace) -> None:
+    from repro import MLIQuery, PFV, PFVDatabase, scan_mliq
+
+    db = PFVDatabase(
+        [
+            PFV([4.42, 1.50], [0.21, 0.21], key="O1"),
+            PFV([1.18, 1.46], [1.34, 1.55], key="O2"),
+            PFV([3.82, 1.20], [1.22, 0.37], key="O3"),
+        ]
+    )
+    query = PFV([3.59, 2.46], [0.23, 1.58])
+    print("Figure 1 worked example - posteriors P(v|q):")
+    for m in scan_mliq(db, MLIQuery(query, 3)):
+        print(f"  {m.key}: {m.probability:.1%}")
+    print("(paper: O3 77%, O2 13%, O1 10%; Euclidean NN would pick O1)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Gauss-tree reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, help_text in (
+        ("figure6", _cmd_figure6, "effectiveness: NN vs MLIQ precision/recall"),
+        ("figure7", _cmd_figure7, "efficiency: pages/CPU/overall vs the scan"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--dataset", type=int, default=1, choices=(1, 2))
+        p.add_argument("--queries", type=int, default=50)
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="dataset size multiplier (default: paper size for DS1, "
+            "0.2 for DS2 unless REPRO_FULL_SCALE=1)",
+        )
+        p.add_argument("--seed", type=int, default=7)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("example", help="the paper's Figure 1 worked example")
+    p.set_defaults(func=_cmd_example)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

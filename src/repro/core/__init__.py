@@ -1,0 +1,34 @@
+"""Core of the Gaussian uncertainty model (Sections 3 and 4 of the paper).
+
+Submodules
+----------
+``gaussian``  — univariate Gaussian pdf/cdf primitives (log-space, plus the
+                degree-5 polynomial CDF approximation of Section 5.3).
+``pfv``       — probabilistic feature vectors (Definition 1).
+``joint``     — Lemma 1 joint densities and the sigma combination rules.
+``database``  — the in-memory pfv collection all access methods share.
+``bayes``     — posterior identification probabilities.
+``queries``   — TIQ / k-MLIQ specifications and result records.
+``scan``      — the paper's exact sequential-scan algorithms (Section 4).
+"""
+
+from repro.core.database import PFVDatabase
+from repro.core.joint import SigmaRule, combine_sigma, log_joint_density
+from repro.core.pfv import PFV, ProbabilisticFeatureVector
+from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
+from repro.core.scan import scan_mliq, scan_tiq
+
+__all__ = [
+    "PFV",
+    "ProbabilisticFeatureVector",
+    "PFVDatabase",
+    "SigmaRule",
+    "combine_sigma",
+    "log_joint_density",
+    "Match",
+    "MLIQuery",
+    "ThresholdQuery",
+    "QueryStats",
+    "scan_mliq",
+    "scan_tiq",
+]

@@ -1,0 +1,101 @@
+"""Bayes identification probabilities (Sections 3.1 and 4 of the paper).
+
+For identification the absolute density ``p(q | v)`` is meaningless on its
+own — integrating a density over the infinitely thin point ``q`` is zero.
+The paper's key move is to condition on the closed world of the database:
+the query *is* one of the stored objects, so by Bayes' theorem (with uniform
+priors, which the paper assumes because query frequencies are unknown):
+
+``P(v | q) = p(q | v) / sum_{w in DB} p(q | w)``
+
+This module computes those posteriors from per-object *log* joint densities
+in a numerically stable way (log-sum-exp) and exposes the handful of
+closed-form checks used by the test suite to verify the model's Properties
+1-4 from Section 4 (probabilities sum to 1, indifference ``-> 1/n`` under
+infinite uncertainty, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import gaussian
+from repro.core.database import PFVDatabase
+from repro.core.joint import SigmaRule, log_joint_density_batch
+from repro.core.pfv import PFV
+
+__all__ = [
+    "posteriors_from_log_densities",
+    "log_densities",
+    "identification_posteriors",
+    "identification_probability",
+]
+
+
+def posteriors_from_log_densities(log_dens: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Normalise log joint densities into posterior probabilities.
+
+    ``P(v_j | q) = exp(log_dens_j) / sum_k exp(log_dens_k)`` computed with a
+    max-shift so that 27-dimensional log densities in the hundreds of
+    negative nats do not underflow.
+
+    If *every* density underflows to ``-inf`` (the query is infinitely far
+    from everything — impossible in exact arithmetic, possible after float
+    rounding), the posterior is undefined; we return the uniform
+    distribution ``1/n``, which is the paper's "maximally indifferent"
+    limit (Property 3).
+    """
+    arr = np.asarray(log_dens, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-d array of log densities, got {arr.shape}")
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    m = float(np.max(arr))
+    if m == -math.inf:
+        return np.full(arr.size, 1.0 / arr.size, dtype=np.float64)
+    scaled = np.exp(arr - m)
+    return scaled / float(np.sum(scaled))
+
+
+def log_densities(
+    db: PFVDatabase, q: PFV, rule: SigmaRule | None = None
+) -> np.ndarray:
+    """``log p(q | v_j)`` for every object of the database (vectorised)."""
+    if len(db) == 0:
+        return np.zeros(0, dtype=np.float64)
+    if rule is None:
+        rule = db.sigma_rule
+    return log_joint_density_batch(db.mu_matrix, db.sigma_matrix, q, rule)
+
+
+def identification_posteriors(
+    db: PFVDatabase, q: PFV, rule: SigmaRule | None = None
+) -> np.ndarray:
+    """``P(v_j | q)`` for every object; sums to 1 for a non-empty database."""
+    return posteriors_from_log_densities(log_densities(db, q, rule))
+
+
+def identification_probability(
+    db: PFVDatabase, q: PFV, v: PFV, rule: SigmaRule | None = None
+) -> float:
+    """Posterior of one particular database object ``v``.
+
+    ``v`` is matched by value (mu, sigma, key); raises if it is not stored.
+    Convenience wrapper used by examples and tests — query algorithms use
+    the vectorised :func:`identification_posteriors`.
+    """
+    for idx, w in enumerate(db):
+        if w == v:
+            post = identification_posteriors(db, q, rule)
+            return float(post[idx])
+    raise KeyError(f"vector {v!r} is not in the database")
+
+
+def log_total_density(
+    db: PFVDatabase, q: PFV, rule: SigmaRule | None = None
+) -> float:
+    """Log of the Bayes denominator ``sum_w p(q | w)`` (log-sum-exp)."""
+    return gaussian.logsumexp(log_densities(db, q, rule))

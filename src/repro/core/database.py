@@ -1,0 +1,134 @@
+"""In-memory database of probabilistic feature vectors.
+
+The :class:`PFVDatabase` is the common substrate below every access method
+in this repository: the sequential scan (Section 4 of the paper), the
+Gauss-tree (Section 5) and the X-tree baseline (Section 6) all index or
+scan a ``PFVDatabase``. It stores the vectors both as a list of
+:class:`~repro.core.pfv.ProbabilisticFeatureVector` objects and as two
+stacked ``(n, d)`` float64 arrays so that refinement code can run
+vectorised.
+
+The database also fixes the :class:`~repro.core.joint.SigmaRule` used for
+all probability computations, so that every access method on the same
+database produces identical probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.joint import SigmaRule
+from repro.core.pfv import PFV
+
+__all__ = ["PFVDatabase"]
+
+
+class PFVDatabase:
+    """An ordered collection of pfv with uniform dimensionality.
+
+    Parameters
+    ----------
+    vectors:
+        The probabilistic feature vectors. All must share the same number
+        of dimensions.
+    sigma_rule:
+        How query and object uncertainties combine in Lemma 1; see
+        :class:`~repro.core.joint.SigmaRule`.
+    """
+
+    def __init__(
+        self,
+        vectors: Iterable[PFV] = (),
+        sigma_rule: SigmaRule = SigmaRule.CONVOLUTION,
+    ) -> None:
+        self._vectors: list[PFV] = []
+        self._dims: int | None = None
+        self._sigma_rule = sigma_rule
+        self._mu_cache: np.ndarray | None = None
+        self._sigma_cache: np.ndarray | None = None
+        for v in vectors:
+            self.add(v)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, v: PFV) -> int:
+        """Append a pfv; returns its position (stable row id)."""
+        if self._dims is None:
+            self._dims = v.dims
+        elif v.dims != self._dims:
+            raise ValueError(
+                f"dimension mismatch: database is {self._dims}-d, "
+                f"vector is {v.dims}-d"
+            )
+        self._vectors.append(v)
+        self._mu_cache = None
+        self._sigma_cache = None
+        return len(self._vectors) - 1
+
+    def extend(self, vectors: Iterable[PFV]) -> None:
+        """Append many pfv."""
+        for v in vectors:
+            self.add(v)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def sigma_rule(self) -> SigmaRule:
+        """The sigma combination rule every query on this database uses."""
+        return self._sigma_rule
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality ``d``; raises if the database is empty."""
+        if self._dims is None:
+            raise ValueError("empty database has no dimensionality yet")
+        return self._dims
+
+    @property
+    def vectors(self) -> Sequence[PFV]:
+        """The stored pfv in insertion order (do not mutate)."""
+        return self._vectors
+
+    def _build_caches(self) -> None:
+        self._mu_cache = np.vstack([v.mu for v in self._vectors])
+        self._sigma_cache = np.vstack([v.sigma for v in self._vectors])
+
+    @property
+    def mu_matrix(self) -> np.ndarray:
+        """All means stacked into an ``(n, d)`` array (cached)."""
+        if self._mu_cache is None:
+            if not self._vectors:
+                raise ValueError("empty database has no mu matrix")
+            self._build_caches()
+        return self._mu_cache
+
+    @property
+    def sigma_matrix(self) -> np.ndarray:
+        """All sigmas stacked into an ``(n, d)`` array (cached)."""
+        if self._sigma_cache is None:
+            if not self._vectors:
+                raise ValueError("empty database has no sigma matrix")
+            self._build_caches()
+        return self._sigma_cache
+
+    def keys(self) -> list[Hashable]:
+        """Keys of all stored pfv, in insertion order."""
+        return [v.key for v in self._vectors]
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __iter__(self) -> Iterator[PFV]:
+        return iter(self._vectors)
+
+    def __getitem__(self, idx: int) -> PFV:
+        return self._vectors[idx]
+
+    def __repr__(self) -> str:
+        d = self._dims if self._dims is not None else "?"
+        return (
+            f"PFVDatabase(n={len(self._vectors)}, d={d}, "
+            f"sigma_rule={self._sigma_rule.value})"
+        )

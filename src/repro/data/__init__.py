@@ -1,0 +1,33 @@
+"""Data and workload generators for the evaluation (Section 6).
+
+``histograms``   — data set 1 substitute: synthetic 27-d colour histograms.
+``synthetic``    — data set 2: uniform/clustered random pfv.
+``uncertainty``  — sigma generators (uniform, log-normal, per-object quality).
+``workload``     — ground-truthed re-observation query workloads.
+"""
+
+from repro.data.histograms import color_histogram_dataset, color_histogram_matrix
+from repro.data.synthetic import (
+    clustered_pfv_dataset,
+    database_from_arrays,
+    uniform_pfv_dataset,
+)
+from repro.data.uncertainty import (
+    lognormal_sigmas,
+    per_object_quality_sigmas,
+    uniform_sigmas,
+)
+from repro.data.workload import IdentificationQuery, identification_workload
+
+__all__ = [
+    "color_histogram_dataset",
+    "color_histogram_matrix",
+    "clustered_pfv_dataset",
+    "database_from_arrays",
+    "uniform_pfv_dataset",
+    "lognormal_sigmas",
+    "per_object_quality_sigmas",
+    "uniform_sigmas",
+    "IdentificationQuery",
+    "identification_workload",
+]

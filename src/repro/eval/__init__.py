@@ -1,0 +1,36 @@
+"""Evaluation harness regenerating the paper's figures (Section 6).
+
+``metrics``  — precision/recall for identification workloads.
+``runner``   — query-batch execution with storage accounting.
+``figures``  — per-figure experiment definitions (Figures 6 and 7).
+``report``   — ASCII tables mirroring the paper's rows/series.
+"""
+
+from repro.eval.figures import (
+    Figure6Row,
+    Figure7Cell,
+    dataset1,
+    dataset2,
+    figure6,
+    figure7,
+)
+from repro.eval.metrics import PrecisionRecall, precision_recall
+from repro.eval.report import format_figure6, format_figure7, format_table
+from repro.eval.runner import BatchResult, run_mliq_batch, run_tiq_batch
+
+__all__ = [
+    "Figure6Row",
+    "Figure7Cell",
+    "dataset1",
+    "dataset2",
+    "figure6",
+    "figure7",
+    "PrecisionRecall",
+    "precision_recall",
+    "format_figure6",
+    "format_figure7",
+    "format_table",
+    "BatchResult",
+    "run_mliq_batch",
+    "run_tiq_batch",
+]

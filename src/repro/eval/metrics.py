@@ -1,0 +1,75 @@
+"""Precision and recall for identification workloads (Figure 6).
+
+Each query in an identification workload has exactly one correct answer
+(the re-observed object's key). Over a batch of queries with result sets
+of size ``r``:
+
+* **recall** — fraction of queries whose result set contains the correct
+  key ("the percentage of queries that retrieved the correct object");
+* **precision** — correct retrievals over all retrievals, which with one
+  relevant object per query is ``recall / r``.
+
+At ``r = 1`` the two coincide, matching the paper's statement that for NN
+queries and MLIQ "both measures are the percentage of queries that
+retrieved the correct object"; for the enlarged result sets of Figure 6
+(multiples x1..x9) recall can only grow while precision decays ~ 1/r.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Sequence
+
+__all__ = ["PrecisionRecall", "precision_recall"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PrecisionRecall:
+    """Aggregated effectiveness of a batch of identification queries."""
+
+    precision: float
+    recall: float
+    hits: int
+    queries: int
+    result_size: int
+
+    def as_percent(self) -> tuple[float, float]:
+        return 100.0 * self.precision, 100.0 * self.recall
+
+
+def precision_recall(
+    retrieved: Sequence[Sequence[Hashable]],
+    truth: Sequence[Hashable],
+) -> PrecisionRecall:
+    """Score per-query result-key lists against the true keys.
+
+    ``retrieved[i]`` is the (ordered or not) list of keys returned for
+    query ``i``; result sets may be ragged (e.g. the X-tree filter can
+    return fewer candidates than requested) — precision then uses the
+    actual number of retrieved items.
+    """
+    if len(retrieved) != len(truth):
+        raise ValueError(
+            f"{len(retrieved)} result sets for {len(truth)} ground truths"
+        )
+    if not truth:
+        raise ValueError("need at least one query")
+    hits = 0
+    total_retrieved = 0
+    max_size = 0
+    for keys, true_key in zip(retrieved, truth):
+        keys = list(keys)
+        total_retrieved += len(keys)
+        max_size = max(max_size, len(keys))
+        if true_key in keys:
+            hits += 1
+    n = len(truth)
+    precision = hits / total_retrieved if total_retrieved else 0.0
+    recall = hits / n
+    return PrecisionRecall(
+        precision=precision,
+        recall=recall,
+        hits=hits,
+        queries=n,
+        result_size=max_size,
+    )

@@ -1,0 +1,135 @@
+"""Experiment runner: batches of queries against any access method.
+
+The runner abstracts over the three competitors of Figure 7 (Gauss-tree,
+X-tree filter+refine, sequential scan) behind a minimal protocol — an
+object with ``mliq(query) -> (matches, stats)`` and
+``tiq(query) -> (matches, stats)`` — and aggregates per-query
+:class:`~repro.core.queries.QueryStats` over a workload, cold-starting the
+buffer before each batch as the paper's experiments do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Hashable, Protocol, Sequence
+
+from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
+from repro.data.workload import IdentificationQuery
+from repro.eval.metrics import PrecisionRecall, precision_recall
+
+__all__ = ["AccessMethod", "BatchResult", "run_mliq_batch", "run_tiq_batch"]
+
+
+class AccessMethod(Protocol):
+    """Anything that answers both identification query types."""
+
+    def mliq(self, query: MLIQuery) -> tuple[list[Match], QueryStats]: ...
+
+    def tiq(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]: ...
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Aggregate of one workload batch against one access method."""
+
+    method: str
+    query_kind: str
+    totals: QueryStats
+    per_query_keys: list[list[Hashable]]
+    effectiveness: PrecisionRecall | None
+
+    @property
+    def queries(self) -> int:
+        return len(self.per_query_keys)
+
+    def mean_pages(self) -> float:
+        return self.totals.pages_accessed / max(1, self.queries)
+
+    def summary(self) -> dict[str, float]:
+        """Flat numbers for reports and benchmark ``extra_info``."""
+        out = {
+            "queries": float(self.queries),
+            "pages_accessed": float(self.totals.pages_accessed),
+            "page_faults": float(self.totals.page_faults),
+            "objects_refined": float(self.totals.objects_refined),
+            "cpu_seconds": self.totals.cpu_seconds,
+            "io_seconds": self.totals.io_seconds,
+            "total_seconds": self.totals.total_seconds,
+        }
+        if self.effectiveness is not None:
+            out["precision"] = self.effectiveness.precision
+            out["recall"] = self.effectiveness.recall
+        return out
+
+
+def _cold_start(method: AccessMethod) -> None:
+    store = getattr(method, "store", None)
+    if store is not None:
+        store.cold_start()
+
+
+def _run_batch(
+    method: AccessMethod,
+    method_name: str,
+    query_kind: str,
+    workload: Sequence[IdentificationQuery],
+    execute: Callable[[IdentificationQuery], tuple[list[Match], QueryStats]],
+    score: bool,
+) -> BatchResult:
+    if not workload:
+        raise ValueError("empty workload")
+    _cold_start(method)
+    totals = QueryStats()
+    per_query_keys: list[list[Hashable]] = []
+    for item in workload:
+        matches, stats = execute(item)
+        totals.merge(stats)
+        per_query_keys.append([m.key for m in matches])
+    effectiveness = None
+    if score:
+        effectiveness = precision_recall(
+            per_query_keys, [item.true_key for item in workload]
+        )
+    return BatchResult(
+        method=method_name,
+        query_kind=query_kind,
+        totals=totals,
+        per_query_keys=per_query_keys,
+        effectiveness=effectiveness,
+    )
+
+
+def run_mliq_batch(
+    method: AccessMethod,
+    workload: Sequence[IdentificationQuery],
+    k: int = 1,
+    method_name: str = "",
+    score: bool = True,
+) -> BatchResult:
+    """Run a k-MLIQ over every workload query, cold buffer at the start."""
+    return _run_batch(
+        method,
+        method_name or type(method).__name__,
+        f"{k}-MLIQ",
+        workload,
+        lambda item: method.mliq(MLIQuery(item.q, k)),
+        score,
+    )
+
+
+def run_tiq_batch(
+    method: AccessMethod,
+    workload: Sequence[IdentificationQuery],
+    p_theta: float,
+    method_name: str = "",
+    score: bool = True,
+) -> BatchResult:
+    """Run a TIQ over every workload query, cold buffer at the start."""
+    return _run_batch(
+        method,
+        method_name or type(method).__name__,
+        f"TIQ(P={p_theta:g})",
+        workload,
+        lambda item: method.tiq(ThresholdQuery(item.q, p_theta)),
+        score,
+    )

@@ -1,0 +1,155 @@
+"""Integrals of the hull function (Section 5.3, split optimisation).
+
+The probability that a node must be accessed by an arbitrary query is
+proportional to the integral of its hull curve
+``integral N^_{mu_lo, mu_hi, sigma_lo, sigma_hi}(x) dx``. Section 5.3
+decomposes the integral over Lemma 2's seven cases:
+
+* cases I, III, V, VII are Gaussian tail/body integrals (the paper
+  integrates them with a "sigmoid approximation by a degree-5 polynomial" —
+  we provide both that polynomial path and the exact erf path);
+* case IV is a constant ``1/(sqrt(2 pi) sigma_lo)`` over ``[mu_lo, mu_hi]``;
+* cases II and VI substitute ``sigma = mu_bound - x`` and integrate
+  ``1 / (sqrt(2 pi e) (mu_bound - x))`` to
+  ``(ln sigma_hi - ln sigma_lo) / sqrt(2 pi e)``.
+
+Summing all seven pieces collapses to the closed form (derived here, and
+verified against numerical quadrature in the tests):
+
+``integral N^ dx = 1 + (mu_hi - mu_lo) / (sqrt(2 pi) sigma_lo)
+                    + 2 (ln sigma_hi - ln sigma_lo) / sqrt(2 pi e)``
+
+which makes the split heuristic quantitative: a small ``sigma_lo`` makes
+mu-extent expensive (split in mu), a wide sigma band makes the log term
+dominant (split in sigma) — exactly the intuition the paper develops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core import gaussian
+from repro.core.gaussian import SQRT_TWO_PI, SQRT_TWO_PI_E
+from repro.gausstree.bounds import ParameterRect
+
+__all__ = [
+    "hull_integral_total",
+    "hull_integral",
+    "log_split_quality",
+    "CDF_EXACT",
+    "CDF_POLY5",
+]
+
+#: Exact normal CDF (erf based).
+CDF_EXACT: Callable[[float], float] = lambda z: gaussian.cdf(z)
+#: The paper's degree-5 polynomial sigmoid approximation.
+CDF_POLY5: Callable[[float], float] = lambda z: gaussian.cdf_poly5(z)
+
+
+def hull_integral_total(
+    mu_lo: float, mu_hi: float, sigma_lo: float, sigma_hi: float
+) -> float:
+    """Closed-form ``integral_{-inf}^{inf} N^(x) dx`` of one dimension."""
+    if sigma_lo <= 0.0 or sigma_hi < sigma_lo or mu_hi < mu_lo:
+        raise ValueError("invalid bounds")
+    return (
+        1.0
+        + (mu_hi - mu_lo) / (SQRT_TWO_PI * sigma_lo)
+        + 2.0 * (math.log(sigma_hi) - math.log(sigma_lo)) / SQRT_TWO_PI_E
+    )
+
+
+def hull_integral(
+    a: float,
+    b: float,
+    mu_lo: float,
+    mu_hi: float,
+    sigma_lo: float,
+    sigma_hi: float,
+    cdf: Callable[[float], float] = CDF_EXACT,
+) -> float:
+    """``integral_a^b N^(x) dx`` via the paper's piecewise case analysis.
+
+    ``cdf`` selects the standard-normal CDF implementation — pass
+    :data:`CDF_POLY5` for the paper's degree-5 polynomial device. This
+    partial integral is what an implementation without the closed form
+    would evaluate; we keep it both as a faithful artifact and because the
+    tests validate it against quadrature and the total against
+    :func:`hull_integral_total`.
+    """
+    if sigma_lo <= 0.0 or sigma_hi < sigma_lo or mu_hi < mu_lo:
+        raise ValueError("invalid bounds")
+    if b <= a:
+        return 0.0
+
+    def gauss_piece(lo: float, hi: float, mu: float, sigma: float) -> float:
+        """Integral of N_{mu,sigma} over [lo, hi] via the chosen CDF."""
+        return sigma * 0.0 + (cdf((hi - mu) / sigma) - cdf((lo - mu) / sigma))
+
+    def reciprocal_piece(lo: float, hi: float, mu_edge: float) -> float:
+        """Cases II/VI: integral of 1/(sqrt(2 pi e) |mu_edge - x|)."""
+        d_lo = abs(mu_edge - lo)
+        d_hi = abs(mu_edge - hi)
+        near, far = min(d_lo, d_hi), max(d_lo, d_hi)
+        if near <= 0.0:
+            raise ValueError("reciprocal piece touches its singularity")
+        return (math.log(far) - math.log(near)) / SQRT_TWO_PI_E
+
+    # Breakpoints of the seven cases, left to right.
+    b1 = mu_lo - sigma_hi
+    b2 = mu_lo - sigma_lo
+    b3 = mu_lo
+    b4 = mu_hi
+    b5 = mu_hi + sigma_lo
+    b6 = mu_hi + sigma_hi
+
+    total = 0.0
+    # (I): Gaussian N_{mu_lo, sigma_hi} on (-inf, b1)
+    lo, hi = a, min(b, b1)
+    if hi > lo:
+        total += gauss_piece(lo, hi, mu_lo, sigma_hi)
+    # (II): reciprocal on [b1, b2)
+    lo, hi = max(a, b1), min(b, b2)
+    if hi > lo:
+        total += reciprocal_piece(lo, hi, mu_lo)
+    # (III): Gaussian N_{mu_lo, sigma_lo} on [b2, b3)
+    lo, hi = max(a, b2), min(b, b3)
+    if hi > lo:
+        total += gauss_piece(lo, hi, mu_lo, sigma_lo)
+    # (IV): constant peak 1/(sqrt(2 pi) sigma_lo) on [b3, b4)
+    lo, hi = max(a, b3), min(b, b4)
+    if hi > lo:
+        total += (hi - lo) / (SQRT_TWO_PI * sigma_lo)
+    # (V): Gaussian N_{mu_hi, sigma_lo} on [b4, b5)
+    lo, hi = max(a, b4), min(b, b5)
+    if hi > lo:
+        total += gauss_piece(lo, hi, mu_hi, sigma_lo)
+    # (VI): reciprocal on [b5, b6)
+    lo, hi = max(a, b5), min(b, b6)
+    if hi > lo:
+        total += reciprocal_piece(lo, hi, mu_hi)
+    # (VII): Gaussian N_{mu_hi, sigma_hi} on [b6, inf)
+    lo, hi = max(a, b6), b
+    if hi > lo:
+        total += gauss_piece(lo, hi, mu_hi, sigma_hi)
+    return total
+
+
+def log_split_quality(rect: ParameterRect) -> float:
+    """Log of the multivariate hull integral of a candidate node.
+
+    Independence across dimensions makes the multivariate hull the product
+    of per-dimension hulls, so its integral over the whole space is the
+    product of the per-dimension integrals; in log space that is a sum.
+    Smaller is better: the split strategy of Section 5.3 minimises the sum
+    of the two resulting nodes' integrals.
+    """
+    per_dim = (
+        1.0
+        + (rect.mu_hi - rect.mu_lo) / (SQRT_TWO_PI * rect.sigma_lo)
+        + 2.0 * (np.log(rect.sigma_hi) - np.log(rect.sigma_lo)) / SQRT_TWO_PI_E
+    )
+    return float(np.sum(np.log(per_dim)))

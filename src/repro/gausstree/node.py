@@ -1,0 +1,195 @@
+"""Gauss-tree nodes (Definition 4).
+
+Two node kinds, both occupying one simulated disk page:
+
+* :class:`LeafNode` stores between ``M`` and ``2 M`` probabilistic feature
+  vectors (the root may hold fewer while the tree is small);
+* :class:`InnerNode` stores between ``ceil(M/2)`` and ``M`` child entries,
+  each a :class:`~repro.gausstree.bounds.ParameterRect` plus the child
+  pointer and — for the sum approximation of Section 5.2 — the child's
+  subtree cardinality.
+
+Leaves keep a lazily-built numpy cache of their entries' ``(mu, sigma)``
+stacks so that exact refinement (Lemma 1 over every stored pfv) runs
+vectorised; any mutation invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.pfv import PFV
+from repro.gausstree.bounds import ParameterRect
+
+__all__ = ["Node", "LeafNode", "InnerNode"]
+
+
+class Node:
+    """Common state of leaf and inner nodes."""
+
+    __slots__ = ("rect", "parent", "page_id")
+
+    def __init__(self, page_id: int) -> None:
+        self.rect: Optional[ParameterRect] = None
+        self.parent: Optional["InnerNode"] = None
+        self.page_id = page_id
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def count(self) -> int:
+        """Number of pfv stored in this subtree."""
+        raise NotImplementedError
+
+    def refresh_rect(self) -> None:
+        """Recompute the tight MBR from the node's contents."""
+        raise NotImplementedError
+
+
+class LeafNode(Node):
+    """A data page holding pfv entries."""
+
+    __slots__ = ("entries", "_mu_cache", "_sigma_cache")
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(page_id)
+        self.entries: list[PFV] = []
+        self._mu_cache: Optional[np.ndarray] = None
+        self._sigma_cache: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def add(self, v: PFV) -> None:
+        """Append a pfv, growing the MBR in place."""
+        self.entries.append(v)
+        if self.rect is None:
+            self.rect = ParameterRect.of_vector(v)
+        else:
+            self.rect.extend_vector(v)
+        self._invalidate()
+
+    def remove_at(self, index: int) -> PFV:
+        """Remove and return the entry at ``index``; tightens the MBR."""
+        v = self.entries.pop(index)
+        self.refresh_rect()
+        self._invalidate()
+        return v
+
+    def replace_entries(self, entries: list[PFV]) -> None:
+        """Swap in a new entry list (used by splits); recomputes the MBR."""
+        self.entries = entries
+        self.refresh_rect()
+        self._invalidate()
+
+    def refresh_rect(self) -> None:
+        self.rect = (
+            ParameterRect.of_vectors(self.entries) if self.entries else None
+        )
+
+    def _invalidate(self) -> None:
+        self._mu_cache = None
+        self._sigma_cache = None
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(mu, sigma)`` stacks of shape ``(count, d)`` for vectorised
+        refinement; cached until the next mutation."""
+        if self._mu_cache is None:
+            self._mu_cache = np.vstack([v.mu for v in self.entries])
+            self._sigma_cache = np.vstack([v.sigma for v in self.entries])
+        return self._mu_cache, self._sigma_cache
+
+    def __iter__(self) -> Iterator[PFV]:
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return f"LeafNode(page={self.page_id}, entries={len(self.entries)})"
+
+
+class InnerNode(Node):
+    """A directory page holding child nodes with their parameter MBRs."""
+
+    __slots__ = ("children", "_count_cache", "_bounds_cache")
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(page_id)
+        self.children: list[Node] = []
+        self._count_cache: Optional[int] = None
+        self._bounds_cache: Optional[tuple[np.ndarray, ...]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def count(self) -> int:
+        if self._count_cache is None:
+            self._count_cache = sum(c.count for c in self.children)
+        return self._count_cache
+
+    def invalidate_count(self) -> None:
+        """Drop the cached subtree cardinality (on any subtree mutation)."""
+        node: Optional[InnerNode] = self
+        while node is not None:
+            node._count_cache = None
+            node._bounds_cache = None
+            node = node.parent
+
+    def stacked_child_bounds(self) -> tuple[np.ndarray, ...]:
+        """``(mu_lo, mu_hi, sigma_lo, sigma_hi)``, each ``(k, d)``, stacked
+        over the children — lets queries bound all children in one numpy
+        call. Cached until the next mutation below this node."""
+        if self._bounds_cache is None:
+            rects = [c.rect for c in self.children]
+            self._bounds_cache = (
+                np.vstack([r.mu_lo for r in rects]),
+                np.vstack([r.mu_hi for r in rects]),
+                np.vstack([r.sigma_lo for r in rects]),
+                np.vstack([r.sigma_hi for r in rects]),
+            )
+        return self._bounds_cache
+
+    def add_child(self, child: Node) -> None:
+        if child.rect is None:
+            raise ValueError("cannot attach a child without an MBR")
+        self.children.append(child)
+        child.parent = self
+        if self.rect is None:
+            self.rect = child.rect.copy()
+        else:
+            self.rect.extend_rect(child.rect)
+        self.invalidate_count()
+
+    def remove_child(self, child: Node) -> None:
+        self.children.remove(child)
+        child.parent = None
+        self.refresh_rect()
+        self.invalidate_count()
+
+    def replace_children(self, children: list[Node]) -> None:
+        """Swap in a new child list (used by splits); reparents and
+        recomputes the MBR."""
+        self.children = children
+        for c in children:
+            c.parent = self
+        self.refresh_rect()
+        self.invalidate_count()
+
+    def refresh_rect(self) -> None:
+        rects = [c.rect for c in self.children if c.rect is not None]
+        self.rect = ParameterRect.of_rects(rects) if rects else None
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.children)
+
+    def __repr__(self) -> str:
+        return f"InnerNode(page={self.page_id}, children={len(self.children)})"

@@ -1,0 +1,294 @@
+"""Shared machinery of the Gauss-tree query algorithms (Section 5.2).
+
+Both k-MLIQ and TIQ run a best-first traversal over a priority queue of
+"active nodes" ordered by the node's upper density bound for the query
+(Lemma 2 hull with query-combined sigmas), and both need running bounds on
+the Bayes denominator ``sum_{w in DB} p(q|w)``:
+
+``exact_sum  +  min_remaining  <=  denominator  <=  exact_sum + max_remaining``
+
+where ``exact_sum`` accumulates the exactly refined leaf entries and the
+``*_remaining`` terms add ``count * N_`` / ``count * N^`` for every subtree
+still sitting in the queue (the sum approximation of Section 5.2).
+
+Numerical strategy
+------------------
+Densities of 27-dimensional pfv span hundreds of nats, so every per-object
+and per-node quantity is carried as a *log*; the three sums are maintained
+in linear space after subtracting a common ``shift``. The shift starts at
+the root's hull bound (an upper bound on everything in the tree) and is
+re-anchored to the best exact density seen whenever the two drift more
+than 300 nats apart, replaying the stored leaf densities and the queue
+entries so no mass is lost. Individual scaled terms that would still
+overflow (a node bound astronomically above the current scale — possible
+for loose hulls in empty regions) are tracked as *capped*: while any
+capped term is in a sum, that sum reports ``inf``, which every consumer
+treats conservatively (upper bounds become infinite, probability lower
+bounds become 0) until the offending node is popped. Ratios are
+scale-invariant, so the shift cancels in every reported probability.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+
+from repro.core.joint import log_joint_density_batch
+from repro.core.pfv import PFV
+from repro.gausstree.hull import node_log_bounds, node_log_bounds_batch
+from repro.gausstree.node import LeafNode, Node
+
+__all__ = ["SearchState"]
+
+# Re-anchor the shift when it drifts this many nats from the best density.
+_RESCALE_GAP = 300.0
+# Scaled terms above exp(_CAP) are tracked as capped rather than summed.
+_CAP = 690.0
+_UNDERFLOW = -745.0
+
+
+class _QueueEntry:
+    __slots__ = ("log_upper", "log_lower", "node")
+
+    def __init__(self, log_upper: float, log_lower: float, node: Node) -> None:
+        self.log_upper = log_upper
+        self.log_lower = log_lower
+        self.node = node
+
+
+class _BoundSum:
+    """A non-negative sum of scaled terms, with overflow-capped entries.
+
+    Terms are ``count * exp(log_value - shift)``. A term whose exponent
+    exceeds the cap is counted instead of summed; while any such term is
+    present :attr:`value` is ``inf`` — a valid (infinitely loose) upper
+    bound. Add/remove must be called with the same shift for the same
+    entry; the owning state guarantees that by rebuilding both sums on
+    every shift change.
+
+    Floating-point add/remove cycles leave an *absolute* residue of the
+    order of one ulp of the largest partial sum per operation. That can
+    dominate when the search descends many orders of magnitude (e.g. a
+    loose root hull over 27-d data), so the sum tracks a conservative
+    :attr:`drift` allowance; consumers widen their bounds by it and the
+    owning state rebuilds the sums from the queue once the allowance
+    becomes material.
+    """
+
+    __slots__ = ("finite", "capped", "drift")
+
+    # One add/remove contributes at most a few ulps of the running peak.
+    _ULP = 2.3e-16
+    _SAFETY = 4.0
+
+    def __init__(self) -> None:
+        self.finite = 0.0
+        self.capped = 0
+        self.drift = 0.0
+
+    def add(self, log_value: float, count: int, shift: float) -> None:
+        delta = log_value - shift
+        if delta > _CAP:
+            self.capped += 1
+        elif delta >= _UNDERFLOW:
+            self.finite += count * math.exp(delta)
+            self.drift += self._SAFETY * self._ULP * abs(self.finite)
+
+    def remove(self, log_value: float, count: int, shift: float) -> None:
+        delta = log_value - shift
+        if delta > _CAP:
+            self.capped -= 1
+        elif delta >= _UNDERFLOW:
+            self.drift += self._SAFETY * self._ULP * abs(self.finite)
+            self.finite -= count * math.exp(delta)
+            if self.finite < 0.0:  # float drift from add/remove cycles
+                self.finite = 0.0
+
+    def reset(self) -> None:
+        self.finite = 0.0
+        self.capped = 0
+        self.drift = 0.0
+
+    @property
+    def lower_value(self) -> float:
+        """A certainly-not-overestimating reading of the sum."""
+        return max(0.0, self.finite - self.drift)
+
+    @property
+    def upper_value(self) -> float:
+        """A certainly-not-underestimating reading of the sum."""
+        return math.inf if self.capped > 0 else self.finite + self.drift
+
+
+class SearchState:
+    """Priority queue plus denominator bounds for one query."""
+
+    def __init__(self, tree, q: PFV) -> None:
+        if q.dims != tree.dims:
+            raise ValueError(f"query is {q.dims}-d, tree is {tree.dims}-d")
+        self.tree = tree
+        self.q = q
+        self.rule = tree.sigma_rule
+        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, _QueueEntry]] = []
+        self.exact_sum = 0.0
+        self._min_rem = _BoundSum()
+        self._max_rem = _BoundSum()
+        self.max_log_density = -math.inf
+        self.nodes_expanded = 0
+        self.objects_refined = 0
+        # Stored so that a shift change can rebuild exact_sum losslessly.
+        self._leaf_log_densities: list[np.ndarray] = []
+        root = tree.root
+        if root.count == 0:
+            self.shift = 0.0
+            return
+        log_lower, log_upper = node_log_bounds(root.rect, q, self.rule)
+        self.shift = log_upper
+        self._push(root, log_lower, log_upper)
+
+    # -- scaling -------------------------------------------------------------
+
+    def scaled_density(self, log_density: float) -> float:
+        """An object's density on the current scale.
+
+        Only called for refined objects, whose logs are within the rescale
+        gap of the shift by construction, so the exponent is bounded.
+        """
+        delta = log_density - self.shift
+        if delta < _UNDERFLOW:
+            return 0.0
+        return math.exp(min(delta, _CAP))
+
+    def _maybe_rescale(self) -> None:
+        if self.max_log_density == -math.inf:
+            return
+        if abs(self.shift - self.max_log_density) <= _RESCALE_GAP:
+            return
+        self.shift = self.max_log_density
+        self.exact_sum = 0.0
+        for arr in self._leaf_log_densities:
+            self.exact_sum += float(
+                np.sum(np.exp(np.clip(arr - self.shift, _UNDERFLOW, 0.0)))
+            )
+        self._min_rem.reset()
+        self._max_rem.reset()
+        for _, _, entry in self._heap:
+            n = entry.node.count
+            self._min_rem.add(entry.log_lower, n, self.shift)
+            self._max_rem.add(entry.log_upper, n, self.shift)
+
+    # -- queue ---------------------------------------------------------------
+
+    def _push(self, node: Node, log_lower: float, log_upper: float) -> None:
+        entry = _QueueEntry(log_upper, log_lower, node)
+        heapq.heappush(self._heap, (-log_upper, next(self._counter), entry))
+        n = node.count
+        self._min_rem.add(log_lower, n, self.shift)
+        self._max_rem.add(log_upper, n, self.shift)
+
+    @property
+    def has_active_nodes(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def top_log_upper(self) -> float:
+        """Upper density bound of the best unexplored subtree."""
+        if not self._heap:
+            return -math.inf
+        return -self._heap[0][0]
+
+    @property
+    def denominator_low(self) -> float:
+        """Scaled lower bound of the Bayes denominator.
+
+        Widened by the drift allowance in the safe direction, so an
+        acceptance/rejection decided against it stays correct despite
+        float residue in the incremental sums.
+        """
+        self._maybe_rebuild_bounds()
+        return self.exact_sum + self._min_rem.lower_value
+
+    @property
+    def denominator_high(self) -> float:
+        """Scaled upper bound of the Bayes denominator (may be ``inf``)."""
+        self._maybe_rebuild_bounds()
+        return self.exact_sum + self._max_rem.upper_value
+
+    @property
+    def denominator_mid(self) -> float:
+        if self._max_rem.capped > 0:
+            return math.inf
+        self._maybe_rebuild_bounds()
+        return self.exact_sum + 0.5 * (
+            self._min_rem.lower_value
+            + (self._max_rem.finite + self._max_rem.drift)
+        )
+
+    def _maybe_rebuild_bounds(self) -> None:
+        """Replay the queue when drift is material next to the sums.
+
+        O(queue) per rebuild; triggered only when the allowance exceeds a
+        millionth of the quantity it pads, which keeps the amortised cost
+        negligible while making the reported bounds effectively exact.
+        """
+        threshold = 1e-6 * (self.exact_sum + self._min_rem.finite) + 1e-300
+        if self._min_rem.drift <= threshold and self._max_rem.drift <= threshold:
+            return
+        self._min_rem.reset()
+        self._max_rem.reset()
+        for _, _, entry in self._heap:
+            n = entry.node.count
+            self._min_rem.add(entry.log_lower, n, self.shift)
+            self._max_rem.add(entry.log_upper, n, self.shift)
+        # A fresh replay's residue is one pass of additions, far below
+        # the incremental allowance it replaces.
+        self._min_rem.drift = _BoundSum._ULP * self._min_rem.finite * max(
+            1, len(self._heap)
+        )
+        self._max_rem.drift = _BoundSum._ULP * self._max_rem.finite * max(
+            1, len(self._heap)
+        )
+
+    # -- expansion -------------------------------------------------------------
+
+    def pop_and_expand(self) -> tuple[LeafNode, np.ndarray] | None:
+        """Pop the top node; count one page access.
+
+        Inner node: its children are pushed (their bounds tighten the
+        denominator interval) and ``None`` is returned. Leaf: every stored
+        pfv is refined exactly (vectorised Lemma 1) and
+        ``(leaf, log_densities)`` is returned.
+        """
+        _, _, entry = heapq.heappop(self._heap)
+        node = entry.node
+        n = node.count
+        self._min_rem.remove(entry.log_lower, n, self.shift)
+        self._max_rem.remove(entry.log_upper, n, self.shift)
+        self.tree.store.read(node.page_id)
+        self.nodes_expanded += 1
+        if not node.is_leaf:
+            lows, highs = node_log_bounds_batch(
+                *node.stacked_child_bounds(), self.q, self.rule  # type: ignore[attr-defined]
+            )
+            for child, lo, hi in zip(node.children, lows, highs):  # type: ignore[attr-defined]
+                self._push(child, float(lo), float(hi))
+            return None
+        leaf: LeafNode = node  # type: ignore[assignment]
+        mu, sigma = leaf.arrays()
+        log_dens = log_joint_density_batch(mu, sigma, self.q, self.rule)
+        self.objects_refined += len(leaf.entries)
+        best = float(np.max(log_dens))
+        if best > self.max_log_density:
+            self.max_log_density = best
+        # Rescale replays the arrays stored so far; append this leaf only
+        # afterwards so its mass enters exact_sum exactly once.
+        self._maybe_rescale()
+        self._leaf_log_densities.append(log_dens)
+        self.exact_sum += float(
+            np.sum(np.exp(np.clip(log_dens - self.shift, _UNDERFLOW, _CAP)))
+        )
+        return leaf, log_dens

@@ -1,0 +1,419 @@
+"""The Gauss-tree (Section 5): structure, insertion, split, deletion.
+
+A balanced R-tree-family index over the *parameter space* of the stored
+Gaussians. Definition 4 fixes the structure for a degree ``M``:
+
+* leaves hold between ``M`` and ``2 M`` pfv (the root may hold fewer);
+* inner nodes hold between ``ceil(M/2)`` and ``M`` children
+  (the root at least 2 once it is an inner node);
+* all leaves are on the same level.
+
+Insertion follows Section 5.3's path-selection rules verbatim:
+
+1. if the new pfv fits into exactly one child MBR, follow it;
+2. if it fits into none, follow the child needing the least volume
+   enlargement (margin as tie-breaker for degenerate boxes);
+3. if it fits into several, follow *all* fitting paths and use the leaf
+   where it fits exactly, or failing that the reachable leaf with the
+   least enlargement.
+
+Overflowing nodes are split by the hull-integral-minimising median split of
+:mod:`repro.gausstree.split`. Deletion (not described in the paper, added
+for library completeness) uses the classic R-tree condense: underfull nodes
+are dissolved and their entries reinserted.
+
+Query processing lives in :mod:`repro.gausstree.mliq` and
+:mod:`repro.gausstree.tiq`; :class:`GaussTree` exposes them as methods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.core.joint import SigmaRule
+from repro.core.pfv import PFV
+from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
+from repro.gausstree.bounds import ParameterRect
+from repro.gausstree.integral import log_split_quality
+from repro.gausstree.node import InnerNode, LeafNode, Node
+from repro.gausstree.split import split_children, split_entries
+from repro.storage.layout import PageLayout
+from repro.storage.pagestore import PageStore
+
+__all__ = ["GaussTree"]
+
+
+class GaussTree:
+    """A Gauss-tree of degree ``M`` over ``d``-dimensional pfv.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality ``d`` of the stored pfv.
+    degree:
+        The degree ``M`` of Definition 4. If omitted it is derived from
+        ``layout`` (or a default 8 KiB page layout).
+    layout:
+        Page layout that ties capacities to a simulated page size.
+    page_store:
+        Storage accounting backend; a private one is created if omitted.
+    sigma_rule:
+        How query and object uncertainties combine (see
+        :class:`~repro.core.joint.SigmaRule`); must match the rule used by
+        any sequential scan the results are compared against.
+    split_quality:
+        Log access-probability score minimised by splits; the default is
+        the paper's hull integral, the ablation benchmark passes the naive
+        volume score instead.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        degree: int | None = None,
+        layout: PageLayout | None = None,
+        page_store: PageStore | None = None,
+        sigma_rule: SigmaRule = SigmaRule.CONVOLUTION,
+        split_quality: Callable[[ParameterRect], float] = log_split_quality,
+    ) -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        if layout is None:
+            layout = PageLayout(dims=dims)
+        elif layout.dims != dims:
+            raise ValueError(
+                f"layout is for d={layout.dims}, tree is d={dims}"
+            )
+        if degree is None:
+            degree = min(layout.leaf_capacity // 2, layout.inner_capacity)
+        if degree < 2:
+            raise ValueError(f"degree M must be >= 2, got {degree}")
+        self.dims = dims
+        self.degree = degree
+        self.layout = layout
+        self.store = page_store if page_store is not None else PageStore()
+        self.sigma_rule = sigma_rule
+        self.split_quality = split_quality
+        self.root: Node = LeafNode(self.store.allocate())
+
+    # -- capacities (Definition 4) ------------------------------------------
+
+    @property
+    def leaf_min(self) -> int:
+        return self.degree
+
+    @property
+    def leaf_max(self) -> int:
+        return 2 * self.degree
+
+    @property
+    def inner_min(self) -> int:
+        # Definition 4: inner nodes hold between M/2 and M children (for
+        # M=2 that legitimately allows single-child inner nodes).
+        return max(1, math.ceil(self.degree / 2))
+
+    @property
+    def inner_max(self) -> int:
+        return self.degree
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.root.count
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone root leaf)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            h += 1
+        return h
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes, pre-order."""
+        stack: list[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[attr-defined]
+
+    def leaves(self) -> Iterator[LeafNode]:
+        for node in self.nodes():
+            if node.is_leaf:
+                yield node  # type: ignore[misc]
+
+    def __iter__(self) -> Iterator[PFV]:
+        """All stored pfv (no particular order)."""
+        for leaf in self.leaves():
+            yield from leaf.entries
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, v: PFV) -> None:
+        """Insert one pfv (Section 5.3 path selection + median split)."""
+        if v.dims != self.dims:
+            raise ValueError(f"vector is {v.dims}-d, tree is {self.dims}-d")
+        leaf = self._choose_leaf(v)
+        leaf.add(v)
+        node: Optional[InnerNode] = leaf.parent
+        while node is not None:
+            assert node.rect is not None
+            node.rect.extend_vector(v)
+            node.invalidate_count()
+            node = node.parent
+        if len(leaf.entries) > self.leaf_max:
+            self._handle_overflow(leaf)
+
+    def extend(self, vectors: Iterable[PFV]) -> None:
+        for v in vectors:
+            self.insert(v)
+
+    def _choose_leaf(self, v: PFV) -> LeafNode:
+        leaf, _fits, _cost = self._descend(self.root, v)
+        return leaf
+
+    def _descend(
+        self, node: Node, v: PFV
+    ) -> tuple[LeafNode, bool, tuple[float, float]]:
+        """Return ``(leaf, fits_exactly, enlargement_cost)`` below ``node``."""
+        if node.is_leaf:
+            leaf: LeafNode = node  # type: ignore[assignment]
+            if leaf.rect is None:
+                return leaf, True, (0.0, 0.0)
+            if leaf.rect.contains_vector(v):
+                return leaf, True, (0.0, 0.0)
+            return leaf, False, leaf.rect.enlargement_for_vector(v)
+        inner: InnerNode = node  # type: ignore[assignment]
+        containing = [
+            c
+            for c in inner.children
+            if c.rect is not None and c.rect.contains_vector(v)
+        ]
+        if containing:
+            # Rule 3: follow all fitting paths, prefer an exactly fitting
+            # leaf; among equals, the leaf with the fewest entries.
+            best_key: tuple | None = None
+            best: tuple[LeafNode, bool, tuple[float, float]] | None = None
+            for child in containing:
+                leaf, fits, cost = self._descend(child, v)
+                key = (not fits, cost, len(leaf.entries))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (leaf, fits, cost)
+            assert best is not None
+            return best
+        # Rule 2: no child fits — greedy least enlargement (volume, then
+        # margin for degenerate boxes, then fewer entries downstream).
+        def child_cost(c: Node) -> tuple[float, float, float]:
+            assert c.rect is not None
+            d_vol, d_margin = c.rect.enlargement_for_vector(v)
+            return (d_vol, d_margin, c.rect.volume())
+
+        best_child = min(inner.children, key=child_cost)
+        return self._descend(best_child, v)
+
+    # -- overflow / split --------------------------------------------------------
+
+    def _handle_overflow(self, node: Node) -> None:
+        while True:
+            if node.is_leaf:
+                if node.count <= self.leaf_max:
+                    return
+                new_node: Node = self._split_leaf(node)  # type: ignore[arg-type]
+            else:
+                if len(node.children) <= self.inner_max:  # type: ignore[attr-defined]
+                    return
+                new_node = self._split_inner(node)  # type: ignore[arg-type]
+            parent = node.parent
+            if parent is None:
+                new_root = InnerNode(self.store.allocate())
+                new_root.add_child(node)
+                new_root.add_child(new_node)
+                self.root = new_root
+                return
+            parent.refresh_rect()
+            parent.add_child(new_node)
+            node = parent
+
+    def _split_leaf(self, leaf: LeafNode) -> LeafNode:
+        left, right, _score = split_entries(
+            leaf.entries, self.leaf_min, self.split_quality
+        )
+        leaf.replace_entries(left)
+        sibling = LeafNode(self.store.allocate())
+        sibling.replace_entries(right)
+        self.store.buffer.invalidate(leaf.page_id)
+        return sibling
+
+    def _split_inner(self, inner: InnerNode) -> InnerNode:
+        left, right, _score = split_children(
+            inner.children, self.inner_min, self.split_quality
+        )
+        inner.replace_children(left)
+        sibling = InnerNode(self.store.allocate())
+        sibling.replace_children(right)
+        self.store.buffer.invalidate(inner.page_id)
+        return sibling
+
+    # -- deletion ---------------------------------------------------------------
+
+    def delete(self, v: PFV) -> bool:
+        """Remove one pfv equal to ``v``; returns whether it was found.
+
+        Not part of the paper; uses R-tree condense semantics (underfull
+        nodes dissolve, entries reinsert) so all Definition-4 invariants
+        keep holding — the property tests insert and delete randomly and
+        re-validate.
+        """
+        found = self._find_entry(self.root, v)
+        if found is None:
+            return False
+        leaf, index = found
+        leaf.remove_at(index)
+        if leaf.parent is not None:
+            leaf.parent.invalidate_count()
+        self._condense(leaf)
+        return True
+
+    def _find_entry(
+        self, node: Node, v: PFV
+    ) -> tuple[LeafNode, int] | None:
+        if node.is_leaf:
+            leaf: LeafNode = node  # type: ignore[assignment]
+            for i, e in enumerate(leaf.entries):
+                if e == v:
+                    return leaf, i
+            return None
+        inner: InnerNode = node  # type: ignore[assignment]
+        for child in inner.children:
+            if child.rect is not None and child.rect.contains_vector(v):
+                hit = self._find_entry(child, v)
+                if hit is not None:
+                    return hit
+        return None
+
+    def _collect_entries(self, node: Node, out: list[PFV]) -> None:
+        if node.is_leaf:
+            out.extend(node.entries)  # type: ignore[attr-defined]
+            self.store.free(node.page_id)
+            return
+        for child in node.children:  # type: ignore[attr-defined]
+            self._collect_entries(child, out)
+        self.store.free(node.page_id)
+
+    def _condense(self, leaf: LeafNode) -> None:
+        orphans: list[PFV] = []
+        node: Node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            if node.is_leaf:
+                underfull = node.count < self.leaf_min
+            else:
+                underfull = len(node.children) < self.inner_min  # type: ignore[attr-defined]
+            if underfull:
+                parent.remove_child(node)
+                self._collect_entries(node, orphans)
+            else:
+                node.refresh_rect()
+                parent.invalidate_count()  # child rect tightened: stale caches
+            node = parent
+        node.refresh_rect()  # tighten the root
+        # Collapse a degenerate inner root.
+        while (
+            not self.root.is_leaf
+            and len(self.root.children) == 1  # type: ignore[attr-defined]
+        ):
+            child = self.root.children[0]  # type: ignore[attr-defined]
+            child.parent = None
+            self.store.free(self.root.page_id)
+            self.root = child
+        if not self.root.is_leaf and not self.root.children:  # type: ignore[attr-defined]
+            self.store.free(self.root.page_id)
+            self.root = LeafNode(self.store.allocate())
+        for orphan in orphans:
+            self.insert(orphan)
+
+    # -- queries ------------------------------------------------------------------
+
+    def mliq(
+        self, query: MLIQuery, tolerance: float = 1e-9
+    ) -> tuple[list[Match], QueryStats]:
+        """k-most-likely identification query (Sections 5.2.1-5.2.2)."""
+        from repro.gausstree.mliq import gausstree_mliq
+
+        return gausstree_mliq(self, query, tolerance=tolerance)
+
+    def tiq(
+        self,
+        query: ThresholdQuery,
+        tolerance: float = 0.0,
+        probability_tolerance: float | None = None,
+    ) -> tuple[list[Match], QueryStats]:
+        """Threshold identification query (Section 5.2.3)."""
+        from repro.gausstree.tiq import gausstree_tiq
+
+        return gausstree_tiq(
+            self,
+            query,
+            tolerance=tolerance,
+            probability_tolerance=probability_tolerance,
+        )
+
+    # -- validation ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every Definition-4 invariant; raises AssertionError.
+
+        Checked: uniform leaf depth, fill bounds (root exempt), tight and
+        containing MBRs, parent pointers, cached subtree counts.
+        """
+        leaf_depths: set[int] = set()
+        self._check_node(self.root, depth=0, leaf_depths=leaf_depths)
+        assert len(leaf_depths) <= 1, f"leaves at depths {sorted(leaf_depths)}"
+
+    def _check_node(self, node: Node, depth: int, leaf_depths: set[int]) -> None:
+        is_root = node is self.root
+        if node.is_leaf:
+            leaf: LeafNode = node  # type: ignore[assignment]
+            leaf_depths.add(depth)
+            if not is_root:
+                assert leaf.count >= self.leaf_min, (
+                    f"leaf underfull: {leaf.count} < {self.leaf_min}"
+                )
+            assert leaf.count <= self.leaf_max, (
+                f"leaf overfull: {leaf.count} > {self.leaf_max}"
+            )
+            if leaf.entries:
+                tight = ParameterRect.of_vectors(leaf.entries)
+                assert leaf.rect == tight, "leaf MBR is not tight"
+            else:
+                assert leaf.rect is None and is_root, "empty non-root leaf"
+            return
+        inner: InnerNode = node  # type: ignore[assignment]
+        k = len(inner.children)
+        if is_root:
+            assert k >= 2, f"inner root with {k} children"
+        else:
+            assert k >= self.inner_min, f"inner underfull: {k} < {self.inner_min}"
+        assert k <= self.inner_max, f"inner overfull: {k} > {self.inner_max}"
+        tight = ParameterRect.of_rects(
+            [c.rect for c in inner.children if c.rect is not None]
+        )
+        assert inner.rect == tight, "inner MBR is not tight"
+        assert inner.count == sum(c.count for c in inner.children), (
+            "cached subtree count is stale"
+        )
+        for child in inner.children:
+            assert child.parent is inner, "broken parent pointer"
+            assert child.rect is not None and inner.rect.contains_rect(child.rect)
+            self._check_node(child, depth + 1, leaf_depths)
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussTree(d={self.dims}, M={self.degree}, n={len(self)}, "
+            f"height={self.height})"
+        )

@@ -1,0 +1,25 @@
+"""Simulated paged storage substrate (the paper's testbed stand-in).
+
+The paper measures page accesses, CPU time and overall time on a real 2006
+workstation with a 50 MB database cache. This package provides the
+simulation equivalents:
+
+``layout``     — byte-level page layout; derives node capacities / degree M.
+``buffer``     — LRU buffer manager with hit/fault accounting.
+``costmodel``  — random vs sequential disk read cost model.
+``pagestore``  — page allocation + per-query access logs.
+``serializer`` — byte encoding of leaf/inner pages (round-trip tested).
+"""
+
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.costmodel import DiskCostModel
+from repro.storage.layout import PageLayout
+from repro.storage.pagestore import PageStore
+
+__all__ = [
+    "BufferManager",
+    "BufferStats",
+    "DiskCostModel",
+    "PageLayout",
+    "PageStore",
+]

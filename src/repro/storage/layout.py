@@ -1,0 +1,104 @@
+"""Page layout: how many entries fit on a simulated disk page.
+
+The paper derives the Gauss-tree's degree ``M`` from the page size of the
+underlying storage (it is "a balanced tree from the R-tree family" meant to
+live inside an ORDBMS). We model that explicitly so that experiments with a
+page size and a buffer budget (the paper uses a 50 MB cache) are meaningful:
+
+* a **leaf entry** is one pfv: ``d`` means + ``d`` sigmas as float64 plus an
+  8-byte key slot;
+* an **inner entry** is a parameter-space MBR: ``4 d`` float64 bounds
+  (mu-low/high, sigma-low/high per dimension), a 4-byte child page id and a
+  4-byte subtree cardinality (needed by the sum approximation of
+  Section 5.2);
+* every page spends a fixed header (page id, node type, entry count).
+
+From these, :class:`PageLayout` computes the degree ``M`` of Definition 4:
+leaves hold between ``M`` and ``2 M`` pfv, inner nodes between ``ceil(M/2)``
+and ``M`` children.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["PageLayout", "PAGE_HEADER_BYTES", "KEY_BYTES"]
+
+#: Fixed per-page header: page id (4), node kind (1), entry count (4),
+#: level (2), padding to 16.
+PAGE_HEADER_BYTES = 16
+#: Bytes reserved for an object key / record pointer in a leaf entry.
+KEY_BYTES = 8
+#: Bytes of an inner entry's child pointer + stored subtree cardinality.
+CHILD_POINTER_BYTES = 8
+FLOAT_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class PageLayout:
+    """Derives node capacities from a page size and a dimensionality.
+
+    Parameters
+    ----------
+    dims:
+        Number of probabilistic features ``d``.
+    page_size:
+        Simulated page size in bytes (default 8192, a typical DBMS page).
+    """
+
+    dims: int
+    page_size: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.dims < 1:
+            raise ValueError(f"dims must be >= 1, got {self.dims}")
+        if self.page_size < 256:
+            raise ValueError(f"page_size too small: {self.page_size}")
+        if self.leaf_capacity < 2:
+            raise ValueError(
+                f"page size {self.page_size} cannot hold two {self.dims}-d "
+                "pfv entries; use a larger page"
+            )
+        if self.inner_capacity < 2:
+            raise ValueError(
+                f"page size {self.page_size} cannot hold two {self.dims}-d "
+                "inner entries; use a larger page"
+            )
+
+    @property
+    def leaf_entry_bytes(self) -> int:
+        """Bytes of one stored pfv (2 d floats + key)."""
+        return 2 * self.dims * FLOAT_BYTES + KEY_BYTES
+
+    @property
+    def inner_entry_bytes(self) -> int:
+        """Bytes of one inner entry (4 d bound floats + pointer/count)."""
+        return 4 * self.dims * FLOAT_BYTES + CHILD_POINTER_BYTES
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum pfv per leaf page — this is ``2 M`` of Definition 4."""
+        return (self.page_size - PAGE_HEADER_BYTES) // self.leaf_entry_bytes
+
+    @property
+    def inner_capacity(self) -> int:
+        """Maximum children per inner page — this is ``M`` of Definition 4."""
+        return (self.page_size - PAGE_HEADER_BYTES) // self.inner_entry_bytes
+
+    @property
+    def degree(self) -> int:
+        """The Gauss-tree degree ``M`` (leaves hold ``M..2M`` entries)."""
+        return max(1, self.leaf_capacity // 2)
+
+    def pages_for_sequential_file(self, n: int) -> int:
+        """Pages a flat file of ``n`` pfv occupies (the Seq.File competitor)."""
+        if n <= 0:
+            return 0
+        return math.ceil(n / self.leaf_capacity)
+
+    def __str__(self) -> str:
+        return (
+            f"PageLayout(d={self.dims}, page={self.page_size}B, "
+            f"leaf_cap={self.leaf_capacity}, inner_cap={self.inner_capacity})"
+        )

@@ -1,0 +1,77 @@
+"""Tests of the 95%-quantile rectangular approximation (Section 6)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.baselines.approx import (
+    DEFAULT_COVERAGE,
+    quantile_rect,
+    quantile_rects,
+    quantile_z,
+    rect_coverage_probability,
+)
+from repro.core.pfv import PFV
+
+
+class TestQuantileZ:
+    def test_familiar_value(self):
+        assert quantile_z(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_inverse_relation(self):
+        for cov in (0.5, 0.8, 0.95, 0.99):
+            z = quantile_z(cov)
+            assert rect_coverage_probability(z) == pytest.approx(cov, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantile_z(0.0)
+        with pytest.raises(ValueError):
+            quantile_z(1.0)
+
+
+class TestQuantileRect:
+    def test_interval_is_mu_pm_z_sigma(self):
+        v = PFV([1.0, 2.0], [0.5, 0.1])
+        r = quantile_rect(v)
+        z = quantile_z(DEFAULT_COVERAGE)
+        assert r.lo == pytest.approx([1.0 - z * 0.5, 2.0 - z * 0.1])
+        assert r.hi == pytest.approx([1.0 + z * 0.5, 2.0 + z * 0.1])
+
+    def test_per_dimension_coverage_is_95_percent(self):
+        # Monte-Carlo check that the paper's construction covers ~95% of
+        # re-observations per dimension.
+        rng = np.random.default_rng(0)
+        v = PFV([0.0], [0.7])
+        r = quantile_rect(v)
+        samples = rng.normal(0.0, 0.7, 20_000)
+        inside = np.mean((samples >= r.lo[0]) & (samples <= r.hi[0]))
+        assert inside == pytest.approx(0.95, abs=0.01)
+
+    def test_joint_coverage_shrinks_with_dimensionality(self):
+        # The reason the X-tree filter loses true answers in 27-d: the
+        # joint coverage of independent 95% intervals is 0.95^d.
+        d = 27
+        per_dim = 0.95
+        assert per_dim**d < 0.26
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        mu = rng.uniform(0, 1, (10, 4))
+        sigma = rng.uniform(0.05, 0.5, (10, 4))
+        lo, hi = quantile_rects(mu, sigma)
+        for i in range(10):
+            r = quantile_rect(PFV(mu[i], sigma[i]))
+            assert lo[i] == pytest.approx(r.lo)
+            assert hi[i] == pytest.approx(r.hi)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            quantile_rects(np.zeros((2, 3)), np.ones((3, 2)))
+
+    def test_custom_coverage(self):
+        v = PFV([0.0], [1.0])
+        wide = quantile_rect(v, coverage=0.99)
+        narrow = quantile_rect(v, coverage=0.5)
+        assert wide.hi[0] > narrow.hi[0]
+        assert narrow.hi[0] == pytest.approx(stats.norm.ppf(0.75), abs=1e-9)

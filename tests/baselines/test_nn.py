@@ -1,0 +1,70 @@
+"""Tests of the conventional (weighted) Euclidean NN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nn import (
+    euclidean_distances,
+    knn_euclidean,
+    knn_weighted_euclidean,
+)
+
+from tests.conftest import make_random_db
+
+
+class TestEuclidean:
+    def test_distances_match_numpy(self, small_db):
+        q = np.array([0.5, 0.5, 0.5])
+        dist = euclidean_distances(small_db, q)
+        want = np.linalg.norm(small_db.mu_matrix - q, axis=1)
+        assert dist == pytest.approx(want)
+
+    def test_knn_sorted_and_correct(self, small_db):
+        q = np.array([0.5, 0.5, 0.5])
+        result = knn_euclidean(small_db, q, 5)
+        dists = [d for _, d in result]
+        assert dists == sorted(dists)
+        brute = sorted(
+            zip(np.linalg.norm(small_db.mu_matrix - q, axis=1), small_db.keys())
+        )[:5]
+        assert [k for k, _ in result] == [k for _, k in brute]
+
+    def test_exact_match_first(self, small_db):
+        target = small_db[13]
+        result = knn_euclidean(small_db, target.mu, 1)
+        assert result[0][0] == target.key
+        assert result[0][1] == pytest.approx(0.0)
+
+    def test_k_validation(self, small_db):
+        with pytest.raises(ValueError):
+            knn_euclidean(small_db, np.zeros(3), 0)
+
+    def test_query_shape_validation(self, small_db):
+        with pytest.raises(ValueError):
+            euclidean_distances(small_db, np.zeros(4))
+
+
+class TestWeighted:
+    def test_uniform_weights_equal_plain(self, small_db):
+        q = np.array([0.3, 0.6, 0.9])
+        plain = knn_euclidean(small_db, q, 4)
+        weighted = knn_weighted_euclidean(small_db, q, np.ones(3), 4)
+        assert [k for k, _ in plain] == [k for k, _ in weighted]
+
+    def test_zero_weight_ignores_dimension(self):
+        db = make_random_db(n=30, d=2, seed=3)
+        q = np.array([0.5, 0.5])
+        w = np.array([1.0, 0.0])
+        result = knn_weighted_euclidean(db, q, w, 30)
+        # Distances must depend only on dimension 0.
+        for key, dist in result:
+            idx = db.keys().index(key)
+            assert dist == pytest.approx(abs(db.mu_matrix[idx, 0] - 0.5))
+
+    def test_weight_validation(self, small_db):
+        with pytest.raises(ValueError):
+            knn_weighted_euclidean(small_db, np.zeros(3), np.ones(2), 1)
+        with pytest.raises(ValueError):
+            knn_weighted_euclidean(small_db, np.zeros(3), -np.ones(3), 1)
+        with pytest.raises(ValueError):
+            knn_weighted_euclidean(small_db, np.zeros(3), np.ones(3), 0)

@@ -1,0 +1,77 @@
+"""Unit tests for feature-space rectangles."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rect import Rect
+
+
+def rect(lo, hi):
+    return Rect(np.atleast_1d(np.asarray(lo, float)), np.atleast_1d(np.asarray(hi, float)))
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rect([1.0], [0.0])
+        with pytest.raises(ValueError):
+            Rect(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_of_point(self):
+        r = Rect.of_point(np.array([1.0, 2.0]))
+        assert r.volume() == 0.0
+        assert r.contains_point(np.array([1.0, 2.0]))
+
+    def test_union_of(self):
+        u = Rect.union_of([rect(0, 1), rect(2, 3)])
+        assert u.lo[0] == 0.0 and u.hi[0] == 3.0
+        with pytest.raises(ValueError):
+            Rect.union_of([])
+
+    def test_center(self):
+        assert rect([0, 2], [2, 4]).center == pytest.approx([1.0, 3.0])
+
+    def test_copy_independent(self):
+        r = rect(0, 1)
+        c = r.copy()
+        c.extend(rect(5, 6))
+        assert r.hi[0] == 1.0
+
+
+class TestGeometry:
+    def test_intersects(self):
+        assert rect(0, 2).intersects(rect(1, 3))
+        assert rect(0, 1).intersects(rect(1, 2))  # touching counts
+        assert not rect(0, 1).intersects(rect(1.1, 2))
+
+    def test_contains(self):
+        assert rect(0, 3).contains_rect(rect(1, 2))
+        assert not rect(1, 2).contains_rect(rect(0, 3))
+        assert rect(0, 3).contains_point(np.array([1.5]))
+
+    def test_volume_margin(self):
+        r = rect([0, 0], [2, 3])
+        assert r.volume() == pytest.approx(6.0)
+        assert r.margin() == pytest.approx(5.0)
+
+    def test_overlap_volume(self):
+        a = rect([0, 0], [2, 2])
+        b = rect([1, 1], [3, 3])
+        assert a.overlap_volume(b) == pytest.approx(1.0)
+        assert a.overlap_volume(rect([5, 5], [6, 6])) == 0.0
+
+    def test_enlargement(self):
+        a = rect([0, 0], [1, 1])
+        assert a.enlargement(rect([0, 0], [1, 2])) == pytest.approx(1.0)
+        assert a.enlargement(rect([0.2, 0.2], [0.8, 0.8])) == 0.0
+
+    def test_min_dist_sq(self):
+        r = rect([0, 0], [1, 1])
+        assert r.min_dist_sq(np.array([0.5, 0.5])) == 0.0
+        assert r.min_dist_sq(np.array([2.0, 0.5])) == pytest.approx(1.0)
+        assert r.min_dist_sq(np.array([2.0, 2.0])) == pytest.approx(2.0)
+
+    def test_equality(self):
+        assert rect(0, 1) == rect(0, 1)
+        assert rect(0, 1) != rect(0, 2)
+        assert rect(0, 1).__eq__(3) is NotImplemented

@@ -1,0 +1,102 @@
+"""Structural and correctness tests of the from-scratch R*-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.rect import Rect
+from repro.baselines.rtree import RStarTree
+
+
+def random_rects(n, d, seed, extent=0.1):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 1, (n, d))
+    return [Rect(lo[i], lo[i] + rng.uniform(0, extent, d)) for i in range(n)]
+
+
+def build(rects, d, capacity=8, reinsert=0.3):
+    tree = RStarTree(dims=d, capacity=capacity, reinsert_fraction=reinsert)
+    for i, r in enumerate(rects):
+        tree.insert(r, i)
+    return tree
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [0, 5, 40, 300])
+    def test_invariants(self, n):
+        tree = build(random_rects(n, 3, seed=n), 3)
+        tree.check_invariants()
+        assert len(tree) == n
+
+    @given(
+        n=st.integers(1, 150),
+        d=st.integers(1, 4),
+        seed=st.integers(0, 500),
+        reinsert=st.sampled_from([0.0, 0.3]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_random(self, n, d, seed, reinsert):
+        tree = build(random_rects(n, d, seed), d, reinsert=reinsert)
+        tree.check_invariants()
+        assert len(tree) == n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RStarTree(dims=0)
+        with pytest.raises(ValueError):
+            RStarTree(dims=2, capacity=3)
+        with pytest.raises(ValueError):
+            RStarTree(dims=2, reinsert_fraction=0.6)
+        tree = RStarTree(dims=2)
+        with pytest.raises(ValueError):
+            tree.insert(Rect(np.zeros(3), np.ones(3)), 0)
+
+
+class TestRangeQuery:
+    @given(n=st.integers(1, 200), seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, n, seed):
+        rects = random_rects(n, 2, seed)
+        tree = build(rects, 2)
+        rng = np.random.default_rng(seed + 1)
+        lo = rng.uniform(0, 1, 2)
+        query = Rect(lo, lo + rng.uniform(0, 0.5, 2))
+        got = sorted(e.payload for e in tree.intersecting(query))
+        want = sorted(i for i, r in enumerate(rects) if r.intersects(query))
+        assert got == want
+
+    def test_counts_page_accesses(self):
+        rects = random_rects(100, 2, 9)
+        tree = build(rects, 2)
+        tree.store.begin_query()
+        tree.intersecting(Rect(np.zeros(2), np.ones(2)))
+        assert tree.store.log.pages_accessed >= 1
+
+    def test_empty_tree(self):
+        tree = RStarTree(dims=2)
+        assert tree.intersecting(Rect(np.zeros(2), np.ones(2))) == []
+
+
+class TestKnn:
+    @given(n=st.integers(1, 150), k=st.integers(1, 10), seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, n, k, seed):
+        rects = random_rects(n, 2, seed)
+        tree = build(rects, 2)
+        rng = np.random.default_rng(seed + 2)
+        point = rng.uniform(0, 1, 2)
+        got = tree.knn(point, k)
+        brute = sorted(
+            (np.sqrt(r.min_dist_sq(point)), i) for i, r in enumerate(rects)
+        )[:k]
+        assert len(got) == min(k, n)
+        got_dists = [d for d, _ in got]
+        want_dists = [d for d, _ in brute]
+        assert got_dists == pytest.approx(want_dists)
+
+    def test_zero_distance_inside(self):
+        rects = [Rect(np.zeros(2), np.ones(2))]
+        tree = build(rects, 2)
+        dist, entry = tree.knn(np.array([0.5, 0.5]), 1)[0]
+        assert dist == 0.0
+        assert entry.payload == 0

@@ -1,0 +1,88 @@
+"""Tests of the paged sequential-scan competitor."""
+
+import pytest
+
+from repro.baselines.seqscan import SequentialScanIndex
+from repro.core.database import PFVDatabase
+from repro.core.queries import MLIQuery, ThresholdQuery
+from repro.core.scan import scan_mliq, scan_tiq
+from repro.storage.buffer import BufferManager
+from repro.storage.pagestore import PageStore
+
+from tests.conftest import make_random_db, make_random_query
+
+
+@pytest.fixture
+def scan_index():
+    db = make_random_db(n=200, d=3, seed=1)
+    return db, SequentialScanIndex(db)
+
+
+class TestCorrectness:
+    def test_mliq_equals_in_memory_scan(self, scan_index):
+        db, idx = scan_index
+        q = make_random_query(d=3, seed=2)
+        got, _ = idx.mliq(MLIQuery(q, 7))
+        want = scan_mliq(db, MLIQuery(q, 7))
+        assert [m.key for m in got] == [m.key for m in want]
+        for a, b in zip(got, want):
+            assert a.probability == pytest.approx(b.probability)
+
+    def test_tiq_equals_in_memory_scan(self, scan_index):
+        db, idx = scan_index
+        q = make_random_query(d=3, seed=3)
+        got, _ = idx.tiq(ThresholdQuery(q, 0.05))
+        want = scan_tiq(db, ThresholdQuery(q, 0.05))
+        assert [m.key for m in got] == [m.key for m in want]
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialScanIndex(PFVDatabase())
+
+
+class TestAccounting:
+    def test_mliq_reads_file_once(self, scan_index):
+        db, idx = scan_index
+        q = make_random_query(d=3, seed=4)
+        _, stats = idx.mliq(MLIQuery(q, 1))
+        assert stats.pages_accessed == idx.file_pages
+        assert stats.objects_refined == len(db)
+
+    def test_tiq_reads_file_twice(self, scan_index):
+        db, idx = scan_index
+        q = make_random_query(d=3, seed=5)
+        _, stats = idx.tiq(ThresholdQuery(q, 0.5))
+        assert stats.pages_accessed == 2 * idx.file_pages
+        # Densities are computed once; the second pass only re-reads.
+        assert stats.objects_refined == len(db)
+
+    def test_sequential_io_cheaper_than_random(self, scan_index):
+        _, idx = scan_index
+        q = make_random_query(d=3, seed=6)
+        idx.store.cold_start()
+        idx.store.buffer.reset_stats()
+        _, stats = idx.mliq(MLIQuery(q, 1))
+        random_cost = idx.store.cost_model.random_read_seconds(
+            stats.page_faults
+        )
+        assert stats.io_seconds < random_cost
+
+    def test_warm_cache_second_query_free_io(self):
+        db = make_random_db(n=100, d=2, seed=7)
+        store = PageStore(buffer=BufferManager(10_000))
+        idx = SequentialScanIndex(db, page_store=store)
+        q = make_random_query(d=2, seed=8)
+        _, first = idx.mliq(MLIQuery(q, 1))
+        _, second = idx.mliq(MLIQuery(q, 1))
+        assert first.io_seconds > 0.0
+        assert second.io_seconds == 0.0
+        assert second.pages_accessed == first.pages_accessed
+
+    def test_modeled_cpu_populated(self, scan_index):
+        db, idx = scan_index
+        q = make_random_query(d=3, seed=9)
+        _, stats = idx.mliq(MLIQuery(q, 1))
+        expected = idx.store.cost_model.modeled_cpu_seconds(
+            len(db), idx.file_pages
+        )
+        assert stats.modeled_cpu_seconds == pytest.approx(expected)

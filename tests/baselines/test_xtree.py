@@ -1,0 +1,83 @@
+"""Tests of the X-tree's supernode mechanism and query correctness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rect import Rect
+from repro.baselines.xtree import XTree
+
+
+def random_rects(n, d, seed, extent=0.1):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 1, (n, d))
+    return [Rect(lo[i], lo[i] + rng.uniform(0, extent, d)) for i in range(n)]
+
+
+class TestSupernodes:
+    def test_zero_overlap_threshold_forces_supernodes(self):
+        # With max_overlap=0 any overlapping split is rejected, so heavily
+        # overlapping data must produce supernodes.
+        rng = np.random.default_rng(4)
+        tree = XTree(dims=4, capacity=8, max_overlap=0.0, reinsert_fraction=0.0)
+        for i in range(200):
+            lo = rng.uniform(0, 0.5, 4)
+            tree.insert(Rect(lo, lo + 0.5), i)
+        assert tree.supernode_count > 0
+        tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_generous_threshold_splits_normally(self):
+        tree = XTree(dims=2, capacity=8, max_overlap=1.0)
+        for i, r in enumerate(random_rects(200, 2, 5)):
+            tree.insert(r, i)
+        assert tree.supernode_count == 0
+        tree.check_invariants()
+
+    def test_supernode_costs_multiple_pages(self):
+        rng = np.random.default_rng(6)
+        tree = XTree(dims=3, capacity=8, max_overlap=0.0, reinsert_fraction=0.0)
+        for i in range(100):
+            lo = rng.uniform(0, 0.3, 3)
+            tree.insert(Rect(lo, lo + 0.7), i)
+        assert tree.supernode_count > 0
+        some_super = next(
+            n for n in tree.nodes() if tree.supernode_page_count(n) > 1
+        )
+        tree.store.begin_query()
+        tree.intersecting(Rect(np.zeros(3), np.ones(3)))
+        # Every entry matches, every node is visited; supernode extra
+        # pages must be charged.
+        total_pages = sum(tree.supernode_page_count(n) for n in tree.nodes())
+        assert tree.store.log.pages_accessed == total_pages
+        assert tree.supernode_page_count(some_super) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XTree(dims=2, max_overlap=1.5)
+        with pytest.raises(ValueError):
+            XTree(dims=2, min_fanout=0.0)
+
+
+class TestQueries:
+    def test_range_matches_brute_force(self):
+        rects = random_rects(300, 3, 7)
+        tree = XTree(dims=3, capacity=8, max_overlap=0.1)
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            lo = rng.uniform(0, 1, 3)
+            query = Rect(lo, lo + rng.uniform(0, 0.4, 3))
+            got = sorted(e.payload for e in tree.intersecting(query))
+            want = sorted(i for i, r in enumerate(rects) if r.intersects(query))
+            assert got == want
+
+    def test_knn_matches_brute_force(self):
+        rects = random_rects(150, 2, 9)
+        tree = XTree(dims=2, capacity=8, max_overlap=0.1)
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        point = np.array([0.4, 0.6])
+        got = [d for d, _ in tree.knn(point, 5)]
+        want = sorted(np.sqrt(r.min_dist_sq(point)) for r in rects)[:5]
+        assert got == pytest.approx(want)

@@ -1,0 +1,49 @@
+"""Shared fixtures: small seeded databases and query generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import PFVDatabase
+from repro.core.pfv import PFV
+
+
+def make_random_db(
+    n: int = 60,
+    d: int = 3,
+    seed: int = 0,
+    sigma_low: float = 0.05,
+    sigma_high: float = 0.4,
+) -> PFVDatabase:
+    """A small uniform pfv database with integer keys."""
+    rng = np.random.default_rng(seed)
+    vectors = [
+        PFV(
+            rng.uniform(0.0, 1.0, d),
+            rng.uniform(sigma_low, sigma_high, d),
+            key=i,
+        )
+        for i in range(n)
+    ]
+    return PFVDatabase(vectors)
+
+
+def make_random_query(d: int = 3, seed: int = 1) -> PFV:
+    rng = np.random.default_rng(seed)
+    return PFV(rng.uniform(0.0, 1.0, d), rng.uniform(0.05, 0.4, d))
+
+
+@pytest.fixture
+def small_db() -> PFVDatabase:
+    return make_random_db()
+
+
+@pytest.fixture
+def query_pfv() -> PFV:
+    return make_random_query()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

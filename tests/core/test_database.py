@@ -1,0 +1,64 @@
+"""Unit tests for the pfv database container."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import PFVDatabase
+from repro.core.joint import SigmaRule
+from repro.core.pfv import PFV
+
+
+class TestMutation:
+    def test_add_returns_row_ids(self):
+        db = PFVDatabase()
+        assert db.add(PFV([0.0], [1.0], key="a")) == 0
+        assert db.add(PFV([1.0], [1.0], key="b")) == 1
+        assert len(db) == 2
+
+    def test_dimension_enforced(self):
+        db = PFVDatabase([PFV([0.0, 0.0], [1.0, 1.0])])
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            db.add(PFV([0.0], [1.0]))
+
+    def test_extend(self):
+        db = PFVDatabase()
+        db.extend(PFV([float(i)], [1.0], key=i) for i in range(5))
+        assert len(db) == 5
+        assert db.keys() == list(range(5))
+
+    def test_matrices_track_mutation(self):
+        db = PFVDatabase([PFV([1.0], [0.5], key=0)])
+        assert db.mu_matrix.shape == (1, 1)
+        db.add(PFV([2.0], [0.25], key=1))
+        assert db.mu_matrix.shape == (2, 1)
+        assert db.sigma_matrix[1, 0] == 0.25
+
+
+class TestAccessors:
+    def test_matrices_match_vectors(self, small_db):
+        mu = small_db.mu_matrix
+        sigma = small_db.sigma_matrix
+        for i, v in enumerate(small_db):
+            assert np.array_equal(mu[i], v.mu)
+            assert np.array_equal(sigma[i], v.sigma)
+
+    def test_empty_database_errors(self):
+        db = PFVDatabase()
+        with pytest.raises(ValueError):
+            _ = db.dims
+        with pytest.raises(ValueError):
+            _ = db.mu_matrix
+        with pytest.raises(ValueError):
+            _ = db.sigma_matrix
+
+    def test_indexing_and_iteration(self, small_db):
+        assert small_db[0] is small_db.vectors[0]
+        assert list(small_db)[:3] == list(small_db.vectors[:3])
+
+    def test_sigma_rule_default_and_custom(self):
+        assert PFVDatabase().sigma_rule is SigmaRule.CONVOLUTION
+        db = PFVDatabase(sigma_rule=SigmaRule.PAPER)
+        assert db.sigma_rule is SigmaRule.PAPER
+
+    def test_repr(self, small_db):
+        assert "n=60" in repr(small_db)

@@ -1,0 +1,160 @@
+"""Tests of Lemma 1: the joint density of two probabilistic features.
+
+The central check integrates the product of two Gaussian pdfs numerically
+(scipy.quad) and compares it with the closed form — under the exact
+CONVOLUTION rule the two must agree to quadrature precision, which is the
+strongest validation of the lemma (and pins down the paper's sigma-vs-
+variance notational slip documented in DESIGN.md).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import integrate, stats
+
+from repro.core.joint import (
+    SigmaRule,
+    combine_sigma,
+    joint_density,
+    joint_density_1d,
+    log_joint_density,
+    log_joint_density_1d,
+    log_joint_density_batch,
+)
+from repro.core.pfv import PFV
+
+
+def overlap_integral(mu_v, sigma_v, mu_q, sigma_q):
+    """Numerical integral of N_{mu_v,sigma_v}(x) * N_{mu_q,sigma_q}(x).
+
+    The product of two Gaussian pdfs is itself proportional to a Gaussian
+    centred at the precision-weighted mean; integrating tightly around
+    that centre keeps the quadrature from missing a narrow spike.
+    """
+    f = lambda x: stats.norm.pdf(x, mu_v, sigma_v) * stats.norm.pdf(x, mu_q, sigma_q)
+    wv, wq = 1.0 / sigma_v**2, 1.0 / sigma_q**2
+    center = (wv * mu_v + wq * mu_q) / (wv + wq)
+    width = 1.0 / math.sqrt(wv + wq)
+    value, _ = integrate.quad(f, center - 30 * width, center + 30 * width, limit=200)
+    return value
+
+
+class TestLemma1:
+    @given(
+        mu_v=st.floats(-3, 3),
+        sigma_v=st.floats(0.05, 2.0),
+        mu_q=st.floats(-3, 3),
+        sigma_q=st.floats(0.05, 2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convolution_rule_matches_quadrature(
+        self, mu_v, sigma_v, mu_q, sigma_q
+    ):
+        closed = joint_density_1d(
+            mu_v, sigma_v, mu_q, sigma_q, SigmaRule.CONVOLUTION
+        )
+        numeric = overlap_integral(mu_v, sigma_v, mu_q, sigma_q)
+        assert closed == pytest.approx(numeric, rel=1e-6, abs=1e-12)
+
+    def test_paper_rule_differs_from_convolution(self):
+        # The literal sigma_v + sigma_q formula is NOT the overlap
+        # integral — documenting the notational slip.
+        paper = joint_density_1d(0.0, 0.5, 0.2, 0.5, SigmaRule.PAPER)
+        exact = joint_density_1d(0.0, 0.5, 0.2, 0.5, SigmaRule.CONVOLUTION)
+        assert paper != pytest.approx(exact, rel=1e-3)
+
+    def test_reduces_to_plain_density_when_query_exact(self):
+        # sigma_q -> 0: the joint density becomes N_{mu_v,sigma_v}(mu_q).
+        value = joint_density_1d(0.3, 0.4, 0.5, 1e-12, SigmaRule.CONVOLUTION)
+        assert value == pytest.approx(stats.norm.pdf(0.5, 0.3, 0.4), rel=1e-6)
+
+    @given(
+        mu_v=st.floats(-3, 3),
+        sigma_v=st.floats(0.05, 2.0),
+        mu_q=st.floats(-3, 3),
+        sigma_q=st.floats(0.05, 2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, mu_v, sigma_v, mu_q, sigma_q):
+        for rule in SigmaRule:
+            assert log_joint_density_1d(
+                mu_v, sigma_v, mu_q, sigma_q, rule
+            ) == pytest.approx(
+                log_joint_density_1d(mu_q, sigma_q, mu_v, sigma_v, rule)
+            )
+
+
+class TestCombineSigma:
+    def test_convolution(self):
+        assert combine_sigma(3.0, 4.0, SigmaRule.CONVOLUTION) == pytest.approx(5.0)
+
+    def test_paper(self):
+        assert combine_sigma(3.0, 4.0, SigmaRule.PAPER) == pytest.approx(7.0)
+
+    def test_elementwise(self):
+        out = combine_sigma(np.array([3.0, 1.0]), np.array([4.0, 1.0]))
+        assert out == pytest.approx([5.0, math.sqrt(2.0)])
+
+    @given(
+        s1=st.floats(0.01, 10),
+        s2=st.floats(0.01, 10),
+        delta=st.floats(0.001, 1.0),
+    )
+    def test_strictly_increasing_in_sigma_v(self, s1, s2, delta):
+        # The monotonicity every Gauss-tree interval bound relies on.
+        for rule in SigmaRule:
+            assert combine_sigma(s1 + delta, s2, rule) > combine_sigma(s1, s2, rule)
+
+
+class TestMultivariate:
+    def test_product_over_dimensions(self):
+        v = PFV([0.0, 1.0], [0.5, 0.3])
+        q = PFV([0.2, 0.9], [0.1, 0.4])
+        expected = sum(
+            log_joint_density_1d(v.mu[i], v.sigma[i], q.mu[i], q.sigma[i])
+            for i in range(2)
+        )
+        assert log_joint_density(v, q) == pytest.approx(expected)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            log_joint_density(PFV([0.0], [1.0]), PFV([0.0, 0.0], [1.0, 1.0]))
+
+    def test_linear_space_variant(self):
+        v = PFV([0.0], [0.5])
+        q = PFV([0.1], [0.5])
+        assert joint_density(v, q) == pytest.approx(
+            math.exp(log_joint_density(v, q))
+        )
+
+
+class TestBatch:
+    def test_matches_scalar_loop(self, rng):
+        n, d = 20, 4
+        mu = rng.uniform(0, 1, (n, d))
+        sigma = rng.uniform(0.05, 0.5, (n, d))
+        q = PFV(rng.uniform(0, 1, d), rng.uniform(0.05, 0.5, d))
+        batch = log_joint_density_batch(mu, sigma, q)
+        for i in range(n):
+            v = PFV(mu[i], sigma[i])
+            assert batch[i] == pytest.approx(log_joint_density(v, q))
+
+    def test_paper_rule_batch(self, rng):
+        mu = rng.uniform(0, 1, (5, 2))
+        sigma = rng.uniform(0.1, 0.5, (5, 2))
+        q = PFV([0.5, 0.5], [0.2, 0.2])
+        batch = log_joint_density_batch(mu, sigma, q, SigmaRule.PAPER)
+        for i in range(5):
+            v = PFV(mu[i], sigma[i])
+            assert batch[i] == pytest.approx(
+                log_joint_density(v, q, SigmaRule.PAPER)
+            )
+
+    def test_shape_validation(self):
+        q = PFV([0.0], [1.0])
+        with pytest.raises(ValueError):
+            log_joint_density_batch(np.zeros(3), np.ones(3), q)
+        with pytest.raises(ValueError):
+            log_joint_density_batch(np.zeros((3, 2)), np.ones((3, 2)), q)

@@ -1,0 +1,100 @@
+"""Tests of the dataset generators (data set 1 substitute and data set 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint import SigmaRule
+from repro.data.histograms import (
+    DS1_SIGMA_BANDS,
+    color_histogram_dataset,
+    color_histogram_matrix,
+)
+from repro.data.synthetic import (
+    DS2_SIGMA_BANDS,
+    clustered_pfv_dataset,
+    database_from_arrays,
+    uniform_pfv_dataset,
+)
+
+
+class TestHistogramMatrix:
+    def test_simplex_property(self):
+        h = color_histogram_matrix(n=500, d=27)
+        assert h.shape == (500, 27)
+        assert np.all(h >= 0.0)
+        assert h.sum(axis=1) == pytest.approx(np.ones(500))
+
+    def test_clustered_structure(self):
+        # Objects from the same prototype should be much closer than
+        # objects from different prototypes on average.
+        h = color_histogram_matrix(n=400, d=27, clusters=4, seed=3)
+        dists = np.linalg.norm(h[:100, None, :] - h[None, :100, :], axis=2)
+        near = np.partition(dists + np.eye(100) * 9, 1, axis=1)[:, 1]
+        assert near.mean() < dists.mean() / 2
+
+    def test_determinism(self):
+        a = color_histogram_matrix(n=50, seed=7)
+        b = color_histogram_matrix(n=50, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            color_histogram_matrix(n=0)
+        with pytest.raises(ValueError):
+            color_histogram_matrix(n=10, clusters=0)
+        with pytest.raises(ValueError):
+            color_histogram_matrix(n=10, concentration=0.0)
+
+
+class TestDatasets:
+    def test_ds1_shape_and_keys(self):
+        db = color_histogram_dataset(n=300)
+        assert len(db) == 300
+        assert db.dims == 27
+        assert db.keys() == list(range(300))
+
+    def test_ds1_sigma_bands_calibration(self):
+        db = color_histogram_dataset(n=500)
+        s = db.sigma_matrix
+        good_hi = DS1_SIGMA_BANDS["good"][1]
+        bad_lo = DS1_SIGMA_BANDS["bad"][0]
+        assert np.all((s <= good_hi) | (s >= bad_lo))
+
+    def test_ds1_band_override(self):
+        db = color_histogram_dataset(n=100, p_bad=0.0)
+        assert np.all(db.sigma_matrix <= DS1_SIGMA_BANDS["good"][1])
+
+    def test_ds2_defaults(self):
+        db = uniform_pfv_dataset(n=400)
+        assert db.dims == 10
+        assert np.all((db.mu_matrix >= 0.0) & (db.mu_matrix <= 1.0))
+        s = db.sigma_matrix
+        assert np.all(
+            (s <= DS2_SIGMA_BANDS["good"][1]) | (s >= DS2_SIGMA_BANDS["bad"][0])
+        )
+
+    def test_clustered_dataset(self):
+        db = clustered_pfv_dataset(n=300, d=4, clusters=3, seed=2)
+        assert len(db) == 300 and db.dims == 4
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered_pfv_dataset(n=10, clusters=0)
+
+    def test_sigma_rule_propagates(self):
+        db = uniform_pfv_dataset(n=50, sigma_rule=SigmaRule.PAPER)
+        assert db.sigma_rule is SigmaRule.PAPER
+
+
+class TestDatabaseFromArrays:
+    def test_keys_offset(self, rng):
+        mu = rng.uniform(0, 1, (5, 2))
+        sg = rng.uniform(0.1, 0.2, (5, 2))
+        db = database_from_arrays(mu, sg, key_offset=100)
+        assert db.keys() == [100, 101, 102, 103, 104]
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            database_from_arrays(np.zeros(5), np.ones(5))
+        with pytest.raises(ValueError):
+            database_from_arrays(np.zeros((5, 2)), np.ones((5, 3)))

@@ -1,0 +1,92 @@
+"""Tests of the sigma generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.uncertainty import (
+    lognormal_sigmas,
+    mixed_precision_sigmas,
+    per_object_quality_sigmas,
+    uniform_sigmas,
+)
+
+
+class TestUniform:
+    def test_range_and_shape(self, rng):
+        s = uniform_sigmas(rng, 50, 4, 0.1, 0.5)
+        assert s.shape == (50, 4)
+        assert np.all((s >= 0.1) & (s <= 0.5))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_sigmas(rng, 0, 4, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            uniform_sigmas(rng, 5, 4, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            uniform_sigmas(rng, 5, 4, 0.5, 0.1)
+
+
+class TestLognormal:
+    def test_positive_and_median(self, rng):
+        s = lognormal_sigmas(rng, 4000, 2, median=0.1, spread=0.5)
+        assert np.all(s > 0)
+        assert np.median(s) == pytest.approx(0.1, rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_sigmas(rng, 5, 2, median=0.0)
+        with pytest.raises(ValueError):
+            lognormal_sigmas(rng, 5, 2, median=0.1, spread=-1.0)
+
+
+class TestMixedPrecision:
+    def test_two_bands(self, rng):
+        s = mixed_precision_sigmas(
+            rng, 2000, 5, p_bad=0.25, good=(1e-3, 1e-2), bad=(0.1, 0.5)
+        )
+        good_cells = s <= 1e-2
+        bad_cells = s >= 0.1
+        assert np.all(good_cells | bad_cells)  # nothing between the bands
+        assert np.mean(bad_cells) == pytest.approx(0.25, abs=0.03)
+
+    def test_p_bad_extremes(self, rng):
+        all_good = mixed_precision_sigmas(rng, 100, 3, p_bad=0.0)
+        assert np.all(all_good <= 2e-3)
+        all_bad = mixed_precision_sigmas(rng, 100, 3, p_bad=1.0)
+        assert np.all(all_bad >= 0.02)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            mixed_precision_sigmas(rng, 10, 3, p_bad=1.5)
+        with pytest.raises(ValueError):
+            mixed_precision_sigmas(rng, 10, 3, good=(0.0, 1.0))
+
+
+class TestPerObjectQuality:
+    def test_quality_is_shared_within_object(self, rng):
+        s = per_object_quality_sigmas(
+            rng, 200, 6, low=0.1, high=0.1001, quality_spread=50.0
+        )
+        # base is ~constant, so within-object variation is tiny while
+        # between-object variation is huge.
+        within = np.std(s, axis=1).mean()
+        between = np.std(s.mean(axis=1))
+        assert between > 10 * within
+
+    def test_range(self, rng):
+        s = per_object_quality_sigmas(rng, 100, 3, 0.05, 0.1, quality_spread=3.0)
+        assert np.all(s >= 0.05)
+        assert np.all(s <= 0.1 * 3.0 + 1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            per_object_quality_sigmas(rng, 10, 3, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            per_object_quality_sigmas(rng, 10, 3, 0.05, 0.1, quality_spread=0.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = mixed_precision_sigmas(np.random.default_rng(5), 20, 3)
+        b = mixed_precision_sigmas(np.random.default_rng(5), 20, 3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,75 @@
+"""Tests of the ground-truthed identification workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import uniform_pfv_dataset
+from repro.data.workload import identification_workload
+
+from tests.conftest import make_random_db
+
+
+class TestProtocol:
+    def test_ground_truth_keys_exist(self, small_db):
+        wl = identification_workload(small_db, 20, seed=1)
+        keys = set(small_db.keys())
+        assert len(wl) == 20
+        for item in wl:
+            assert item.true_key in keys
+
+    def test_sampling_without_replacement(self, small_db):
+        wl = identification_workload(small_db, len(small_db), seed=2)
+        assert len({item.true_key for item in wl}) == len(small_db)
+
+    def test_observed_means_near_truth(self):
+        db = make_random_db(n=50, d=3, seed=3, sigma_low=0.01, sigma_high=0.02)
+        wl = identification_workload(db, 30, seed=4)
+        by_key = {v.key: v for v in db}
+        for item in wl:
+            v = by_key[item.true_key]
+            z = np.abs(item.q.mu - v.mu) / v.sigma
+            assert np.all(z < 6.0)  # re-observation noise uses the object's sigma
+
+    def test_noise_scale_zero_reproduces_means(self, small_db):
+        wl = identification_workload(
+            small_db, 10, seed=5, observation_noise_scale=0.0
+        )
+        by_key = {v.key: v for v in small_db}
+        for item in wl:
+            assert item.q.mu == pytest.approx(by_key[item.true_key].mu)
+
+    def test_default_query_sigmas_bootstrap_database_rows(self):
+        db = uniform_pfv_dataset(n=200)
+        wl = identification_workload(db, 25, seed=6)
+        rows = {tuple(np.round(r, 12)) for r in db.sigma_matrix}
+        for item in wl:
+            assert tuple(np.round(item.q.sigma, 12)) in rows
+
+    def test_custom_sigma_sampler(self, small_db):
+        wl = identification_workload(
+            small_db,
+            5,
+            seed=7,
+            sigma_sampler=lambda r, n, d: np.full((n, d), 0.123),
+        )
+        for item in wl:
+            assert item.q.sigma == pytest.approx([0.123] * small_db.dims)
+
+    def test_determinism(self, small_db):
+        a = identification_workload(small_db, 10, seed=8)
+        b = identification_workload(small_db, 10, seed=8)
+        for x, y in zip(a, b):
+            assert x.true_key == y.true_key
+            assert np.array_equal(x.q.mu, y.q.mu)
+
+    def test_validation(self, small_db):
+        with pytest.raises(ValueError):
+            identification_workload(small_db, 0)
+        with pytest.raises(ValueError):
+            identification_workload(small_db, len(small_db) + 1)
+        with pytest.raises(ValueError):
+            identification_workload(small_db, 5, observation_noise_scale=-1.0)
+        with pytest.raises(ValueError):
+            identification_workload(
+                small_db, 5, sigma_sampler=lambda r, n, d: np.zeros((n, d + 1))
+            )

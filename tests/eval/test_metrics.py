@@ -1,0 +1,45 @@
+"""Tests of precision/recall scoring."""
+
+import pytest
+
+from repro.eval.metrics import precision_recall
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        pr = precision_recall([[1], [2], [3]], [1, 2, 3])
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+        assert pr.hits == 3
+
+    def test_single_relevant_among_larger_results(self):
+        # One relevant object, result size 4: precision = recall / 4.
+        pr = precision_recall([[9, 1, 8, 7], [2, 5, 6, 4]], [1, 3])
+        assert pr.recall == pytest.approx(0.5)
+        assert pr.precision == pytest.approx(1 / 8)
+
+    def test_empty_result_sets(self):
+        pr = precision_recall([[], []], [1, 2])
+        assert pr.recall == 0.0
+        assert pr.precision == 0.0
+
+    def test_ragged_results(self):
+        pr = precision_recall([[1], [], [3, 4]], [1, 2, 3])
+        assert pr.hits == 2
+        assert pr.precision == pytest.approx(2 / 3)
+        assert pr.result_size == 2
+
+    def test_as_percent(self):
+        pr = precision_recall([[1]], [1])
+        assert pr.as_percent() == (100.0, 100.0)
+
+    def test_at_result_size_one_precision_equals_recall(self):
+        # The paper's statement for NN/MLIQ at the exact result size.
+        pr = precision_recall([[1], [9], [3]], [1, 2, 3])
+        assert pr.precision == pr.recall
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_recall([[1]], [1, 2])
+        with pytest.raises(ValueError):
+            precision_recall([], [])

@@ -1,0 +1,128 @@
+"""Unit tests for parameter-space rectangles (Definition 4's MBRs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pfv import PFV
+from repro.gausstree.bounds import ParameterRect
+
+
+def rect(mu_lo, mu_hi, sg_lo, sg_hi):
+    return ParameterRect(
+        np.atleast_1d(np.asarray(mu_lo, float)),
+        np.atleast_1d(np.asarray(mu_hi, float)),
+        np.atleast_1d(np.asarray(sg_lo, float)),
+        np.atleast_1d(np.asarray(sg_hi, float)),
+    )
+
+
+class TestConstruction:
+    def test_of_vector_is_point_box(self):
+        v = PFV([1.0, 2.0], [0.1, 0.2])
+        r = ParameterRect.of_vector(v)
+        assert np.array_equal(r.mu_lo, r.mu_hi)
+        assert np.array_equal(r.sigma_lo, r.sigma_hi)
+        assert r.contains_vector(v)
+
+    def test_of_vectors_tight(self):
+        vs = [PFV([0.0], [0.5]), PFV([2.0], [0.1]), PFV([1.0], [0.9])]
+        r = ParameterRect.of_vectors(vs)
+        assert r.mu_lo[0] == 0.0 and r.mu_hi[0] == 2.0
+        assert r.sigma_lo[0] == 0.1 and r.sigma_hi[0] == 0.9
+
+    def test_of_vectors_empty(self):
+        with pytest.raises(ValueError):
+            ParameterRect.of_vectors([])
+
+    def test_of_rects(self):
+        a = rect(0.0, 1.0, 0.1, 0.2)
+        b = rect(0.5, 2.0, 0.05, 0.15)
+        u = ParameterRect.of_rects([a, b])
+        assert u.mu_lo[0] == 0.0 and u.mu_hi[0] == 2.0
+        assert u.sigma_lo[0] == 0.05 and u.sigma_hi[0] == 0.2
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            rect(1.0, 0.0, 0.1, 0.2)
+        with pytest.raises(ValueError):
+            rect(0.0, 1.0, 0.3, 0.2)
+        with pytest.raises(ValueError):
+            rect(0.0, 1.0, 0.0, 0.2)  # sigma must stay positive
+
+    def test_flat_bounds_roundtrip(self):
+        r = rect([0.0, 1.0], [2.0, 3.0], [0.1, 0.2], [0.3, 0.4])
+        back = ParameterRect.from_flat_bounds(r.as_flat_bounds())
+        assert back == r
+
+    def test_from_flat_bounds_validation(self):
+        with pytest.raises(ValueError):
+            ParameterRect.from_flat_bounds(np.zeros(5))
+
+
+class TestGeometry:
+    def test_containment(self):
+        r = rect(0.0, 1.0, 0.1, 0.5)
+        assert r.contains_vector(PFV([0.5], [0.3]))
+        assert not r.contains_vector(PFV([1.5], [0.3]))
+        assert not r.contains_vector(PFV([0.5], [0.6]))
+
+    def test_contains_rect(self):
+        outer = rect(0.0, 2.0, 0.1, 0.9)
+        inner = rect(0.5, 1.5, 0.2, 0.8)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_extend_vector(self):
+        r = rect(0.0, 1.0, 0.2, 0.4)
+        r.extend_vector(PFV([2.0], [0.1]))
+        assert r.mu_hi[0] == 2.0 and r.sigma_lo[0] == 0.1
+
+    def test_union_vector_leaves_original(self):
+        r = rect(0.0, 1.0, 0.2, 0.4)
+        u = r.union_vector(PFV([-1.0], [0.3]))
+        assert r.mu_lo[0] == 0.0
+        assert u.mu_lo[0] == -1.0
+
+    def test_extend_rect(self):
+        r = rect(0.0, 1.0, 0.2, 0.4)
+        r.extend_rect(rect(2.0, 3.0, 0.5, 0.6))
+        assert r.mu_hi[0] == 3.0 and r.sigma_hi[0] == 0.6
+
+    def test_volume_and_margin(self):
+        r = rect([0.0, 0.0], [2.0, 1.0], [0.1, 0.1], [0.3, 0.6])
+        assert r.volume() == pytest.approx(2.0 * 1.0 * 0.2 * 0.5)
+        assert r.margin() == pytest.approx(2.0 + 1.0 + 0.2 + 0.5)
+
+    def test_point_box_degenerate(self):
+        r = ParameterRect.of_vector(PFV([1.0], [0.2]))
+        assert r.volume() == 0.0
+        assert r.margin() == 0.0
+
+    def test_enlargement_zero_when_contained(self):
+        r = rect(0.0, 1.0, 0.1, 0.5)
+        d_vol, d_margin = r.enlargement_for_vector(PFV([0.5], [0.3]))
+        assert d_vol == 0.0 and d_margin == 0.0
+
+    def test_enlargement_positive_outside(self):
+        r = rect(0.0, 1.0, 0.1, 0.5)
+        d_vol, d_margin = r.enlargement_for_vector(PFV([3.0], [0.3]))
+        assert d_vol > 0.0 and d_margin > 0.0
+
+    def test_enlargement_margin_for_degenerate_box(self):
+        # Volume stays 0 when extending a point box along one axis; the
+        # margin must still discriminate.
+        r = ParameterRect.of_vector(PFV([0.0], [0.2]))
+        d_vol, d_margin = r.enlargement_for_vector(PFV([1.0], [0.2]))
+        assert d_vol == 0.0
+        assert d_margin == pytest.approx(1.0)
+
+    def test_copy_independent(self):
+        r = rect(0.0, 1.0, 0.1, 0.5)
+        c = r.copy()
+        c.extend_vector(PFV([5.0], [0.3]))
+        assert r.mu_hi[0] == 1.0
+
+    def test_equality(self):
+        assert rect(0, 1, 0.1, 0.2) == rect(0, 1, 0.1, 0.2)
+        assert rect(0, 1, 0.1, 0.2) != rect(0, 2, 0.1, 0.2)
+        assert rect(0, 1, 0.1, 0.2).__eq__("x") is NotImplemented

@@ -1,0 +1,140 @@
+"""Tests of the hull integrals driving the split strategy (Section 5.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import integrate
+
+from repro.core.gaussian import SQRT_TWO_PI_E
+from repro.core.pfv import PFV
+from repro.gausstree.bounds import ParameterRect
+from repro.gausstree.hull import hull_upper
+from repro.gausstree.integral import (
+    CDF_POLY5,
+    hull_integral,
+    hull_integral_total,
+    log_split_quality,
+)
+
+
+@st.composite
+def boxes(draw):
+    mu_lo = draw(st.floats(-3, 3))
+    mu_hi = mu_lo + draw(st.floats(0, 3))
+    sigma_lo = draw(st.floats(0.05, 1.5))
+    sigma_hi = sigma_lo + draw(st.floats(0, 2.0))
+    return mu_lo, mu_hi, sigma_lo, sigma_hi
+
+
+class TestClosedForm:
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_total_matches_quadrature(self, box):
+        mu_lo, mu_hi, sigma_lo, sigma_hi = box
+        f = lambda x: float(hull_upper(x, mu_lo, mu_hi, sigma_lo, sigma_hi))
+        span = mu_hi - mu_lo + 12 * sigma_hi
+        numeric, _ = integrate.quad(
+            f, mu_lo - span, mu_hi + span, limit=300
+        )
+        closed = hull_integral_total(mu_lo, mu_hi, sigma_lo, sigma_hi)
+        assert closed == pytest.approx(numeric, rel=1e-5)
+
+    def test_point_box_integrates_to_one(self):
+        # A degenerate box is a single Gaussian: integral exactly 1.
+        assert hull_integral_total(0.5, 0.5, 0.3, 0.3) == pytest.approx(1.0)
+
+    def test_grows_with_mu_extent(self):
+        a = hull_integral_total(0.0, 0.5, 0.2, 0.4)
+        b = hull_integral_total(0.0, 1.5, 0.2, 0.4)
+        assert b > a
+
+    def test_grows_with_sigma_spread(self):
+        a = hull_integral_total(0.0, 0.5, 0.2, 0.2)
+        b = hull_integral_total(0.0, 0.5, 0.2, 2.0)
+        assert b > a
+
+    def test_mu_extent_expensive_when_sigma_small(self):
+        # The paper's split intuition: at small sigma_lo, mu width costs a
+        # lot; at large sigma_lo it costs little.
+        narrow = hull_integral_total(0.0, 1.0, 0.05, 0.05) - hull_integral_total(
+            0.0, 0.0, 0.05, 0.05
+        )
+        wide = hull_integral_total(0.0, 1.0, 1.0, 1.0) - hull_integral_total(
+            0.0, 0.0, 1.0, 1.0
+        )
+        assert narrow > 10 * wide
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            hull_integral_total(1.0, 0.0, 0.1, 0.2)
+        with pytest.raises(ValueError):
+            hull_integral_total(0.0, 1.0, 0.2, 0.1)
+        with pytest.raises(ValueError):
+            hull_integral_total(0.0, 1.0, 0.0, 0.1)
+
+
+class TestPartialIntegral:
+    @given(boxes(), st.floats(-8, 8), st.floats(0, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_quadrature_on_interval(self, box, a, width):
+        mu_lo, mu_hi, sigma_lo, sigma_hi = box
+        b = a + width
+        f = lambda x: float(hull_upper(x, mu_lo, mu_hi, sigma_lo, sigma_hi))
+        numeric, _ = integrate.quad(f, a, b, limit=300)
+        ours = hull_integral(a, b, mu_lo, mu_hi, sigma_lo, sigma_hi)
+        assert ours == pytest.approx(numeric, rel=1e-5, abs=1e-9)
+
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_piecewise_sums_to_closed_form(self, box):
+        mu_lo, mu_hi, sigma_lo, sigma_hi = box
+        span = mu_hi - mu_lo + 40 * sigma_hi
+        total = hull_integral(
+            mu_lo - span, mu_hi + span, mu_lo, mu_hi, sigma_lo, sigma_hi
+        )
+        closed = hull_integral_total(mu_lo, mu_hi, sigma_lo, sigma_hi)
+        # The window misses only far Gaussian tails.
+        assert total == pytest.approx(closed, rel=1e-6)
+
+    def test_case_ii_analytic_value(self):
+        # Integrating exactly over case (II) gives (ln s_hi - ln s_lo) /
+        # sqrt(2 pi e) — the formula derived in Section 5.3.
+        mu_lo, mu_hi, sigma_lo, sigma_hi = 0.0, 1.0, 0.2, 1.3
+        value = hull_integral(
+            mu_lo - sigma_hi, mu_lo - sigma_lo, mu_lo, mu_hi, sigma_lo, sigma_hi
+        )
+        expected = (math.log(sigma_hi) - math.log(sigma_lo)) / SQRT_TWO_PI_E
+        assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_empty_interval(self):
+        assert hull_integral(2.0, 2.0, 0.0, 1.0, 0.2, 0.5) == 0.0
+        assert hull_integral(3.0, 2.0, 0.0, 1.0, 0.2, 0.5) == 0.0
+
+    def test_poly5_cdf_close_to_exact(self):
+        args = (-5.0, 5.0, 0.0, 1.0, 0.2, 1.0)
+        exact = hull_integral(*args)
+        poly = hull_integral(*args, cdf=CDF_POLY5)
+        assert poly == pytest.approx(exact, abs=1e-6)
+
+
+class TestSplitQuality:
+    def test_log_of_product_of_per_dim_integrals(self, rng):
+        mu = rng.uniform(-1, 1, (6, 3))
+        sg = rng.uniform(0.1, 0.9, (6, 3))
+        rect = ParameterRect(mu.min(0), mu.max(0), sg.min(0), sg.max(0))
+        expected = sum(
+            math.log(
+                hull_integral_total(
+                    rect.mu_lo[i], rect.mu_hi[i], rect.sigma_lo[i], rect.sigma_hi[i]
+                )
+            )
+            for i in range(3)
+        )
+        assert log_split_quality(rect) == pytest.approx(expected)
+
+    def test_single_vector_rect_quality_zero(self):
+        rect = ParameterRect.of_vector(PFV([0.1, 0.2], [0.3, 0.4]))
+        # Point box: every per-dim integral is 1, so the log quality is 0.
+        assert log_split_quality(rect) == pytest.approx(0.0)

@@ -1,0 +1,137 @@
+"""Tests of the median split strategy (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pfv import PFV
+from repro.gausstree.bounds import ParameterRect
+from repro.gausstree.integral import log_split_quality
+from repro.gausstree.node import LeafNode
+from repro.gausstree.split import (
+    split_children,
+    split_entries,
+    volume_split_quality,
+)
+
+
+def entries_grid(rng, n, d=2):
+    return [
+        PFV(rng.uniform(0, 1, d), rng.uniform(0.05, 0.5, d), key=i)
+        for i in range(n)
+    ]
+
+
+class TestSplitEntries:
+    def test_partition_is_exact(self, rng):
+        entries = entries_grid(rng, 9)
+        left, right, _ = split_entries(entries, min_fill=4)
+        assert len(left) + len(right) == 9
+        assert {id(e) for e in left} | {id(e) for e in right} == {
+            id(e) for e in entries
+        }
+
+    def test_respects_min_fill(self, rng):
+        entries = entries_grid(rng, 9)
+        left, right, _ = split_entries(entries, min_fill=4)
+        assert len(left) >= 4 and len(right) >= 4
+
+    def test_too_few_items(self, rng):
+        with pytest.raises(ValueError, match="cannot split"):
+            split_entries(entries_grid(rng, 5), min_fill=4)
+
+    def test_separates_sigma_regimes(self):
+        # A node with two sharply different sigma populations at the same
+        # location must split in sigma (the paper's headline heuristic).
+        precise = [PFV([0.5], [0.01 + 0.001 * i], key=i) for i in range(5)]
+        vague = [PFV([0.5], [1.0 + 0.1 * i], key=10 + i) for i in range(5)]
+        left, right, _ = split_entries(precise + vague, min_fill=5)
+        left_keys = {e.key for e in left}
+        assert left_keys in ({0, 1, 2, 3, 4}, {10, 11, 12, 13, 14})
+
+    def test_separates_mu_when_sigma_uniformly_small(self):
+        # With uniformly tiny sigmas, the integral criterion must cut the
+        # long mu axis.
+        cluster_a = [PFV([0.0 + 0.01 * i], [0.01], key=i) for i in range(5)]
+        cluster_b = [PFV([5.0 + 0.01 * i], [0.01], key=10 + i) for i in range(5)]
+        left, right, _ = split_entries(cluster_a + cluster_b, min_fill=5)
+        left_mus = sorted(e.mu[0] for e in left)
+        right_mus = sorted(e.mu[0] for e in right)
+        assert max(left_mus) < min(right_mus) or max(right_mus) < min(left_mus)
+
+    def test_score_is_log_of_integral_sum(self, rng):
+        entries = entries_grid(rng, 8)
+        left, right, score = split_entries(entries, min_fill=4)
+        expected = np.logaddexp(
+            log_split_quality(ParameterRect.of_vectors(left)),
+            log_split_quality(ParameterRect.of_vectors(right)),
+        )
+        assert score == pytest.approx(float(expected))
+
+    def test_chooses_minimum_over_all_axes(self, rng):
+        # Exhaustively re-evaluate every axis median split and check the
+        # returned score is minimal.
+        entries = entries_grid(rng, 10, d=2)
+        _, _, score = split_entries(entries, min_fill=5)
+        d = 2
+        best = np.inf
+        for axis in range(2 * d):
+            key = (
+                (lambda e: e.mu[axis])
+                if axis < d
+                else (lambda e: e.sigma[axis - d])
+            )
+            ordered = sorted(entries, key=key)
+            l, r = ordered[:5], ordered[5:]
+            s = np.logaddexp(
+                log_split_quality(ParameterRect.of_vectors(l)),
+                log_split_quality(ParameterRect.of_vectors(r)),
+            )
+            best = min(best, float(s))
+        assert score == pytest.approx(best)
+
+
+class TestSplitChildren:
+    def make_leaf(self, rng, center, sigma_level, page_id):
+        leaf = LeafNode(page_id)
+        for k in range(3):
+            leaf.add(
+                PFV(
+                    center + rng.uniform(-0.05, 0.05, 2),
+                    np.full(2, sigma_level) * rng.uniform(0.9, 1.1),
+                    key=(page_id, k),
+                )
+            )
+        return leaf
+
+    def test_children_split_respects_min_fill(self, rng):
+        leaves = [
+            self.make_leaf(rng, rng.uniform(0, 1, 2), 0.1, i) for i in range(7)
+        ]
+        left, right, _ = split_children(leaves, min_fill=3)
+        assert len(left) + len(right) == 7
+        assert len(left) >= 3 and len(right) >= 3
+
+    def test_groups_by_sigma_level(self, rng):
+        precise = [self.make_leaf(rng, np.array([0.5, 0.5]), 0.01, i) for i in range(3)]
+        vague = [self.make_leaf(rng, np.array([0.5, 0.5]), 2.0, 10 + i) for i in range(3)]
+        left, right, _ = split_children(precise + vague, min_fill=3)
+        left_ids = {n.page_id for n in left}
+        assert left_ids in ({0, 1, 2}, {10, 11, 12})
+
+
+class TestVolumeQuality:
+    def test_orders_by_volume(self, rng):
+        small = ParameterRect(
+            np.array([0.0]), np.array([0.1]), np.array([0.1]), np.array([0.2])
+        )
+        big = ParameterRect(
+            np.array([0.0]), np.array([5.0]), np.array([0.1]), np.array([2.0])
+        )
+        assert volume_split_quality(small) < volume_split_quality(big)
+
+    def test_degenerate_boxes_still_ordered(self):
+        point = ParameterRect.of_vector(PFV([0.0], [0.1]))
+        line = ParameterRect(
+            np.array([0.0]), np.array([1.0]), np.array([0.1]), np.array([0.1])
+        )
+        assert volume_split_quality(point) < volume_split_quality(line)

@@ -1,0 +1,50 @@
+"""Unit tests for the page layout / degree derivation."""
+
+import pytest
+
+from repro.storage.layout import PAGE_HEADER_BYTES, PageLayout
+
+
+class TestCapacities:
+    def test_leaf_entry_bytes(self):
+        # 2 d float64 + 8-byte key.
+        assert PageLayout(dims=10).leaf_entry_bytes == 10 * 16 + 8
+
+    def test_inner_entry_bytes(self):
+        # 4 d float64 bounds + pointer/cardinality.
+        assert PageLayout(dims=10).inner_entry_bytes == 10 * 32 + 8
+
+    def test_leaf_capacity_from_page_size(self):
+        layout = PageLayout(dims=10, page_size=8192)
+        expected = (8192 - PAGE_HEADER_BYTES) // (10 * 16 + 8)
+        assert layout.leaf_capacity == expected
+
+    def test_degree_is_half_leaf_capacity(self):
+        layout = PageLayout(dims=27)
+        assert layout.degree == layout.leaf_capacity // 2
+
+    def test_paper_dimensionalities_fit(self):
+        # Both datasets of the paper must produce usable trees.
+        for d in (10, 27):
+            layout = PageLayout(dims=d)
+            assert layout.leaf_capacity >= 4
+            assert layout.inner_capacity >= 4
+
+    def test_page_too_small(self):
+        with pytest.raises(ValueError):
+            PageLayout(dims=64, page_size=256)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            PageLayout(dims=0)
+
+    def test_sequential_file_pages(self):
+        layout = PageLayout(dims=10)
+        per_page = layout.leaf_capacity
+        assert layout.pages_for_sequential_file(0) == 0
+        assert layout.pages_for_sequential_file(1) == 1
+        assert layout.pages_for_sequential_file(per_page) == 1
+        assert layout.pages_for_sequential_file(per_page + 1) == 2
+
+    def test_str(self):
+        assert "PageLayout" in str(PageLayout(dims=3))

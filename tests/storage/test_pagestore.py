@@ -1,0 +1,101 @@
+"""Unit tests for the page store and its access accounting."""
+
+import pytest
+
+from repro.storage.buffer import BufferManager
+from repro.storage.costmodel import DiskCostModel
+from repro.storage.pagestore import PageStore
+
+
+class TestAllocation:
+    def test_allocate_unique_ids(self):
+        store = PageStore()
+        ids = {store.allocate() for _ in range(100)}
+        assert len(ids) == 100
+        assert store.allocated_pages == 100
+
+    def test_free(self):
+        store = PageStore()
+        pid = store.allocate()
+        store.free(pid)
+        assert store.allocated_pages == 0
+        with pytest.raises(KeyError):
+            store.read(pid)
+
+    def test_read_unallocated(self):
+        with pytest.raises(KeyError):
+            PageStore().read(42)
+
+
+class TestAccounting:
+    def make_store(self, capacity=4):
+        return PageStore(
+            buffer=BufferManager(capacity), cost_model=DiskCostModel()
+        )
+
+    def test_read_counts_access_and_fault(self):
+        store = self.make_store()
+        pid = store.allocate()
+        store.read(pid)
+        assert store.log.pages_accessed == 1
+        assert store.log.page_faults == 1
+        store.read(pid)  # buffered now
+        assert store.log.pages_accessed == 2
+        assert store.log.page_faults == 1
+
+    def test_fault_costs_random_io(self):
+        store = self.make_store()
+        pid = store.allocate()
+        store.read(pid)
+        assert store.log.io_seconds == pytest.approx(
+            store.cost_model.random_read_seconds(1)
+        )
+        store.read(pid)
+        assert store.log.io_seconds == pytest.approx(
+            store.cost_model.random_read_seconds(1)
+        )  # hits are free
+
+    def test_sequential_run_accounting(self):
+        store = self.make_store(capacity=100)
+        pages = [store.allocate() for _ in range(10)]
+        store.read_sequential_run(pages)
+        assert store.log.pages_accessed == 10
+        assert store.log.page_faults == 10
+        assert store.log.io_seconds == pytest.approx(
+            store.cost_model.sequential_read_seconds(10)
+        )
+        # Second run is fully buffered: accesses count, no new IO.
+        store.read_sequential_run(pages)
+        assert store.log.pages_accessed == 20
+        assert store.log.page_faults == 10
+
+    def test_sequential_run_partial_residency(self):
+        store = self.make_store(capacity=100)
+        pages = [store.allocate() for _ in range(6)]
+        store.read(pages[0])
+        before = store.log.io_seconds
+        store.read_sequential_run(pages)
+        # Only the five non-resident pages transfer.
+        assert store.log.io_seconds - before == pytest.approx(
+            store.cost_model.sequential_read_seconds(5)
+        )
+
+    def test_begin_query_resets_log(self):
+        store = self.make_store()
+        pid = store.allocate()
+        store.read(pid)
+        store.begin_query()
+        assert store.log.pages_accessed == 0
+        assert store.log.io_seconds == 0.0
+
+    def test_cold_start_forces_faults_again(self):
+        store = self.make_store()
+        pid = store.allocate()
+        store.read(pid)
+        store.cold_start()
+        store.begin_query()
+        store.read(pid)
+        assert store.log.page_faults == 1
+
+    def test_repr(self):
+        assert "PageStore" in repr(self.make_store())

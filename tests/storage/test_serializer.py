@@ -1,0 +1,122 @@
+"""Round-trip tests of the byte-level page encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.pfv import PFV
+from repro.storage.layout import PageLayout
+from repro.storage.serializer import (
+    INNER_KIND,
+    LEAF_KIND,
+    decode_inner_page,
+    decode_leaf_page,
+    encode_inner_page,
+    encode_leaf_page,
+)
+
+
+@pytest.fixture
+def layout():
+    return PageLayout(dims=3, page_size=2048)
+
+
+def make_vectors(layout, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        PFV(rng.uniform(0, 1, layout.dims), rng.uniform(0.01, 1, layout.dims), key=i)
+        for i in range(n)
+    ]
+
+
+class TestLeafPages:
+    def test_roundtrip(self, layout):
+        vectors = make_vectors(layout, 5)
+        page = encode_leaf_page(layout, 17, vectors, list(range(5)))
+        assert len(page) == layout.page_size
+        header, decoded, keys = decode_leaf_page(layout, page)
+        assert header.page_id == 17
+        assert header.kind == LEAF_KIND
+        assert header.count == 5
+        assert keys == list(range(5))
+        for original, back in zip(vectors, decoded):
+            assert np.allclose(original.mu, back.mu)
+            assert np.allclose(original.sigma, back.sigma)
+
+    def test_empty_page(self, layout):
+        page = encode_leaf_page(layout, 3, [], [])
+        header, decoded, keys = decode_leaf_page(layout, page)
+        assert header.count == 0 and decoded == [] and keys == []
+
+    def test_capacity_enforced(self, layout):
+        too_many = make_vectors(layout, layout.leaf_capacity + 1)
+        with pytest.raises(ValueError, match="exceed leaf capacity"):
+            encode_leaf_page(
+                layout, 0, too_many, list(range(len(too_many)))
+            )
+
+    def test_key_count_mismatch(self, layout):
+        vectors = make_vectors(layout, 2)
+        with pytest.raises(ValueError, match="one integer key"):
+            encode_leaf_page(layout, 0, vectors, [1])
+
+    def test_dimension_mismatch(self, layout):
+        with pytest.raises(ValueError):
+            encode_leaf_page(layout, 0, [PFV([0.0], [1.0])], [0])
+
+    def test_negative_keys_roundtrip(self, layout):
+        vectors = make_vectors(layout, 1)
+        page = encode_leaf_page(layout, 0, vectors, [-12345])
+        _, _, keys = decode_leaf_page(layout, page)
+        assert keys == [-12345]
+
+    def test_decode_wrong_size(self, layout):
+        with pytest.raises(ValueError):
+            decode_leaf_page(layout, b"\x00" * 10)
+
+    def test_decode_wrong_kind(self, layout):
+        page = encode_inner_page(layout, 0, 1, [], [], [])
+        with pytest.raises(ValueError, match="not a leaf"):
+            decode_leaf_page(layout, page)
+
+
+class TestInnerPages:
+    def test_roundtrip(self, layout):
+        rng = np.random.default_rng(1)
+        bounds = [rng.uniform(0, 1, 4 * layout.dims) for _ in range(4)]
+        children = [10, 11, 12, 13]
+        cards = [5, 9, 2, 7]
+        page = encode_inner_page(layout, 99, 2, bounds, children, cards)
+        header, b2, c2, n2 = decode_inner_page(layout, page)
+        assert header.kind == INNER_KIND
+        assert header.level == 2
+        assert c2 == children and n2 == cards
+        for a, b in zip(bounds, b2):
+            assert np.allclose(a, b)
+
+    def test_alignment_validation(self, layout):
+        with pytest.raises(ValueError, match="align"):
+            encode_inner_page(layout, 0, 1, [np.zeros(4 * layout.dims)], [1], [])
+
+    def test_bounds_length_validation(self, layout):
+        with pytest.raises(ValueError, match="4\\*d"):
+            encode_inner_page(layout, 0, 1, [np.zeros(7)], [1], [1])
+
+    def test_capacity_enforced(self, layout):
+        n = layout.inner_capacity + 1
+        bounds = [np.zeros(4 * layout.dims)] * n
+        with pytest.raises(ValueError, match="exceed inner capacity"):
+            encode_inner_page(layout, 0, 1, bounds, list(range(n)), [1] * n)
+
+    def test_decode_wrong_kind(self, layout):
+        page = encode_leaf_page(layout, 0, [], [])
+        with pytest.raises(ValueError, match="not an inner"):
+            decode_inner_page(layout, page)
+
+
+class TestHeaderEquality:
+    def test_header_eq(self, layout):
+        p1 = encode_leaf_page(layout, 5, [], [])
+        h1, _, _ = decode_leaf_page(layout, p1)
+        h2, _, _ = decode_leaf_page(layout, p1)
+        assert h1 == h2
+        assert "leaf" in repr(h1)
