@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Persistence + batch query benchmark (standalone script).
+
+Builds a Gauss-tree, saves it to a real index file, reopens it cold and
+compares three ways of answering the same 100-query MLIQ workload:
+
+* ``fresh_open_per_query`` — worst case: every query re-opens the index
+  (a new process per query); nodes re-materialize from page bytes.
+* ``per_query_loop``       — one open, naive loop over ``tree.mliq``.
+* ``batch``                — one open, ``tree.mliq_many`` (buffer-warm
+  traversal + cross-query vectorized refinement).
+
+The sequential-scan baseline gets the same treatment (loop vs the
+single-pass ``mliq_many``). Numbers are written to ``BENCH_persistence.json``
+next to the repository root so CI and reviewers can diff them.
+
+Run:  PYTHONPATH=src python benchmarks/bench_persistence.py
+      (REPRO_BENCH_N / REPRO_BENCH_QUERIES shrink or grow the workload)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.baselines.seqscan import SequentialScanIndex  # noqa: E402
+from repro.core.queries import MLIQuery  # noqa: E402
+from repro.data.synthetic import uniform_pfv_dataset  # noqa: E402
+from repro.data.workload import identification_workload  # noqa: E402
+from repro.gausstree.bulkload import bulk_load  # noqa: E402
+from repro.gausstree.tree import GaussTree  # noqa: E402
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def run(n: int, d: int, n_queries: int, k: int, seed: int) -> dict:
+    db = uniform_pfv_dataset(n=n, d=d, seed=seed)
+    workload = identification_workload(db, n_queries, seed=seed + 1)
+    queries = [MLIQuery(w.q, k) for w in workload]
+
+    tree, build_s = _timed(lambda: bulk_load(db.vectors, sigma_rule=db.sigma_rule))
+    tmp_dir = tempfile.mkdtemp()
+    index_path = os.path.join(tmp_dir, "bench.gauss")
+    _, save_s = _timed(lambda: tree.save(index_path))
+    file_bytes = os.path.getsize(index_path)
+
+    # Worst case: a fresh process per query (open + single query).
+    def fresh_open_per_query():
+        answers = []
+        for query in queries:
+            t = GaussTree.open(index_path)
+            answers.append(t.mliq(query)[0])
+            t.close()
+        return answers
+
+    fresh_answers, fresh_s = _timed(fresh_open_per_query)
+
+    # One cold open shared by both single-query loop and batch.
+    disk_tree, open_s = _timed(lambda: GaussTree.open(index_path))
+    loop_answers, loop_s = _timed(
+        lambda: [disk_tree.mliq(query)[0] for query in queries]
+    )
+    disk_tree.store.cold_start()
+    (batch_answers, batch_stats), batch_s = _timed(
+        lambda: disk_tree.mliq_many(queries)
+    )
+    for a, b, c in zip(fresh_answers, loop_answers, batch_answers):
+        assert [m.key for m in a] == [m.key for m in b] == [m.key for m in c]
+    disk_tree.close()
+
+    scan = SequentialScanIndex(db)
+    scan_loop, scan_loop_s = _timed(
+        lambda: [scan.mliq(query)[0] for query in queries]
+    )
+    (scan_batch, _), scan_batch_s = _timed(lambda: scan.mliq_many(queries))
+    for a, b in zip(scan_loop, scan_batch):
+        assert [m.key for m in a] == [m.key for m in b]
+
+    shutil.rmtree(tmp_dir)
+    return {
+        "workload": {
+            "n_objects": n,
+            "dims": d,
+            "n_queries": n_queries,
+            "k": k,
+            "seed": seed,
+        },
+        "index": {
+            "build_seconds": round(build_s, 4),
+            "save_seconds": round(save_s, 4),
+            "open_seconds": round(open_s, 4),
+            "file_bytes": file_bytes,
+        },
+        "gausstree": {
+            "fresh_open_per_query_seconds": round(fresh_s, 4),
+            "per_query_loop_seconds": round(loop_s, 4),
+            "batch_seconds": round(batch_s, 4),
+            "batch_speedup_vs_loop": round(loop_s / batch_s, 3),
+            "batch_speedup_vs_fresh_open": round(fresh_s / batch_s, 3),
+            "batch_pages_accessed": batch_stats.pages_accessed,
+            "batch_page_faults": batch_stats.page_faults,
+        },
+        "seqscan": {
+            "per_query_loop_seconds": round(scan_loop_s, 4),
+            "batch_seconds": round(scan_batch_s, 4),
+            "batch_speedup_vs_loop": round(scan_loop_s / scan_batch_s, 3),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n", type=int, default=int(os.environ.get("REPRO_BENCH_N", 5000))
+    )
+    parser.add_argument("--d", type=int, default=10)
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_QUERIES", 100)),
+    )
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_persistence.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+    result = run(args.n, args.d, args.queries, args.k, args.seed)
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(json.dumps(result, indent=2))
+    gt = result["gausstree"]
+    if gt["batch_seconds"] >= gt["per_query_loop_seconds"]:
+        print("WARNING: batch API did not beat the per-query loop", file=sys.stderr)
+        return 1
+    print(
+        f"\nbatch mliq_many: {gt['batch_speedup_vs_loop']}x vs loop, "
+        f"{gt['batch_speedup_vs_fresh_open']}x vs fresh-open-per-query "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

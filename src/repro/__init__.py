@@ -12,7 +12,9 @@ Model (Sections 3-4):
 
 Index (Section 5):
     :class:`repro.gausstree.GaussTree` with ``insert`` / ``delete`` /
-    ``mliq`` / ``tiq`` and :func:`repro.gausstree.bulk_load`.
+    ``mliq`` / ``tiq``, the batch APIs ``mliq_many`` / ``tiq_many``,
+    disk persistence via ``save`` / ``open`` (single-file index, lazy
+    page-decoded nodes) and :func:`repro.gausstree.bulk_load`.
 
 Baselines (Section 6):
     :class:`repro.baselines.XTreePFVIndex`,
@@ -41,7 +43,7 @@ from repro.core import (
 )
 from repro.gausstree import GaussTree, bulk_load
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PFV",

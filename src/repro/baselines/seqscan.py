@@ -12,12 +12,13 @@ harder to beat on *overall* time than on page counts.
 from __future__ import annotations
 
 import time
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.bayes import posteriors_from_log_densities
 from repro.core.database import PFVDatabase
-from repro.core.joint import log_joint_density_batch
+from repro.core.joint import log_joint_density_batch, log_joint_density_multi
 from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
 from repro.storage.layout import PageLayout
 from repro.storage.pagestore import PageStore
@@ -86,6 +87,71 @@ class SequentialScanIndex:
         ]
         # Densities are computed once (pass 1); pass 2 only re-reads pages.
         return matches, self._stats(len(self.db), started)
+
+    # -- batch entry points --------------------------------------------------
+
+    def _scan_once_multi(self, queries: Sequence) -> np.ndarray:
+        """One sequential pass shared by a whole batch: every page is read
+        once, densities for all m queries come from one ``(m, n)`` kernel."""
+        self.store.read_sequential_run(self._pages)
+        q_mu = np.vstack([q.mu for q in queries])
+        q_sigma = np.vstack([q.sigma for q in queries])
+        return log_joint_density_multi(
+            self.db.mu_matrix, self.db.sigma_matrix, q_mu, q_sigma,
+            self.db.sigma_rule,
+        )
+
+    def mliq_many(
+        self, queries: Iterable[MLIQuery]
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Exact k-MLIQs for a batch in a *single* sequential pass.
+
+        The flat file is scanned once for the whole batch (the per-query
+        answer only needs that query's density row), so page accesses are
+        those of one scan, not of ``m`` scans. Returns ``(per-query match
+        lists, aggregate stats)`` like the Gauss-tree batch API.
+        """
+        queries = list(queries)
+        if not queries:
+            return [], QueryStats()
+        self.store.begin_query()
+        started = time.perf_counter()
+        log_dens = self._scan_once_multi([query.q for query in queries])
+        results: list[list[Match]] = []
+        for row, query in zip(log_dens, queries):
+            post = posteriors_from_log_densities(row)
+            order = np.lexsort((np.arange(row.size), -row))[: query.k]
+            results.append(
+                [
+                    Match(self.db[int(i)], float(row[int(i)]), float(post[int(i)]))
+                    for i in order
+                ]
+            )
+        return results, self._stats(len(self.db) * len(queries), started)
+
+    def tiq_many(
+        self, queries: Iterable[ThresholdQuery]
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Exact TIQs for a batch: one density pass plus one report pass."""
+        queries = list(queries)
+        if not queries:
+            return [], QueryStats()
+        self.store.begin_query()
+        started = time.perf_counter()
+        log_dens = self._scan_once_multi([query.q for query in queries])
+        self.store.read_sequential_run(self._pages)  # report pass
+        results: list[list[Match]] = []
+        for row, query in zip(log_dens, queries):
+            post = posteriors_from_log_densities(row)
+            order = np.lexsort((np.arange(row.size), -row))
+            results.append(
+                [
+                    Match(self.db[int(i)], float(row[int(i)]), float(post[int(i)]))
+                    for i in order
+                    if post[int(i)] >= query.p_theta
+                ]
+            )
+        return results, self._stats(len(self.db) * len(queries), started)
 
     def _stats(self, refined: int, started: float) -> QueryStats:
         return QueryStats(

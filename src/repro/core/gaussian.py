@@ -134,15 +134,19 @@ def logsumexp(values: np.ndarray) -> float:
 
     ``-inf`` entries (densities that underflow even in log space, e.g. a
     zero-probability bound) are handled; an all ``-inf`` input returns
-    ``-inf``.
+    ``-inf``. A ``+inf`` entry dominates every sum and propagates as
+    ``+inf`` (the shifted form ``m + log(sum(exp(values - m)))`` would
+    evaluate ``inf - inf`` and poison the result with NaN); a NaN entry
+    propagates as NaN.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
         return -math.inf
-    m = float(np.max(values))
-    if not math.isfinite(m):
-        # Either all -inf (empty sum -> -inf) or contains +inf / nan, which
-        # numpy propagates naturally below.
-        if m == -math.inf:
-            return -math.inf
+    m = float(np.max(values))  # np.max propagates NaN
+    if math.isnan(m):
+        return math.nan
+    if m == math.inf:
+        return math.inf
+    if m == -math.inf:
+        return -math.inf
     return m + math.log(float(np.sum(np.exp(values - m))))

@@ -37,6 +37,7 @@ __all__ = [
     "log_joint_density",
     "joint_density",
     "log_joint_density_batch",
+    "log_joint_density_multi",
 ]
 
 
@@ -144,3 +145,79 @@ def log_joint_density_batch(
     return np.sum(
         gaussian.log_pdf_array(q.mu[np.newaxis, :], mu, sigma_c), axis=1
     )
+
+
+def log_joint_density_multi(
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    q_mu: np.ndarray,
+    q_sigma: np.ndarray,
+    rule: SigmaRule = SigmaRule.CONVOLUTION,
+) -> np.ndarray:
+    """``log p(q_i | v_j)`` for a *batch of queries* over a stack of pfv.
+
+    Parameters
+    ----------
+    mu, sigma:
+        ``(n, d)`` arrays holding the database observations.
+    q_mu, q_sigma:
+        ``(m, d)`` arrays holding the query pfv.
+
+    Returns
+    -------
+    ``(m, n)`` array of log joint densities — row ``i`` is what
+    :func:`log_joint_density_batch` returns for query ``i``. One numpy
+    evaluation replaces ``m`` separate batch calls, which is the kernel
+    behind the batch query APIs: when many concurrent queries refine the
+    same leaf, the per-call dispatch overhead is paid once.
+    """
+    mu = np.asarray(mu, dtype=np.float64)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    q_mu = np.asarray(q_mu, dtype=np.float64)
+    q_sigma = np.asarray(q_sigma, dtype=np.float64)
+    if mu.ndim != 2 or mu.shape != sigma.shape:
+        raise ValueError(
+            f"mu and sigma must both have shape (n, d); got {mu.shape} and "
+            f"{sigma.shape}"
+        )
+    if q_mu.ndim != 2 or q_mu.shape != q_sigma.shape:
+        raise ValueError(
+            f"q_mu and q_sigma must both have shape (m, d); got "
+            f"{q_mu.shape} and {q_sigma.shape}"
+        )
+    if mu.shape[1] != q_mu.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: batch has d={mu.shape[1]}, queries have "
+            f"d={q_mu.shape[1]}"
+        )
+    n, d = mu.shape
+    m = q_mu.shape[0]
+    # The broadcast temporaries are (chunk, n, d); keeping them around the
+    # L2 cache size beats both one giant (m, n, d) broadcast (memory
+    # streaming) and a per-query loop (dispatch overhead) — measured on
+    # the 5000 x 10 scan workload. Small inputs (a leaf, a handful of
+    # queries) take the single-chunk fast path.
+    chunk = max(1, int(250_000 // max(1, n * d)))
+    if chunk >= m:
+        sigma_c = combine_sigma(
+            sigma[np.newaxis, :, :], q_sigma[:, np.newaxis, :], rule
+        )  # (m, n, d)
+        return np.sum(
+            gaussian.log_pdf_array(
+                q_mu[:, np.newaxis, :], mu[np.newaxis, :, :], sigma_c
+            ),
+            axis=2,
+        )
+    out = np.empty((m, n), dtype=np.float64)
+    for start in range(0, m, chunk):
+        rows = slice(start, min(start + chunk, m))
+        sigma_c = combine_sigma(
+            sigma[np.newaxis, :, :], q_sigma[rows, np.newaxis, :], rule
+        )
+        out[rows] = np.sum(
+            gaussian.log_pdf_array(
+                q_mu[rows, np.newaxis, :], mu[np.newaxis, :, :], sigma_c
+            ),
+            axis=2,
+        )
+    return out

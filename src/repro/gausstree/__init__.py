@@ -12,8 +12,15 @@ Submodules
 ``search``    — shared best-first traversal + denominator bounds.
 ``mliq``      — k-most-likely identification queries (Sections 5.2.1-2).
 ``tiq``       — threshold identification queries (Section 5.2.3).
+``batch``     — batch query APIs amortizing traversal across queries.
+``persist``   — save/open of a tree as a single paged index file.
 """
 
+from repro.gausstree.batch import (
+    BatchRefiner,
+    gausstree_mliq_many,
+    gausstree_tiq_many,
+)
 from repro.gausstree.bounds import ParameterRect
 from repro.gausstree.bulkload import bulk_load
 from repro.gausstree.hull import (
@@ -26,15 +33,21 @@ from repro.gausstree.hull import (
 )
 from repro.gausstree.integral import hull_integral, hull_integral_total
 from repro.gausstree.mliq import gausstree_mliq
+from repro.gausstree.persist import open_tree, save_tree
 from repro.gausstree.tiq import gausstree_tiq
 from repro.gausstree.tree import GaussTree
 
 __all__ = [
     "GaussTree",
     "ParameterRect",
+    "BatchRefiner",
     "bulk_load",
     "gausstree_mliq",
     "gausstree_tiq",
+    "gausstree_mliq_many",
+    "gausstree_tiq_many",
+    "save_tree",
+    "open_tree",
     "hull_lower",
     "hull_upper",
     "log_hull_lower",

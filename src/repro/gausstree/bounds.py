@@ -12,6 +12,7 @@ parameter space).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 import numpy as np
@@ -159,16 +160,40 @@ class ParameterRect:
         return float(np.sum(self._extents()))
 
     def volume(self) -> float:
-        """Product of the ``2 d`` side lengths (0 for degenerate boxes)."""
+        """Product of the ``2 d`` side lengths (0 for degenerate boxes).
+
+        Silently under/overflows for high-dimensional boxes (54 factors at
+        d=27); comparisons should use :meth:`log_volume` instead.
+        """
         return float(np.prod(self._extents()))
 
-    def enlargement_for_vector(self, v: PFV) -> tuple[float, float]:
-        """``(volume increase, margin increase)`` if ``v`` were added.
+    def log_volume(self) -> float:
+        """Log of the volume; ``-inf`` for degenerate boxes.
 
-        Both are 0 when the box already contains the vector. Insertion
-        compares lexicographically — volume first, margin as tie-breaker —
-        mirroring the paper's "least increase of volume" rule while staying
-        meaningful for degenerate boxes.
+        A sum of 2d log side lengths neither underflows nor overflows
+        where the plain product would, so volumes of realistic 27-d boxes
+        stay comparable.
+        """
+        return self._log_volume_of_extents(self._extents())
+
+    @staticmethod
+    def _log_volume_of_extents(extents: np.ndarray) -> float:
+        if np.any(extents == 0.0):
+            return -math.inf
+        return float(np.sum(np.log(extents)))
+
+    def enlargement_for_vector(self, v: PFV) -> tuple[float, float]:
+        """``(log volume increase, margin increase)`` if ``v`` were added.
+
+        The first element is ``log(vol(new) - vol(old))`` computed purely
+        in log-extent space (``-inf`` when the volume does not grow, e.g.
+        the box already contains the vector). The log is monotone, so
+        ordering candidates by it reproduces the paper's "least increase
+        of volume" rule exactly — but it still discriminates where the
+        linear-space product of ``2 d`` side lengths would underflow to
+        0.0 (or overflow) and collapse the comparison onto the margin
+        tie-breaker. The margin increase stays linear (sums don't
+        under/overflow) and both are 0 / ``-inf`` for a contained vector.
         """
         new_mu_lo = np.minimum(self.mu_lo, v.mu)
         new_mu_hi = np.maximum(self.mu_hi, v.mu)
@@ -178,9 +203,20 @@ class ParameterRect:
             [new_mu_hi - new_mu_lo, new_sig_hi - new_sig_lo]
         )
         old_extents = self._extents()
-        d_volume = float(np.prod(new_extents) - np.prod(old_extents))
         d_margin = float(np.sum(new_extents) - np.sum(old_extents))
-        return d_volume, d_margin
+        log_new = self._log_volume_of_extents(new_extents)
+        log_old = self._log_volume_of_extents(old_extents)
+        if log_new == -math.inf:
+            # Still degenerate after insertion: volume increase is 0.
+            return -math.inf, d_margin
+        if log_old == -math.inf:
+            # From volume 0 to vol(new): the increase IS the new volume.
+            return log_new, d_margin
+        # log(new - old) = log_new + log(1 - old/new); old <= new always.
+        ratio = log_old - log_new
+        if ratio >= 0.0:  # old == new up to rounding: no growth
+            return -math.inf, d_margin
+        return log_new + math.log1p(-math.exp(ratio)), d_margin
 
     # -- dunder ----------------------------------------------------------------
 

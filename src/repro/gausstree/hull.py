@@ -46,6 +46,7 @@ __all__ = [
     "node_log_bounds",
     "node_log_upper",
     "node_log_bounds_batch",
+    "node_log_bounds_multi",
 ]
 
 
@@ -157,6 +158,39 @@ def node_log_bounds_batch(
     x = q.mu[np.newaxis, :]
     upper = np.sum(log_hull_upper(x, mu_lo, mu_hi, s_lo, s_hi), axis=1)
     lower = np.sum(log_hull_lower(x, mu_lo, mu_hi, s_lo, s_hi), axis=1)
+    return lower, upper
+
+
+def node_log_bounds_multi(
+    mu_lo: np.ndarray,
+    mu_hi: np.ndarray,
+    sigma_lo: np.ndarray,
+    sigma_hi: np.ndarray,
+    q_mu: np.ndarray,
+    q_sigma: np.ndarray,
+    rule: SigmaRule = SigmaRule.CONVOLUTION,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`node_log_bounds_batch` for a *batch of queries* at once.
+
+    Rectangle bounds have shape ``(k, d)``, query stacks ``(m, d)``;
+    returns ``(lower, upper)`` arrays of shape ``(m, k)`` — row ``i`` is
+    the batch result for query ``i``. Shared by the batch query APIs so
+    the children of an expanded node are bounded for every concurrent
+    query in one numpy evaluation.
+    """
+    q_mu = np.asarray(q_mu, dtype=np.float64)
+    q_sigma = np.asarray(q_sigma, dtype=np.float64)
+    s_lo = combine_sigma(
+        sigma_lo[np.newaxis, :, :], q_sigma[:, np.newaxis, :], rule
+    )  # (m, k, d)
+    s_hi = combine_sigma(
+        sigma_hi[np.newaxis, :, :], q_sigma[:, np.newaxis, :], rule
+    )
+    x = q_mu[:, np.newaxis, :]
+    box_mu_lo = mu_lo[np.newaxis, :, :]
+    box_mu_hi = mu_hi[np.newaxis, :, :]
+    upper = np.sum(log_hull_upper(x, box_mu_lo, box_mu_hi, s_lo, s_hi), axis=2)
+    lower = np.sum(log_hull_lower(x, box_mu_lo, box_mu_hi, s_lo, s_hi), axis=2)
     return lower, upper
 
 

@@ -24,7 +24,10 @@ __all__ = ["gausstree_mliq"]
 
 
 def gausstree_mliq(
-    tree, query: MLIQuery, tolerance: float = 1e-9
+    tree,
+    query: MLIQuery,
+    tolerance: float = 1e-9,
+    state: SearchState | None = None,
 ) -> tuple[list[Match], QueryStats]:
     """Answer a k-MLIQ on a Gauss-tree.
 
@@ -39,6 +42,10 @@ def gausstree_mliq(
         the paper's "user's specification of exactness" (Section 5.2.2).
         ``0.0`` forces exact posteriors (drains the queue's contribution
         entirely; ranking alone never needs that).
+    state:
+        A pre-built :class:`~repro.gausstree.search.SearchState` (the
+        batch API passes one wired to a shared
+        :class:`~repro.gausstree.batch.BatchRefiner`).
 
     Returns
     -------
@@ -48,7 +55,8 @@ def gausstree_mliq(
     store = tree.store
     store.begin_query()
     started = time.perf_counter()
-    state = SearchState(tree, query.q)
+    if state is None:
+        state = SearchState(tree, query.q)
 
     # Min-heap of the k best candidates: (log_density, tiebreak, vector).
     candidates: list[tuple[float, int, PFV]] = []

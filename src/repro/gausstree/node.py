@@ -12,11 +12,18 @@ Two node kinds, both occupying one simulated disk page:
 Leaves keep a lazily-built numpy cache of their entries' ``(mu, sigma)``
 stacks so that exact refinement (Lemma 1 over every stored pfv) runs
 vectorised; any mutation invalidates the cache.
+
+Nodes of a disk-opened tree (:mod:`repro.gausstree.persist`) start out as
+*stubs*: the page id, MBR and subtree cardinality are known (they live in
+the parent's page), but the payload — a leaf's entries, an inner node's
+child list — is materialized from page bytes only on first access through
+a loader callback. ``entries`` and ``children`` are therefore properties;
+in-memory trees simply never set a loader and pay one ``None`` check.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
@@ -29,12 +36,15 @@ __all__ = ["Node", "LeafNode", "InnerNode"]
 class Node:
     """Common state of leaf and inner nodes."""
 
-    __slots__ = ("rect", "parent", "page_id")
+    __slots__ = ("rect", "parent", "page_id", "_loader")
 
     def __init__(self, page_id: int) -> None:
         self.rect: Optional[ParameterRect] = None
         self.parent: Optional["InnerNode"] = None
         self.page_id = page_id
+        # Deferred materialization callback of a disk-backed stub; called
+        # once with the node, then cleared. None for in-memory nodes.
+        self._loader: Optional[Callable[["Node"], None]] = None
 
     @property
     def is_leaf(self) -> bool:
@@ -45,6 +55,17 @@ class Node:
         """Number of pfv stored in this subtree."""
         raise NotImplementedError
 
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the payload is in memory (stubs load on first access)."""
+        return self._loader is None
+
+    def _materialize(self) -> None:
+        loader = self._loader
+        if loader is not None:
+            self._loader = None
+            loader(self)
+
     def refresh_rect(self) -> None:
         """Recompute the tight MBR from the node's contents."""
         raise NotImplementedError
@@ -53,13 +74,14 @@ class Node:
 class LeafNode(Node):
     """A data page holding pfv entries."""
 
-    __slots__ = ("entries", "_mu_cache", "_sigma_cache")
+    __slots__ = ("_entries", "_mu_cache", "_sigma_cache", "_stub_count")
 
     def __init__(self, page_id: int) -> None:
         super().__init__(page_id)
-        self.entries: list[PFV] = []
+        self._entries: list[PFV] = []
         self._mu_cache: Optional[np.ndarray] = None
         self._sigma_cache: Optional[np.ndarray] = None
+        self._stub_count = 0
 
     @property
     def is_leaf(self) -> bool:
@@ -67,7 +89,23 @@ class LeafNode(Node):
 
     @property
     def count(self) -> int:
-        return len(self.entries)
+        if self._loader is not None:
+            return self._stub_count  # known from the parent page
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[PFV]:
+        """The stored pfv; materializes a disk stub on first access."""
+        if self._loader is not None:
+            self._materialize()
+        return self._entries
+
+    def set_loader(
+        self, loader: Callable[["LeafNode"], None], count: int
+    ) -> None:
+        """Turn this node into a stub: ``loader`` fills the entries later."""
+        self._loader = loader  # type: ignore[assignment]
+        self._stub_count = count
 
     def add(self, v: PFV) -> None:
         """Append a pfv, growing the MBR in place."""
@@ -87,7 +125,8 @@ class LeafNode(Node):
 
     def replace_entries(self, entries: list[PFV]) -> None:
         """Swap in a new entry list (used by splits); recomputes the MBR."""
-        self.entries = entries
+        self._loader = None
+        self._entries = entries
         self.refresh_rect()
         self._invalidate()
 
@@ -112,23 +151,39 @@ class LeafNode(Node):
         return iter(self.entries)
 
     def __repr__(self) -> str:
-        return f"LeafNode(page={self.page_id}, entries={len(self.entries)})"
+        if self._loader is not None:
+            return f"LeafNode(page={self.page_id}, stub, count={self._stub_count})"
+        return f"LeafNode(page={self.page_id}, entries={len(self._entries)})"
 
 
 class InnerNode(Node):
     """A directory page holding child nodes with their parameter MBRs."""
 
-    __slots__ = ("children", "_count_cache", "_bounds_cache")
+    __slots__ = ("_children", "_count_cache", "_bounds_cache")
 
     def __init__(self, page_id: int) -> None:
         super().__init__(page_id)
-        self.children: list[Node] = []
+        self._children: list[Node] = []
         self._count_cache: Optional[int] = None
         self._bounds_cache: Optional[tuple[np.ndarray, ...]] = None
 
     @property
     def is_leaf(self) -> bool:
         return False
+
+    @property
+    def children(self) -> list[Node]:
+        """The child nodes; materializes a disk stub on first access."""
+        if self._loader is not None:
+            self._materialize()
+        return self._children
+
+    def set_loader(
+        self, loader: Callable[["InnerNode"], None], count: int
+    ) -> None:
+        """Turn this node into a stub: ``loader`` fills the child list."""
+        self._loader = loader  # type: ignore[assignment]
+        self._count_cache = count
 
     @property
     def count(self) -> int:
@@ -178,7 +233,8 @@ class InnerNode(Node):
     def replace_children(self, children: list[Node]) -> None:
         """Swap in a new child list (used by splits); reparents and
         recomputes the MBR."""
-        self.children = children
+        self._loader = None
+        self._children = children
         for c in children:
             c.parent = self
         self.refresh_rect()
@@ -192,4 +248,6 @@ class InnerNode(Node):
         return iter(self.children)
 
     def __repr__(self) -> str:
-        return f"InnerNode(page={self.page_id}, children={len(self.children)})"
+        if self._loader is not None:
+            return f"InnerNode(page={self.page_id}, stub, count={self._count_cache})"
+        return f"InnerNode(page={self.page_id}, children={len(self._children)})"

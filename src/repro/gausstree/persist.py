@@ -1,0 +1,386 @@
+"""Disk persistence for the Gauss-tree: one index file, real bytes.
+
+The paper places the Gauss-tree "structurally in the R-tree family which
+facilitates the integration into object-relational database management
+systems" (Section 5.1) — i.e. the index is meant to live in pages on disk,
+not in a Python object graph. This module provides that storage path on
+top of the byte-faithful page codecs of :mod:`repro.storage.serializer`:
+
+* :func:`save_tree` walks a built tree, assigns dense page ids ``1..n``
+  (id 0 is the header slot), encodes every node onto a page and writes
+  ``header | node pages | key table`` to a single file;
+* :func:`open_tree` maps the file back into a queryable
+  :class:`~repro.gausstree.tree.GaussTree` whose nodes are *stubs*:
+  page id, MBR and subtree cardinality come from the parent's page, the
+  payload is decoded from page bytes on first access through a
+  :class:`~repro.storage.filestore.FilePageStore` — so queries on a
+  freshly opened tree genuinely fetch and decode bytes, routed through
+  the same :class:`~repro.storage.buffer.BufferManager` accounting the
+  in-memory tree simulates. Logical page-access counts of a query are
+  therefore identical on both representations, which the round-trip
+  tests assert.
+
+File layout (all little-endian)::
+
+    offset 0            fixed header (magic, version, geometry, root id,
+                        page count, object count, key-table pointer),
+                        zero-padded to one page
+    page_id * page_size node pages (ids 1..page_count), encoded by
+                        repro.storage.serializer
+    key_table_offset    JSON key table mapping the int64 key slots of
+                        leaf pages back to application keys
+
+Keys may be ``None``, bools, ints, floats, strings or (nested) tuples of
+those; anything else fails the save with a ``TypeError``.
+
+Opened trees are read-only: inserts and deletes would need a write-ahead
+path the storage layer does not have yet (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Hashable
+
+from repro.core.joint import SigmaRule
+from repro.gausstree.bounds import ParameterRect
+from repro.gausstree.node import InnerNode, LeafNode, Node
+from repro.storage.buffer import BufferManager
+from repro.storage.costmodel import DiskCostModel
+from repro.storage.filestore import FilePageStore
+from repro.storage.layout import PageLayout
+from repro.storage.serializer import (
+    INNER_KIND,
+    LEAF_KIND,
+    decode_inner_page,
+    decode_leaf_page,
+    encode_inner_page,
+    encode_leaf_page,
+)
+
+__all__ = ["save_tree", "open_tree", "MAGIC", "FORMAT_VERSION"]
+
+MAGIC = b"GAUSTREE"
+FORMAT_VERSION = 1
+
+# magic, version, page_size, dims, degree, sigma_rule, height, root_page,
+# page_count, n_objects, key_table_offset, key_table_bytes
+_HEADER = struct.Struct("<8sHIIIBHIIQQQ")
+
+_SIGMA_RULE_CODES = {SigmaRule.CONVOLUTION: 0, SigmaRule.PAPER: 1}
+_SIGMA_RULE_FROM_CODE = {v: k for k, v in _SIGMA_RULE_CODES.items()}
+
+
+# -- key table ---------------------------------------------------------------
+
+
+def _encode_key(key: Hashable) -> list:
+    """Tagged JSON-safe encoding of an application key."""
+    if key is None:
+        return ["n"]
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return ["b", key]
+    if isinstance(key, int):
+        return ["i", key]
+    if isinstance(key, float):
+        return ["f", key]
+    if isinstance(key, str):
+        return ["s", key]
+    if isinstance(key, tuple):
+        return ["t", [_encode_key(k) for k in key]]
+    raise TypeError(
+        f"cannot persist key {key!r} of type {type(key).__name__}; "
+        "supported: None, bool, int, float, str and tuples thereof"
+    )
+
+
+def _decode_key(entry: list) -> Hashable:
+    tag = entry[0]
+    if tag == "n":
+        return None
+    if tag in ("b", "i", "f", "s"):
+        return entry[1]
+    if tag == "t":
+        return tuple(_decode_key(e) for e in entry[1])
+    raise ValueError(f"unknown key tag {tag!r} in key table")
+
+
+class _KeyTable:
+    """Deduplicating key -> int64 slot assignment for the save path."""
+
+    def __init__(self) -> None:
+        self.keys: list[Hashable] = []
+        # Keyed by the tagged JSON encoding, which distinguishes types
+        # recursively — (1,), (True,) and (1.0,) hash equal as tuples but
+        # encode differently, so each keeps its own slot.
+        self._index: dict[str, int] = {}
+
+    def slot(self, key: Hashable) -> int:
+        probe = json.dumps(_encode_key(key))
+        idx = self._index.get(probe)
+        if idx is None:
+            idx = len(self.keys)
+            self.keys.append(key)
+            self._index[probe] = idx
+        return idx
+
+    def dump(self) -> bytes:
+        return json.dumps([_encode_key(k) for k in self.keys]).encode("utf-8")
+
+
+# -- saving ------------------------------------------------------------------
+
+
+def save_tree(tree, path: str | os.PathLike) -> None:
+    """Write ``tree`` to ``path`` as a single self-describing index file."""
+    layout: PageLayout = tree.layout
+    if tree.leaf_max > layout.leaf_capacity:
+        raise ValueError(
+            f"degree M={tree.degree} allows {tree.leaf_max} leaf entries "
+            f"but the {layout.page_size}-byte page encodes at most "
+            f"{layout.leaf_capacity}; use a matching layout"
+        )
+    if tree.inner_max > layout.inner_capacity:
+        raise ValueError(
+            f"degree M={tree.degree} allows {tree.inner_max} children "
+            f"but the {layout.page_size}-byte page encodes at most "
+            f"{layout.inner_capacity}; use a matching layout"
+        )
+    # Dense pre-order page ids; the stored ids are independent of the ids
+    # the in-memory PageStore allocated during construction.
+    nodes: list[tuple[Node, int]] = []  # (node, level), leaves at level 0
+    height = tree.height
+    stack: list[tuple[Node, int]] = [(tree.root, height - 1)]
+    while stack:
+        node, level = stack.pop()
+        nodes.append((node, level))
+        if not node.is_leaf:
+            stack.extend((c, level - 1) for c in node.children)
+    page_of = {id(node): i + 1 for i, (node, _) in enumerate(nodes)}
+
+    key_table = _KeyTable()
+    page_size = layout.page_size
+    # Write to a sibling temp file, then rename over the target: saving a
+    # disk-opened tree back onto its own file must keep reading lazy leaf
+    # pages from the original bytes while writing (truncating the target
+    # first would destroy the pages the stubs still need), and a crashed
+    # save never leaves a half-written index behind.
+    directory = os.path.dirname(os.path.abspath(os.fspath(path))) or "."
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(os.fspath(path))}.tmp.{os.getpid()}"
+    )
+    try:
+        with open(tmp_path, "w+b") as f:
+            f.write(b"\x00" * page_size)  # header slot, rewritten below
+            for (node, level) in nodes:
+                pid = page_of[id(node)]
+                if node.is_leaf:
+                    leaf: LeafNode = node  # type: ignore[assignment]
+                    page = encode_leaf_page(
+                        layout,
+                        pid,
+                        leaf.entries,
+                        [key_table.slot(v.key) for v in leaf.entries],
+                    )
+                else:
+                    inner: InnerNode = node  # type: ignore[assignment]
+                    page = encode_inner_page(
+                        layout,
+                        pid,
+                        level,
+                        [c.rect.as_flat_bounds() for c in inner.children],
+                        [page_of[id(c)] for c in inner.children],
+                        [c.count for c in inner.children],
+                    )
+                f.seek(pid * page_size)
+                f.write(page)
+            table = key_table.dump()
+            key_table_offset = (len(nodes) + 1) * page_size
+            f.seek(key_table_offset)
+            f.write(table)
+            header = _HEADER.pack(
+                MAGIC,
+                FORMAT_VERSION,
+                page_size,
+                layout.dims,
+                tree.degree,
+                _SIGMA_RULE_CODES[tree.sigma_rule],
+                height,
+                page_of[id(tree.root)],
+                len(nodes),
+                len(tree),
+                key_table_offset,
+                len(table),
+            )
+            f.seek(0)
+            f.write(header)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+# -- opening -----------------------------------------------------------------
+
+
+class _NodeLoader:
+    """Materializes stub nodes from page bytes on first payload access."""
+
+    def __init__(
+        self, store: FilePageStore, layout: PageLayout, keys: list[Hashable]
+    ) -> None:
+        self.store = store
+        self.layout = layout
+        self.keys = keys
+
+    def load_leaf(self, leaf: LeafNode) -> None:
+        data = self.store.fetch_page(leaf.page_id)
+        _, vectors, key_slots = decode_leaf_page(self.layout, data)
+        leaf.replace_entries(
+            [v.with_key(self.keys[slot]) for v, slot in zip(vectors, key_slots)]
+        )
+
+    def load_inner(self, inner: InnerNode) -> None:
+        data = self.store.fetch_page(inner.page_id)
+        header, bounds, children, cards = decode_inner_page(self.layout, data)
+        inner.replace_children(
+            [
+                self.stub(pid, ParameterRect.from_flat_bounds(flat), card,
+                          header.level - 1)
+                for flat, pid, card in zip(bounds, children, cards)
+            ]
+        )
+
+    def stub(
+        self, page_id: int, rect: ParameterRect, count: int, level: int
+    ) -> Node:
+        node: Node
+        if level == 0:
+            node = LeafNode(page_id)
+            node.set_loader(self.load_leaf, count)
+        else:
+            node = InnerNode(page_id)
+            node.set_loader(self.load_inner, count)
+        node.rect = rect
+        return node
+
+
+def read_header(path: str | os.PathLike) -> dict:
+    """Parse and validate the fixed file header; returns its fields."""
+    with open(path, "rb") as f:
+        raw = f.read(_HEADER.size)
+    if len(raw) < _HEADER.size:
+        raise ValueError(f"{os.fspath(path)!r} is not a Gauss-tree index file")
+    (
+        magic,
+        version,
+        page_size,
+        dims,
+        degree,
+        rule_code,
+        height,
+        root_page,
+        page_count,
+        n_objects,
+        kt_offset,
+        kt_bytes,
+    ) = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ValueError(f"{os.fspath(path)!r} is not a Gauss-tree index file")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"index format version {version} not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if rule_code not in _SIGMA_RULE_FROM_CODE:
+        raise ValueError(f"unknown sigma rule code {rule_code}")
+    # Sanity-check the geometry against the actual file so a corrupt or
+    # truncated header fails with a clear error instead of an absurd
+    # allocation (page_count is a u32) or an opaque KeyError later.
+    file_size = os.path.getsize(path)
+    if (
+        page_size < 256
+        or page_count < 1
+        or not 1 <= root_page <= page_count
+        or kt_offset != (page_count + 1) * page_size
+        or kt_offset + kt_bytes > file_size
+    ):
+        raise ValueError(
+            f"{os.fspath(path)!r} has a corrupt index header "
+            f"(page_size={page_size}, page_count={page_count}, "
+            f"root_page={root_page}, key_table={kt_offset}+{kt_bytes}, "
+            f"file_size={file_size})"
+        )
+    return {
+        "page_size": page_size,
+        "dims": dims,
+        "degree": degree,
+        "sigma_rule": _SIGMA_RULE_FROM_CODE[rule_code],
+        "height": height,
+        "root_page": root_page,
+        "page_count": page_count,
+        "n_objects": n_objects,
+        "key_table_offset": kt_offset,
+        "key_table_bytes": kt_bytes,
+    }
+
+
+def open_tree(
+    path: str | os.PathLike,
+    buffer: BufferManager | None = None,
+    cost_model: DiskCostModel | None = None,
+):
+    """Open a saved index for querying; nodes materialize lazily.
+
+    The returned tree is read-only (``insert``/``delete`` raise); pass a
+    sized ``buffer`` to reproduce the paper's cache experiments against
+    real bytes.
+    """
+    from repro.gausstree.tree import GaussTree
+
+    meta = read_header(path)
+    store = FilePageStore(
+        path,
+        meta["page_size"],
+        allocated_pages=meta["page_count"],
+        buffer=buffer,
+        cost_model=cost_model,
+    )
+    table = json.loads(
+        store.read_tail(
+            meta["key_table_offset"], meta["key_table_bytes"]
+        ).decode("utf-8")
+    )
+    keys = [_decode_key(e) for e in table]
+    layout = PageLayout(dims=meta["dims"], page_size=meta["page_size"])
+    tree = GaussTree(
+        dims=meta["dims"],
+        degree=meta["degree"],
+        layout=layout,
+        page_store=store,
+        sigma_rule=meta["sigma_rule"],
+    )
+    store.free(tree.root.page_id)  # discard the constructor's placeholder
+
+    loader = _NodeLoader(store, layout, keys)
+    root_bytes = store.fetch_page(meta["root_page"])
+    kind = root_bytes[4]  # header: page_id u32, then kind u8
+    if kind == LEAF_KIND:
+        root: Node = LeafNode(meta["root_page"])
+        loader.load_leaf(root)  # type: ignore[arg-type]
+    elif kind == INNER_KIND:
+        root = InnerNode(meta["root_page"])
+        loader.load_inner(root)  # type: ignore[arg-type]
+    else:
+        raise ValueError(f"root page has unknown kind {kind}")
+    tree.root = root
+    tree.read_only = True
+    if len(tree) != meta["n_objects"]:
+        raise ValueError(
+            f"index corrupt: header says {meta['n_objects']} objects, "
+            f"root subtree counts {len(tree)}"
+        )
+    return tree

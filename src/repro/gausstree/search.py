@@ -124,13 +124,24 @@ class _BoundSum:
 
 
 class SearchState:
-    """Priority queue plus denominator bounds for one query."""
+    """Priority queue plus denominator bounds for one query.
 
-    def __init__(self, tree, q: PFV) -> None:
+    ``refiner`` (see :class:`repro.gausstree.batch.BatchRefiner`) lets a
+    batch of concurrent queries share the numeric work of node expansion:
+    when set, leaf densities and child bounds come from the refiner's
+    cross-query cache (computed vectorised over every query in the batch
+    the first time any of them expands the node) and ``query_index``
+    selects this state's row. Traversal order, accounting and results are
+    unchanged — the refiner only changes who computes the numbers.
+    """
+
+    def __init__(self, tree, q: PFV, refiner=None, query_index: int = 0) -> None:
         if q.dims != tree.dims:
             raise ValueError(f"query is {q.dims}-d, tree is {tree.dims}-d")
         self.tree = tree
         self.q = q
+        self.refiner = refiner
+        self.query_index = query_index
         self.rule = tree.sigma_rule
         self._counter = itertools.count()
         self._heap: list[tuple[float, int, _QueueEntry]] = []
@@ -271,15 +282,23 @@ class SearchState:
         self.tree.store.read(node.page_id)
         self.nodes_expanded += 1
         if not node.is_leaf:
-            lows, highs = node_log_bounds_batch(
-                *node.stacked_child_bounds(), self.q, self.rule  # type: ignore[attr-defined]
-            )
+            if self.refiner is not None:
+                lows, highs = self.refiner.child_log_bounds(node)
+                lows = lows[self.query_index]
+                highs = highs[self.query_index]
+            else:
+                lows, highs = node_log_bounds_batch(
+                    *node.stacked_child_bounds(), self.q, self.rule  # type: ignore[attr-defined]
+                )
             for child, lo, hi in zip(node.children, lows, highs):  # type: ignore[attr-defined]
                 self._push(child, float(lo), float(hi))
             return None
         leaf: LeafNode = node  # type: ignore[assignment]
-        mu, sigma = leaf.arrays()
-        log_dens = log_joint_density_batch(mu, sigma, self.q, self.rule)
+        if self.refiner is not None:
+            log_dens = self.refiner.leaf_log_densities(leaf)[self.query_index]
+        else:
+            mu, sigma = leaf.arrays()
+            log_dens = log_joint_density_batch(mu, sigma, self.q, self.rule)
         self.objects_refined += len(leaf.entries)
         best = float(np.max(log_dens))
         if best > self.max_log_density:

@@ -36,6 +36,7 @@ def gausstree_tiq(
     query: ThresholdQuery,
     tolerance: float = 0.0,
     probability_tolerance: float | None = None,
+    state: SearchState | None = None,
 ) -> tuple[list[Match], QueryStats]:
     """Answer a TIQ on a Gauss-tree.
 
@@ -49,16 +50,28 @@ def gausstree_tiq(
     *reported* posterior (the paper's "report the actual probabilities
     ... at a specified accuracy", Section 5.2.3 last paragraph); ``None``
     reports best-effort interval midpoints without extra page reads.
+
+    ``state`` lets the batch API pass a pre-built
+    :class:`~repro.gausstree.search.SearchState` sharing a
+    :class:`~repro.gausstree.batch.BatchRefiner`.
     """
     store = tree.store
     store.begin_query()
     started = time.perf_counter()
-    state = SearchState(tree, query.q)
+    if state is None:
+        state = SearchState(tree, query.q)
     p_theta = query.p_theta
 
     # Min-heap by log density: rejections always happen at the low end
     # because the denominator lower bound grows monotonically.
     candidates: list[tuple[float, int, PFV]] = []
+    # Max-heap (negated) of candidates not yet decided-accept — the
+    # undecidedness test needs the *largest* straddling candidate
+    # (widest posterior interval), which the min-heap cannot expose.
+    # Accept decisions are final (the denominator upper bound only
+    # shrinks), so accepted candidates are popped permanently, mirroring
+    # the reject pops above.
+    undecided_heap: list[float] = []
     tiebreak = itertools.count()
     max_candidate_log = -math.inf
 
@@ -69,8 +82,8 @@ def gausstree_tiq(
         # the threshold (Figure 5's "delete unnecessary candidates").
         while candidates and _upper(state, candidates[0][0], denom_low) < p_theta:
             heapq.heappop(candidates)
-        undecided = bool(candidates) and not _decided_accept(
-            state, candidates[0][0], denom_high, p_theta, tolerance, denom_low
+        undecided = _any_undecided(
+            state, undecided_heap, denom_low, denom_high, p_theta, tolerance
         )
         top_can_qualify = (
             _upper(state, state.top_log_upper, denom_low) >= p_theta
@@ -90,6 +103,7 @@ def gausstree_tiq(
         leaf, log_dens = expanded
         for vector, ld in zip(leaf.entries, log_dens):
             heapq.heappush(candidates, (float(ld), next(tiebreak), vector))
+            heapq.heappush(undecided_heap, -float(ld))
             if float(ld) > max_candidate_log:
                 max_candidate_log = float(ld)
 
@@ -124,27 +138,48 @@ def _lower(state: SearchState, log_density: float, denom_high: float) -> float:
     return state.scaled_density(log_density) / denom_high
 
 
-def _decided_accept(
+def _any_undecided(
     state: SearchState,
-    log_density: float,
+    undecided_heap: list[float],
+    denom_low: float,
     denom_high: float,
     p_theta: float,
     tolerance: float,
-    denom_low: float,
 ) -> bool:
-    """Is the *smallest* surviving candidate definitely in the answer?
+    """Does any candidate still straddle the threshold undecidedly?
 
-    Posterior lower bounds are monotone in the density, so if the smallest
-    candidate is decided-accept, every candidate is.
+    A candidate is decided once its posterior interval lies entirely on
+    one side of ``p_theta`` (accept/reject) or, with a positive
+    ``tolerance``, once the interval is narrower than ``tolerance``
+    (classified by midpoint). Because the posterior bounds and the
+    interval width ``w * (1/denom_low - 1/denom_high)`` are all monotone
+    *increasing* in the candidate's density ``w``, the candidates sort
+    into three bands — rejected below, straddling in the middle, accepted
+    above — and the *widest* straddling interval belongs to the largest
+    straddling candidate. Testing the smallest candidate (as an earlier
+    revision did) lets the traversal stop while large candidates still
+    straddle with intervals far wider than ``tolerance``.
+
+    ``undecided_heap`` holds negated log densities (a max-heap).
+    Accept decisions are final — the denominator upper bound only
+    shrinks, so posterior lower bounds only grow — which makes the
+    accepted pops below permanent, keeping the whole bookkeeping
+    O(n log n) over a query.
     """
-    lo = _lower(state, log_density, denom_high)
-    if lo >= p_theta:
+    while undecided_heap:
+        top = -undecided_heap[0]  # largest not-yet-accepted candidate
+        if _lower(state, top, denom_high) >= p_theta:
+            heapq.heappop(undecided_heap)  # decided-accept, final
+            continue
+        hi = _upper(state, top, denom_low)
+        if hi < p_theta:
+            return False  # it (and everything below) is decided-reject
+        if tolerance > 0.0:
+            width = hi - _lower(state, top, denom_high)
+            if width <= tolerance:
+                return False  # widest straddler classifiable by midpoint
         return True
-    if tolerance > 0.0:
-        hi = _upper(state, log_density, denom_low)
-        if hi - lo <= tolerance:
-            return True  # classified by midpoint in _classify
-    return False
+    return False  # no candidates, or every candidate decided-accept
 
 
 def _classify(

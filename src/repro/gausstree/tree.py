@@ -96,6 +96,8 @@ class GaussTree:
         self.sigma_rule = sigma_rule
         self.split_quality = split_quality
         self.root: Node = LeafNode(self.store.allocate())
+        #: Set by :meth:`open`: disk-backed trees have no write path yet.
+        self.read_only = False
 
     # -- capacities (Definition 4) ------------------------------------------
 
@@ -155,6 +157,7 @@ class GaussTree:
 
     def insert(self, v: PFV) -> None:
         """Insert one pfv (Section 5.3 path selection + median split)."""
+        self._check_writable()
         if v.dims != self.dims:
             raise ValueError(f"vector is {v.dims}-d, tree is {self.dims}-d")
         leaf = self._choose_leaf(v)
@@ -183,9 +186,9 @@ class GaussTree:
         if node.is_leaf:
             leaf: LeafNode = node  # type: ignore[assignment]
             if leaf.rect is None:
-                return leaf, True, (0.0, 0.0)
+                return leaf, True, (-math.inf, 0.0)
             if leaf.rect.contains_vector(v):
-                return leaf, True, (0.0, 0.0)
+                return leaf, True, (-math.inf, 0.0)
             return leaf, False, leaf.rect.enlargement_for_vector(v)
         inner: InnerNode = node  # type: ignore[assignment]
         containing = [
@@ -206,12 +209,12 @@ class GaussTree:
                     best = (leaf, fits, cost)
             assert best is not None
             return best
-        # Rule 2: no child fits — greedy least enlargement (volume, then
-        # margin for degenerate boxes, then fewer entries downstream).
+        # Rule 2: no child fits — greedy least enlargement (log-space
+        # volume, then margin for degenerate boxes, then the smaller box).
         def child_cost(c: Node) -> tuple[float, float, float]:
             assert c.rect is not None
-            d_vol, d_margin = c.rect.enlargement_for_vector(v)
-            return (d_vol, d_margin, c.rect.volume())
+            d_log_vol, d_margin = c.rect.enlargement_for_vector(v)
+            return (d_log_vol, d_margin, c.rect.log_volume())
 
         best_child = min(inner.children, key=child_cost)
         return self._descend(best_child, v)
@@ -269,6 +272,7 @@ class GaussTree:
         keep holding — the property tests insert and delete randomly and
         re-validate.
         """
+        self._check_writable()
         found = self._find_entry(self.root, v)
         if found is None:
             return False
@@ -337,6 +341,48 @@ class GaussTree:
         for orphan in orphans:
             self.insert(orphan)
 
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise RuntimeError(
+                "this Gauss-tree was opened from disk and is read-only; "
+                "rebuild the index and save() to change its contents"
+            )
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the tree to ``path`` as a self-describing index file.
+
+        The file holds the same byte-faithful pages the simulated
+        accounting assumes (see :mod:`repro.storage.serializer`) plus a
+        header and a key table; :meth:`open` maps it back. Page ids are
+        re-assigned densely on save, so a save/open round trip is also a
+        compaction.
+        """
+        from repro.gausstree.persist import save_tree
+
+        save_tree(self, path)
+
+    @classmethod
+    def open(cls, path, buffer=None, cost_model=None) -> "GaussTree":
+        """Open an index file saved by :meth:`save` for querying.
+
+        Nodes materialize lazily from page bytes through a
+        :class:`~repro.storage.filestore.FilePageStore`; queries on the
+        opened tree read real pages through the buffer while reporting
+        the same logical page-access counts as the in-memory tree. The
+        returned tree is read-only.
+        """
+        from repro.gausstree.persist import open_tree
+
+        return open_tree(path, buffer=buffer, cost_model=cost_model)
+
+    def close(self) -> None:
+        """Release the backing file of a disk-opened tree (no-op otherwise)."""
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
     # -- queries ------------------------------------------------------------------
 
     def mliq(
@@ -359,6 +405,37 @@ class GaussTree:
         return gausstree_tiq(
             self,
             query,
+            tolerance=tolerance,
+            probability_tolerance=probability_tolerance,
+        )
+
+    def mliq_many(
+        self, queries: Iterable[MLIQuery], tolerance: float = 1e-9
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of k-MLIQs in one buffer-warm pass.
+
+        Per-query results are identical to :meth:`mliq`; the batch shares
+        the page cache and vectorizes per-node refinement across queries
+        (see :mod:`repro.gausstree.batch`). Returns ``(per-query match
+        lists, aggregate stats)``.
+        """
+        from repro.gausstree.batch import gausstree_mliq_many
+
+        return gausstree_mliq_many(self, list(queries), tolerance=tolerance)
+
+    def tiq_many(
+        self,
+        queries: Iterable[ThresholdQuery],
+        tolerance: float = 0.0,
+        probability_tolerance: float | None = None,
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of TIQs in one buffer-warm pass (see
+        :meth:`mliq_many`)."""
+        from repro.gausstree.batch import gausstree_tiq_many
+
+        return gausstree_tiq_many(
+            self,
+            list(queries),
             tolerance=tolerance,
             probability_tolerance=probability_tolerance,
         )

@@ -9,10 +9,13 @@ simulation equivalents:
 ``costmodel``  — random vs sequential disk read cost model.
 ``pagestore``  — page allocation + per-query access logs.
 ``serializer`` — byte encoding of leaf/inner pages (round-trip tested).
+``filestore``  — file-backed page store serving real bytes through the
+                 buffer (the disk path behind ``GaussTree.save/open``).
 """
 
 from repro.storage.buffer import BufferManager, BufferStats
 from repro.storage.costmodel import DiskCostModel
+from repro.storage.filestore import FilePageStore
 from repro.storage.layout import PageLayout
 from repro.storage.pagestore import PageStore
 
@@ -20,6 +23,7 @@ __all__ = [
     "BufferManager",
     "BufferStats",
     "DiskCostModel",
+    "FilePageStore",
     "PageLayout",
     "PageStore",
 ]

@@ -16,6 +16,7 @@ node's page id, which is exactly the information the paper's metric needs.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Callable
 
 __all__ = ["BufferManager", "BufferStats"]
 
@@ -69,6 +70,11 @@ class BufferManager:
         self._capacity = capacity_pages
         self._resident: OrderedDict[int, None] = OrderedDict()
         self.stats = BufferStats()
+        # Callbacks fired with a page id whenever that page leaves the
+        # buffer (eviction, invalidation or cold start). A byte-holding
+        # page store registers one to keep its frame cache in sync with
+        # residency, and detaches it on close.
+        self._evict_listeners: list[Callable[[int], None]] = []
 
     @classmethod
     def from_bytes(cls, capacity_bytes: int, page_size: int) -> "BufferManager":
@@ -99,10 +105,26 @@ class BufferManager:
         if self._capacity == 0:
             return False
         if len(self._resident) >= self._capacity:
-            self._resident.popitem(last=False)
+            evicted, _ = self._resident.popitem(last=False)
             self.stats.evictions += 1
+            self._notify_evict(evicted)
         self._resident[page_id] = None
         return False
+
+    def add_evict_listener(self, listener: Callable[[int], None]) -> None:
+        """Register an additional page-departure callback."""
+        self._evict_listeners.append(listener)
+
+    def remove_evict_listener(self, listener: Callable[[int], None]) -> None:
+        """Detach a callback registered with :meth:`add_evict_listener`."""
+        try:
+            self._evict_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_evict(self, page_id: int) -> None:
+        for listener in self._evict_listeners:
+            listener(page_id)
 
     def contains(self, page_id: int) -> bool:
         """Residency check that does *not* count as an access."""
@@ -110,7 +132,9 @@ class BufferManager:
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page (e.g. after a node split rewrote it)."""
-        self._resident.pop(page_id, None)
+        if page_id in self._resident:
+            del self._resident[page_id]
+            self._notify_evict(page_id)
 
     def cold_start(self) -> None:
         """Empty the cache, as the paper does before each experiment.
@@ -118,6 +142,9 @@ class BufferManager:
         Keeps the statistics; call :meth:`reset_stats` too for a fully
         fresh measurement.
         """
+        if self._evict_listeners:
+            for page_id in list(self._resident):
+                self._notify_evict(page_id)
         self._resident.clear()
 
     def reset_stats(self) -> None:

@@ -1,0 +1,168 @@
+"""A page store whose pages are real bytes in a real file.
+
+:class:`FilePageStore` upgrades the simulated accounting of
+:class:`~repro.storage.pagestore.PageStore` to an actual storage path: a
+:meth:`read` still routes through the LRU
+:class:`~repro.storage.buffer.BufferManager` and the
+:class:`~repro.storage.costmodel.DiskCostModel` exactly like the base
+class — same logical page-access counts, same fault accounting — but it
+additionally *returns the page's bytes*, fetched from the file on a fault
+and served from an in-memory frame cache on a hit. The frame cache mirrors
+buffer residency via the buffer's eviction hook, so the bytes held in
+memory are exactly the pages the simulated 50 MB cache says are resident.
+
+The store only reads: the file layout (header in the page-0 slot, node
+pages at ``page_id * page_size``, key table behind the last page) is
+owned and *written* by :mod:`repro.gausstree.persist`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.buffer import BufferManager
+from repro.storage.costmodel import DiskCostModel
+from repro.storage.pagestore import PageStore
+
+__all__ = ["FilePageStore"]
+
+
+class FilePageStore(PageStore):
+    """Pages live at ``page_id * page_size`` inside a read-only file.
+
+    Page id 0 is reserved for the index header, so node pages occupy ids
+    ``1..allocated_pages``.
+
+    Parameters
+    ----------
+    path:
+        An index file written by :func:`repro.gausstree.persist.save_tree`.
+    page_size:
+        Must match the :class:`~repro.storage.layout.PageLayout` of the
+        index stored in the file.
+    allocated_pages:
+        How many node pages (ids ``1..n``) the file holds.
+    buffer, cost_model:
+        Forwarded to :class:`~repro.storage.pagestore.PageStore`. The
+        store registers an eviction listener on the buffer and detaches
+        it on :meth:`close`. Buffer residency is keyed by *store-local*
+        page ids, so one buffer cannot serve two stores at once — their
+        ids would collide and cold reads of one file would count as hits
+        on the other; passing a buffer with a listener still attached
+        raises, and any stale residency from a previous (closed) owner
+        is flushed on attach.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        page_size: int,
+        *,
+        allocated_pages: int = 0,
+        buffer: BufferManager | None = None,
+        cost_model: DiskCostModel | None = None,
+    ) -> None:
+        super().__init__(buffer=buffer, cost_model=cost_model)
+        if page_size < 256:
+            raise ValueError(f"page_size too small: {page_size}")
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        self._file = open(self.path, "rb")
+        # Page 0 is the header slot; node pages start at 1.
+        self._next_page_id = 1 + allocated_pages
+        self._allocated = set(range(1, 1 + allocated_pages))
+        # Bytes of the buffer-resident pages; kept in lockstep with the
+        # buffer via an eviction listener, detached again on close().
+        if self.buffer._evict_listeners:
+            raise ValueError(
+                "this BufferManager already serves another page store; "
+                "buffer residency is keyed by store-local page ids, so "
+                "every open index file needs its own buffer"
+            )
+        # Flush residency a previous owner may have left behind — stale
+        # foreign page ids would otherwise count this store's cold reads
+        # as hits. (Concurrent sharing with an in-memory PageStore, which
+        # registers no listener, remains unsupported for the same reason.)
+        self.buffer.cold_start()
+        self._frames: dict[int, bytes] = {}
+        self.buffer.add_evict_listener(self._drop_frame)
+
+    # -- byte fetching -------------------------------------------------------
+
+    def _drop_frame(self, page_id: int) -> None:
+        self._frames.pop(page_id, None)
+
+    def _read_from_file(self, page_id: int) -> bytes:
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise IOError(
+                f"short read: page {page_id} of {self.path} has "
+                f"{len(data)} bytes, expected {self.page_size}"
+            )
+        return data
+
+    # -- access --------------------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        """One random page read through the buffer; returns the bytes.
+
+        Accounting is the base class's, verbatim (a logical access always
+        counts, only a buffer miss pays modeled IO) — but the read
+        additionally fetches the page from the file on a miss and serves
+        the bytes from the resident frame on a hit.
+        """
+        super().read(page_id)
+        data = self._frames.get(page_id)
+        if data is None:
+            data = self._read_from_file(page_id)
+            if self.buffer.contains(page_id):
+                self._frames[page_id] = data
+        return data
+
+    def fetch_page(self, page_id: int) -> bytes:
+        """Fetch bytes without touching the access accounting.
+
+        Used for structural materialization right after a counted
+        :meth:`read` (the frame is already resident) and for offline walks
+        (saving, iteration, invariant checks) that the paper's page-access
+        metric does not count.
+        """
+        if page_id not in self._allocated:
+            raise KeyError(f"page {page_id} is not allocated")
+        data = self._frames.get(page_id)
+        if data is None:
+            data = self._read_from_file(page_id)
+        return data
+
+    def read_tail(self, offset: int, size: int) -> bytes:
+        """Read raw bytes past the page region (key table)."""
+        self._file.seek(offset)
+        data = self._file.read(size)
+        if len(data) != size:
+            raise IOError(f"short read at offset {offset} of {self.path}")
+        return data
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def free(self, page_id: int) -> None:
+        self._frames.pop(page_id, None)
+        super().free(page_id)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+        self.buffer.remove_evict_listener(self._drop_frame)
+        self._frames.clear()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FilePageStore({self.path!r}, pages={len(self._allocated)}, "
+            f"page_size={self.page_size}, resident={len(self._frames)})"
+        )

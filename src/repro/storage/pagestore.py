@@ -5,12 +5,15 @@ allocates page ids, routes every logical page access through an LRU
 :class:`~repro.storage.buffer.BufferManager`, and converts faults into
 simulated IO seconds via a :class:`~repro.storage.costmodel.DiskCostModel`.
 
-Access methods (Gauss-tree, X-tree, sequential scan) do not serialise their
-nodes on every visit — that would only burn Python CPU without changing any
-reported metric — but the byte-level encoding exists and is round-trip
-tested in :mod:`repro.storage.serializer`, and capacities are *derived*
-from the byte layout, so the page counts are the ones a byte-faithful
-implementation would show.
+In-memory access methods (Gauss-tree, X-tree, sequential scan) do not
+serialise their nodes on every visit — that would only burn Python CPU
+without changing any reported metric — but the byte-level encoding exists
+and is round-trip tested in :mod:`repro.storage.serializer`, and
+capacities are *derived* from the byte layout, so the page counts are the
+ones a byte-faithful implementation shows. The byte-faithful
+implementation itself is :class:`~repro.storage.filestore.FilePageStore`:
+a disk-opened Gauss-tree (``GaussTree.open``) reads, caches and decodes
+real page bytes through the same buffer and accounting.
 """
 
 from __future__ import annotations

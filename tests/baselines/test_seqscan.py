@@ -39,6 +39,39 @@ class TestCorrectness:
         with pytest.raises(ValueError):
             SequentialScanIndex(PFVDatabase())
 
+    def test_mliq_many_matches_singles(self, scan_index):
+        db, idx = scan_index
+        mliqs = [MLIQuery(make_random_query(d=3, seed=50 + i), 5) for i in range(12)]
+        batch, stats = idx.mliq_many(mliqs)
+        for query, matches in zip(mliqs, batch):
+            single, _ = idx.mliq(query)
+            assert [m.key for m in single] == [m.key for m in matches]
+            for a, b in zip(single, matches):
+                assert a.probability == pytest.approx(b.probability, abs=1e-12)
+        # The whole batch shares ONE sequential pass.
+        assert stats.pages_accessed == idx.file_pages
+        assert stats.objects_refined == len(db) * len(mliqs)
+
+    def test_empty_batches(self, scan_index):
+        _, idx = scan_index
+        results, stats = idx.mliq_many([])
+        assert results == [] and stats.pages_accessed == 0
+        results, stats = idx.tiq_many([])
+        assert results == [] and stats.pages_accessed == 0
+
+    def test_tiq_many_matches_singles(self, scan_index):
+        db, idx = scan_index
+        tiqs = [
+            ThresholdQuery(make_random_query(d=3, seed=80 + i), 0.1)
+            for i in range(8)
+        ]
+        batch, stats = idx.tiq_many(tiqs)
+        for query, matches in zip(tiqs, batch):
+            single, _ = idx.tiq(query)
+            assert [m.key for m in single] == [m.key for m in matches]
+        # One density pass plus one report pass for the whole batch.
+        assert stats.pages_accessed == 2 * idx.file_pages
+
 
 class TestAccounting:
     def test_mliq_reads_file_once(self, scan_index):

@@ -154,6 +154,26 @@ class TestLogSumExp:
     def test_all_neg_inf(self):
         assert gaussian.logsumexp(np.array([-math.inf, -math.inf])) == -math.inf
 
+    def test_pos_inf_propagates(self):
+        # Regression: m + log(sum(exp(values - m))) evaluates inf - inf
+        # for the +inf entry and used to return NaN.
+        assert gaussian.logsumexp(np.array([math.inf])) == math.inf
+        assert gaussian.logsumexp(np.array([0.0, math.inf])) == math.inf
+        assert gaussian.logsumexp(np.array([-math.inf, math.inf])) == math.inf
+        assert (
+            gaussian.logsumexp(np.array([math.inf, math.inf])) == math.inf
+        )
+
+    def test_nan_propagates(self):
+        assert math.isnan(gaussian.logsumexp(np.array([math.nan])))
+        assert math.isnan(gaussian.logsumexp(np.array([0.0, math.nan])))
+        assert math.isnan(
+            gaussian.logsumexp(np.array([math.inf, math.nan]))
+        )
+        assert math.isnan(
+            gaussian.logsumexp(np.array([-math.inf, math.nan]))
+        )
+
     @given(st.lists(st.floats(-100, 100), min_size=1, max_size=20))
     def test_dominates_max(self, values):
         arr = np.array(values)

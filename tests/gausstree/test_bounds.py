@@ -1,5 +1,7 @@
 """Unit tests for parameter-space rectangles (Definition 4's MBRs)."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -101,20 +103,51 @@ class TestGeometry:
     def test_enlargement_zero_when_contained(self):
         r = rect(0.0, 1.0, 0.1, 0.5)
         d_vol, d_margin = r.enlargement_for_vector(PFV([0.5], [0.3]))
-        assert d_vol == 0.0 and d_margin == 0.0
+        assert d_vol == -math.inf and d_margin == 0.0
 
     def test_enlargement_positive_outside(self):
         r = rect(0.0, 1.0, 0.1, 0.5)
         d_vol, d_margin = r.enlargement_for_vector(PFV([3.0], [0.3]))
-        assert d_vol > 0.0 and d_margin > 0.0
+        # log of the true volume increase: (3 - 0) * 0.4 grown from 0.4.
+        assert d_vol == pytest.approx(math.log(3.0 * 0.4 - 1.0 * 0.4))
+        assert d_margin > 0.0
 
     def test_enlargement_margin_for_degenerate_box(self):
         # Volume stays 0 when extending a point box along one axis; the
         # margin must still discriminate.
         r = ParameterRect.of_vector(PFV([0.0], [0.2]))
         d_vol, d_margin = r.enlargement_for_vector(PFV([1.0], [0.2]))
-        assert d_vol == 0.0
+        assert d_vol == -math.inf
         assert d_margin == pytest.approx(1.0)
+
+    def test_log_volume_matches_volume_when_representable(self):
+        r = rect([0.0, 0.0], [2.0, 1.0], [0.1, 0.1], [0.3, 0.6])
+        assert r.log_volume() == pytest.approx(math.log(r.volume()))
+        assert ParameterRect.of_vector(PFV([1.0], [0.2])).log_volume() == -math.inf
+
+    def test_enlargement_discriminates_at_d27(self):
+        # Regression: with 54 extents of ~1e-6 the linear-space volume is
+        # (1e-6)**54 = 1e-324 -> 0.0, so both enlargements used to compare
+        # equal (0.0) and steering collapsed onto the margin tie-breaker.
+        d = 27
+        ext = 1e-6
+        near = ParameterRect(
+            np.zeros(d), np.full(d, ext), np.full(d, 0.1), np.full(d, 0.1 + ext)
+        )
+        far = ParameterRect(
+            np.full(d, 5.0),
+            np.full(d, 5.0 + ext),
+            np.full(d, 0.1),
+            np.full(d, 0.1 + ext),
+        )
+        assert near.volume() == 0.0 and far.volume() == 0.0  # the old trap
+        v = PFV(np.full(d, 2.0 * ext), np.full(d, 0.1 + 0.5 * ext))
+        d_near, _ = near.enlargement_for_vector(v)
+        d_far, _ = far.enlargement_for_vector(v)
+        assert math.isfinite(d_near) and math.isfinite(d_far)
+        # Growing the nearby box costs far less volume than dragging the
+        # distant box across parameter space.
+        assert d_near < d_far
 
     def test_copy_independent(self):
         r = rect(0.0, 1.0, 0.1, 0.5)

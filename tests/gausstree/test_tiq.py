@@ -141,6 +141,59 @@ class TestEfficiencyAndTolerance:
             )
             assert abs(match.probability - 0.2) < 0.06
 
+    @pytest.mark.parametrize(
+        "seed,d,p_theta,tol",
+        [(47, 1, 0.1, 0.1), (81, 2, 0.2, 0.2), (135, 1, 0.1, 0.1)],
+    )
+    def test_tolerance_decides_against_widest_candidate(
+        self, seed, d, p_theta, tol
+    ):
+        """Regression: posterior interval width grows with density, so the
+        early-stop test must look at the *largest* undecided candidate.
+
+        The old rule applied the width test to ``candidates[0]`` (the
+        smallest density): once that narrow interval fit inside
+        ``tolerance`` the traversal stopped, while high-density candidates
+        still straddled the threshold with intervals far wider than
+        ``tolerance`` — and got misclassified by their (still loose)
+        midpoints. These seeds made the old rule drop objects whose exact
+        posterior clears ``p_theta + tol``.
+        """
+        from repro.core.bayes import posteriors_from_log_densities
+        from repro.core.database import PFVDatabase
+        from repro.core.joint import log_joint_density_batch
+
+        rng = np.random.default_rng(seed)
+        vectors = [
+            PFV(
+                rng.uniform(0, 1, d),
+                np.exp(rng.uniform(np.log(1e-3), np.log(1.0), d)),
+                key=i,
+            )
+            for i in range(80)
+        ]
+        db = PFVDatabase(vectors)
+        tree = bulk_load(db.vectors, degree=3, sigma_rule=db.sigma_rule)
+        qrng = np.random.default_rng(10_000 + seed)
+        q = PFV(
+            qrng.uniform(0, 1, d),
+            np.exp(qrng.uniform(np.log(1e-3), np.log(1.0), d)),
+        )
+        log_dens = log_joint_density_batch(
+            db.mu_matrix, db.sigma_matrix, q, db.sigma_rule
+        )
+        exact = posteriors_from_log_densities(log_dens)
+        got, _ = tree.tiq(ThresholdQuery(q, p_theta), tolerance=tol)
+        got_keys = {m.key for m in got}
+        clear_accepts = {
+            db[i].key for i in range(len(db)) if exact[i] >= p_theta + tol
+        }
+        clear_rejects = {
+            db[i].key for i in range(len(db)) if exact[i] < p_theta - tol
+        }
+        assert clear_accepts <= got_keys
+        assert not (clear_rejects & got_keys)
+
     def test_stats_counters_populated(self):
         db = make_random_db(n=100, d=2, seed=17)
         tree = build_tree(db)

@@ -94,3 +94,43 @@ class TestColdStart:
     def test_from_bytes_bad_page_size(self):
         with pytest.raises(ValueError):
             BufferManager.from_bytes(1024, 0)
+
+
+class TestEvictionListeners:
+    def test_listener_fires_on_lru_eviction(self):
+        buf = BufferManager(2)
+        evicted = []
+        buf.add_evict_listener(evicted.append)
+        buf.access(1)
+        buf.access(2)
+        buf.access(3)  # evicts 1
+        assert evicted == [1]
+
+    def test_listener_fires_on_invalidate_and_cold_start(self):
+        buf = BufferManager(4)
+        evicted = []
+        buf.add_evict_listener(evicted.append)
+        buf.access(1)
+        buf.access(2)
+        buf.invalidate(1)
+        assert evicted == [1]
+        buf.invalidate(99)  # not resident: no callback
+        assert evicted == [1]
+        buf.cold_start()
+        assert sorted(evicted) == [1, 2]
+
+    def test_remove_listener_detaches(self):
+        buf = BufferManager(1)
+        evicted = []
+        buf.add_evict_listener(evicted.append)
+        buf.remove_evict_listener(evicted.append)
+        buf.access(1)
+        buf.access(2)  # evicts 1, but nobody is listening anymore
+        assert evicted == []
+        buf.remove_evict_listener(evicted.append)  # absent: no-op
+
+    def test_no_listener_by_default(self):
+        buf = BufferManager(1)
+        buf.access(1)
+        buf.access(2)  # evicts silently
+        assert buf.stats.evictions == 1
