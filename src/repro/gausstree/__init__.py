@@ -13,7 +13,8 @@ Submodules
 ``mliq``      — k-most-likely identification queries (Sections 5.2.1-2).
 ``tiq``       — threshold identification queries (Section 5.2.3).
 ``batch``     — batch query APIs amortizing traversal across queries.
-``persist``   — save/open of a tree as a single paged index file.
+``persist``   — save/open of a tree as a single paged index file;
+                writable opens with WAL durability and crash recovery.
 """
 
 from repro.gausstree.batch import (
@@ -33,7 +34,7 @@ from repro.gausstree.hull import (
 )
 from repro.gausstree.integral import hull_integral, hull_integral_total
 from repro.gausstree.mliq import gausstree_mliq
-from repro.gausstree.persist import open_tree, save_tree
+from repro.gausstree.persist import open_tree, recover_index, save_tree
 from repro.gausstree.tiq import gausstree_tiq
 from repro.gausstree.tree import GaussTree
 
@@ -48,6 +49,7 @@ __all__ = [
     "gausstree_tiq_many",
     "save_tree",
     "open_tree",
+    "recover_index",
     "hull_lower",
     "hull_upper",
     "log_hull_lower",

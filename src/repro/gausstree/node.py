@@ -19,6 +19,13 @@ the parent's page), but the payload — a leaf's entries, an inner node's
 child list — is materialized from page bytes only on first access through
 a loader callback. ``entries`` and ``children`` are therefore properties;
 in-memory trees simply never set a loader and pay one ``None`` check.
+
+Stubs are not read-only: on a writable disk-opened tree every mutator
+(``add``, ``remove_at``, ``add_child``, ``remove_child``, the split-time
+``replace_*``) goes through the same materializing properties, so a stub
+transparently loads, mutates, and is then marked dirty by the tree's
+write path (:meth:`repro.gausstree.tree.GaussTree._mark_dirty`) for the
+next WAL commit.
 """
 
 from __future__ import annotations

@@ -20,21 +20,33 @@ top of the byte-faithful page codecs of :mod:`repro.storage.serializer`:
   therefore identical on both representations, which the round-trip
   tests assert.
 
-File layout (all little-endian)::
+File layout, format **v2** (all little-endian)::
 
     offset 0            fixed header (magic, version, geometry, root id,
-                        page count, object count, key-table pointer),
-                        zero-padded to one page
+                        page count, object count, key-table pointer,
+                        free-page count) followed by the free-page list
+                        (u32 each), zero-padded to one page
     page_id * page_size node pages (ids 1..page_count), encoded by
                         repro.storage.serializer
     key_table_offset    JSON key table mapping the int64 key slots of
                         leaf pages back to application keys
 
-Keys may be ``None``, bools, ints, floats, strings or (nested) tuples of
-those; anything else fails the save with a ``TypeError``.
+Format v1 (PR 1) is the same minus the free-page list; v1 files still
+open, read-only. Keys may be ``None``, bools, ints, floats, strings or
+(nested) tuples of those; anything else fails the save with a
+``TypeError``.
 
-Opened trees are read-only: inserts and deletes would need a write-ahead
-path the storage layer does not have yet (see ROADMAP).
+**Writable opens.** ``open_tree(path, writable=True)`` attaches a
+:class:`TreeWriter` implementing a redo-only write-ahead protocol (see
+:mod:`repro.storage.wal` for the fsync ordering and
+:func:`recover_index` for the replay): every ``insert``/``delete``
+commits one WAL transaction holding the dirtied page images, appended
+keys and the new header; the main file is rewritten only at a checkpoint
+(``tree.flush()`` / ``tree.close()``). Opening a file whose WAL holds
+committed transactions — a crashed writer — replays them first, so
+readers and writers always see the last committed state. Free pages from
+node deletes are reused by later splits via the header's free-page list
+instead of growing the file forever.
 """
 
 from __future__ import annotations
@@ -42,7 +54,8 @@ from __future__ import annotations
 import json
 import os
 import struct
-from typing import Hashable
+import time
+from typing import Callable, Hashable
 
 from repro.core.joint import SigmaRule
 from repro.gausstree.bounds import ParameterRect
@@ -59,18 +72,93 @@ from repro.storage.serializer import (
     encode_inner_page,
     encode_leaf_page,
 )
+from repro.storage.wal import (
+    REC_CKPT_BASE,
+    REC_KEYS,
+    REC_META,
+    REC_PAGE,
+    WriteAheadLog,
+)
 
-__all__ = ["save_tree", "open_tree", "MAGIC", "FORMAT_VERSION"]
+__all__ = [
+    "save_tree",
+    "open_tree",
+    "recover_index",
+    "TreeWriter",
+    "MAGIC",
+    "FORMAT_VERSION",
+]
 
 MAGIC = b"GAUSTREE"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 # magic, version, page_size, dims, degree, sigma_rule, height, root_page,
 # page_count, n_objects, key_table_offset, key_table_bytes
-_HEADER = struct.Struct("<8sHIIIBHIIQQQ")
+_HEADER_V1 = struct.Struct("<8sHIIIBHIIQQQ")
+# v2 appends the free-page count; the free-page ids (u32 each) follow the
+# fixed struct inside the header page.
+_HEADER_V2 = struct.Struct("<8sHIIIBHIIQQQI")
+# Byte range of (key_table_offset, key_table_bytes) inside both structs —
+# recovery patches these after rewriting the key table.
+_KT_FIELDS_OFFSET = 8 + 2 + 4 + 4 + 4 + 1 + 2 + 4 + 4 + 8
+_KT_FIELDS = struct.Struct("<QQ")
 
 _SIGMA_RULE_CODES = {SigmaRule.CONVOLUTION: 0, SigmaRule.PAPER: 1}
 _SIGMA_RULE_FROM_CODE = {v: k for k, v in _SIGMA_RULE_CODES.items()}
+
+
+def wal_path_for(path: str | os.PathLike) -> str:
+    """The sidecar WAL file of an index (``<index>.wal``)."""
+    return os.fspath(path) + ".wal"
+
+
+try:
+    import fcntl as _fcntl
+except ImportError:  # non-POSIX: locking degrades to best-effort no-op
+    _fcntl = None
+
+#: How long a writable open keeps retrying the index lock before
+#: concluding a real writer holds it (rides out a concurrent reader's
+#: WAL replay). Tests shrink this to fail fast.
+_LOCK_RETRY_SECONDS = 5.0
+
+
+class _IndexLock:
+    """Advisory single-writer lock on ``<index>.lock``.
+
+    A writable open holds it for the writer's lifetime; recovery takes
+    it around its replay. This is what keeps a read-only open from
+    truncating the WAL of a *live* writer in another process (the
+    reader then reads the main file's last-checkpoint state instead).
+    Open-time protection only: a checkpoint racing an *already-open*
+    reader can still rewrite pages under it — reader snapshot isolation
+    is a ROADMAP item. Without ``fcntl`` (non-POSIX) the lock degrades
+    to a no-op.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        # realpath: opening/saving the same index through a symlink must
+        # contend on the same lock file.
+        self.path = os.path.realpath(os.fspath(path)) + ".lock"
+        self._fd: int | None = None
+
+    def acquire(self) -> bool:
+        if _fcntl is None:
+            return True
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            _fcntl.flock(fd, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is not None:
+            _fcntl.flock(self._fd, _fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
 
 
 # -- key table ---------------------------------------------------------------
@@ -108,7 +196,7 @@ def _decode_key(entry: list) -> Hashable:
 
 
 class _KeyTable:
-    """Deduplicating key -> int64 slot assignment for the save path."""
+    """Deduplicating key -> int64 slot assignment for the write path."""
 
     def __init__(self) -> None:
         self.keys: list[Hashable] = []
@@ -116,6 +204,17 @@ class _KeyTable:
         # recursively — (1,), (True,) and (1.0,) hash equal as tuples but
         # encode differently, so each keeps its own slot.
         self._index: dict[str, int] = {}
+        # len(self.dump()) maintained incrementally: the per-op commit
+        # needs the serialized table size for the header (not the bytes),
+        # and re-encoding the whole table would make inserts O(n^2).
+        self._dump_len = 2  # "[]"
+
+    @classmethod
+    def from_keys(cls, keys: list[Hashable]) -> "_KeyTable":
+        table = cls()
+        for key in keys:
+            table.slot(key)
+        return table
 
     def slot(self, key: Hashable) -> int:
         probe = json.dumps(_encode_key(key))
@@ -124,17 +223,241 @@ class _KeyTable:
             idx = len(self.keys)
             self.keys.append(key)
             self._index[probe] = idx
+            # json.dumps(list) joins item encodings with ", " — probe is
+            # exactly the item encoding, so the list length is additive.
+            self._dump_len += len(probe) if idx == 0 else 2 + len(probe)
         return idx
 
+    @property
+    def encoded_length(self) -> int:
+        """``len(self.dump())`` without serializing (ASCII-safe keys)."""
+        return self._dump_len
+
     def dump(self) -> bytes:
-        return json.dumps([_encode_key(k) for k in self.keys]).encode("utf-8")
+        data = json.dumps([_encode_key(k) for k in self.keys]).encode("utf-8")
+        assert len(data) == self._dump_len, "encoded-length bookkeeping bug"
+        return data
+
+
+# -- header ------------------------------------------------------------------
+
+
+def _build_header_page(
+    *,
+    page_size: int,
+    dims: int,
+    degree: int,
+    sigma_rule: SigmaRule,
+    height: int,
+    root_page: int,
+    page_count: int,
+    n_objects: int,
+    key_table_bytes: int,
+    free_pages: tuple[int, ...] = (),
+) -> bytes:
+    """The complete page-0 image: fixed v2 header plus the free-page list.
+
+    The free list is capped by the header page's spare bytes; if node
+    deletes ever free more pages than fit, the oldest ids are dropped
+    (those pages leak until the next compacting ``save``).
+    """
+    capacity = (page_size - _HEADER_V2.size) // 4
+    free = free_pages[-capacity:] if len(free_pages) > capacity else free_pages
+    fixed = _HEADER_V2.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        page_size,
+        dims,
+        degree,
+        _SIGMA_RULE_CODES[sigma_rule],
+        height,
+        root_page,
+        page_count,
+        n_objects,
+        (page_count + 1) * page_size,
+        key_table_bytes,
+        len(free),
+    )
+    body = fixed + struct.pack(f"<{len(free)}I", *free)
+    return body + b"\x00" * (page_size - len(body))
+
+
+def _parse_fixed_header(raw: bytes) -> dict:
+    """Decode the version-independent fixed header fields from raw bytes.
+
+    Shared by :func:`read_header` (reading the file) and
+    :func:`recover_index` (reading a WAL ``META`` image), so the field
+    layout is interpreted in exactly one place.
+    """
+    (
+        magic,
+        version,
+        page_size,
+        dims,
+        degree,
+        rule_code,
+        height,
+        root_page,
+        page_count,
+        n_objects,
+        kt_offset,
+        kt_bytes,
+    ) = _HEADER_V1.unpack(raw[: _HEADER_V1.size])
+    return {
+        "magic": magic,
+        "version": version,
+        "page_size": page_size,
+        "dims": dims,
+        "degree": degree,
+        "rule_code": rule_code,
+        "height": height,
+        "root_page": root_page,
+        "page_count": page_count,
+        "n_objects": n_objects,
+        "key_table_offset": kt_offset,
+        "key_table_bytes": kt_bytes,
+    }
+
+
+def read_header(path: str | os.PathLike) -> dict:
+    """Parse and validate the fixed file header; returns its fields.
+
+    Understands both format v1 (PR 1, no free list) and v2.
+    """
+    with open(path, "rb") as f:
+        raw = f.read(_HEADER_V2.size)
+        if len(raw) < _HEADER_V1.size:
+            raise ValueError(
+                f"{os.fspath(path)!r} is not a Gauss-tree index file"
+            )
+        fixed = _parse_fixed_header(raw)
+        magic = fixed["magic"]
+        version = fixed["version"]
+        page_size = fixed["page_size"]
+        dims = fixed["dims"]
+        degree = fixed["degree"]
+        rule_code = fixed["rule_code"]
+        height = fixed["height"]
+        root_page = fixed["root_page"]
+        page_count = fixed["page_count"]
+        n_objects = fixed["n_objects"]
+        kt_offset = fixed["key_table_offset"]
+        kt_bytes = fixed["key_table_bytes"]
+        if magic != MAGIC:
+            raise ValueError(
+                f"{os.fspath(path)!r} is not a Gauss-tree index file"
+            )
+        if version not in (1, 2):
+            raise ValueError(
+                f"index format version {version} not supported "
+                f"(this build reads versions 1-{FORMAT_VERSION})"
+            )
+        free_pages: tuple[int, ...] = ()
+        if version == 2:
+            if len(raw) < _HEADER_V2.size:
+                raise ValueError(
+                    f"{os.fspath(path)!r} has a truncated v2 index header"
+                )
+            (free_count,) = struct.unpack_from("<I", raw, _HEADER_V2.size - 4)
+            capacity = (page_size - _HEADER_V2.size) // 4 if page_size else 0
+            if free_count > max(capacity, 0):
+                raise ValueError(
+                    f"{os.fspath(path)!r} has a corrupt index header "
+                    f"(free_count={free_count} exceeds capacity {capacity})"
+                )
+            free_raw = f.read(4 * free_count)
+            if len(free_raw) < 4 * free_count:
+                raise ValueError(
+                    f"{os.fspath(path)!r} has a truncated free-page list"
+                )
+            free_pages = struct.unpack(f"<{free_count}I", free_raw)
+    if rule_code not in _SIGMA_RULE_FROM_CODE:
+        raise ValueError(f"unknown sigma rule code {rule_code}")
+    # Sanity-check the geometry against the actual file so a corrupt or
+    # truncated header fails with a clear error instead of an absurd
+    # allocation (page_count is a u32) or an opaque KeyError later.
+    file_size = os.path.getsize(path)
+    if (
+        page_size < 256
+        or page_count < 1
+        or not 1 <= root_page <= page_count
+        or kt_offset != (page_count + 1) * page_size
+        or kt_offset + kt_bytes > file_size
+        or any(not 1 <= p <= page_count for p in free_pages)
+        or len(set(free_pages)) != len(free_pages)
+        or root_page in free_pages
+    ):
+        raise ValueError(
+            f"{os.fspath(path)!r} has a corrupt index header "
+            f"(page_size={page_size}, page_count={page_count}, "
+            f"root_page={root_page}, key_table={kt_offset}+{kt_bytes}, "
+            f"free_pages={len(free_pages)}, file_size={file_size})"
+        )
+    return {
+        "version": version,
+        "page_size": page_size,
+        "dims": dims,
+        "degree": degree,
+        "sigma_rule": _SIGMA_RULE_FROM_CODE[rule_code],
+        "height": height,
+        "root_page": root_page,
+        "page_count": page_count,
+        "n_objects": n_objects,
+        "key_table_offset": kt_offset,
+        "key_table_bytes": kt_bytes,
+        "free_pages": free_pages,
+    }
 
 
 # -- saving ------------------------------------------------------------------
 
 
-def save_tree(tree, path: str | os.PathLike) -> None:
-    """Write ``tree`` to ``path`` as a single self-describing index file."""
+class SaveResult:
+    """What :func:`save_tree` wrote — lets a writable tree rebind in place."""
+
+    __slots__ = ("page_of", "key_table", "page_count", "height")
+
+    def __init__(
+        self,
+        page_of: dict[int, int],
+        key_table: _KeyTable,
+        page_count: int,
+        height: int,
+    ) -> None:
+        self.page_of = page_of  # id(node) -> saved page id
+        self.key_table = key_table
+        self.page_count = page_count
+        self.height = height
+
+
+def save_tree(
+    tree, path: str | os.PathLike, *, _writer_lock: _IndexLock | None = None
+) -> SaveResult:
+    """Write ``tree`` to ``path`` as a single self-describing index file.
+
+    Refuses to replace an index another live writer holds open: the
+    save would silently truncate that writer's WAL and the writer's
+    next checkpoint would clobber the fresh file. ``_writer_lock`` is
+    the caller's own already-held lock (``GaussTree.save`` passes it),
+    which legitimizes the in-place save of a writable tree.
+    """
+    lock = _IndexLock(path)
+    owns_lock = lock.acquire()
+    if not owns_lock and not (
+        _writer_lock is not None and _writer_lock.path == lock.path
+    ):
+        raise RuntimeError(
+            f"cannot save over {os.fspath(path)!r}: another process holds "
+            "it open writable (close that writer first)"
+        )
+    try:
+        return _save_tree_locked(tree, path)
+    finally:
+        if owns_lock:
+            lock.release()
+
+
+def _save_tree_locked(tree, path: str | os.PathLike) -> SaveResult:
     layout: PageLayout = tree.layout
     if tree.leaf_max > layout.leaf_capacity:
         raise ValueError(
@@ -200,19 +523,16 @@ def save_tree(tree, path: str | os.PathLike) -> None:
             key_table_offset = (len(nodes) + 1) * page_size
             f.seek(key_table_offset)
             f.write(table)
-            header = _HEADER.pack(
-                MAGIC,
-                FORMAT_VERSION,
-                page_size,
-                layout.dims,
-                tree.degree,
-                _SIGMA_RULE_CODES[tree.sigma_rule],
-                height,
-                page_of[id(tree.root)],
-                len(nodes),
-                len(tree),
-                key_table_offset,
-                len(table),
+            header = _build_header_page(
+                page_size=page_size,
+                dims=layout.dims,
+                degree=tree.degree,
+                sigma_rule=tree.sigma_rule,
+                height=height,
+                root_page=page_of[id(tree.root)],
+                page_count=len(nodes),
+                n_objects=len(tree),
+                key_table_bytes=len(table),
             )
             f.seek(0)
             f.write(header)
@@ -221,6 +541,364 @@ def save_tree(tree, path: str | os.PathLike) -> None:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
         raise
+    # A leftover sidecar WAL from an earlier writable session describes
+    # the *replaced* file generation; replayed over the fresh save it
+    # would corrupt the index. Clear it in place (truncate to the magic,
+    # not unlink: a writer flushing right before an in-place save still
+    # holds the file open at offset 8, which stays consistent).
+    wal_path = wal_path_for(path)
+    if os.path.exists(wal_path):
+        wal = WriteAheadLog(wal_path)
+        try:
+            wal.reset()
+        finally:
+            wal.close()
+    return SaveResult(page_of, key_table, len(nodes), height)
+
+
+# -- recovery ----------------------------------------------------------------
+
+
+def recover_index(
+    path: str | os.PathLike,
+    wal_path: str | os.PathLike | None = None,
+    *,
+    file_factory: Callable = open,
+    _lock: _IndexLock | None = None,
+) -> bool:
+    """Redo-replay the committed WAL tail into the main index file.
+
+    Idempotent: a crash *during* recovery leaves the WAL in place, so
+    the next open simply replays again. Returns whether anything was
+    applied. The procedure:
+
+    1. scan the WAL, keeping the longest checksum-valid prefix of
+       committed transactions (a torn tail is discarded — that is the
+       not-yet-durable suffix of the workload);
+    2. fold the transactions into the latest image per page, the key
+       appends (re-based on a ``CKPT_BASE`` snapshot if a checkpoint was
+       interrupted), and the final header image;
+    3. write pages, key table and header into the main file (data
+       fsynced before the header), then truncate the WAL.
+    """
+    wal_path = wal_path_for(path) if wal_path is None else wal_path
+    # Cheap read-only pre-checks before any filesystem write (creating
+    # the lock file): a missing or committed-record-free WAL means there
+    # is nothing to replay — the common read-only open (and any v1 file,
+    # which never has a WAL) must work from read-only media unchanged.
+    # has_committed streams record headers without slurping the file; a
+    # rare false positive just means taking the lock and scanning fully.
+    if not os.path.exists(wal_path):
+        return False
+    if not WriteAheadLog.has_committed(wal_path):
+        return False
+    if _lock is None:
+        # A live writer in another process owns the WAL: replaying (and
+        # truncating!) it under that writer would make its later fsynced
+        # commits unrecoverable. Skip — the caller reads the consistent
+        # last-checkpoint state from the main file instead.
+        lock = _IndexLock(path)
+        if not lock.acquire():
+            return False
+        try:
+            return recover_index(
+                path, wal_path, file_factory=file_factory, _lock=lock
+            )
+        finally:
+            lock.release()
+    # Re-scan under the lock, streaming: fold to latest-image-per-page
+    # instead of materializing the whole log (a killed bulk insert can
+    # leave a WAL of hundreds of MB; the fold is bounded by the number
+    # of distinct pages).
+    pages: dict[int, bytes] = {}
+    base_entries: list | None = None
+    appended: list = []
+    header_image: bytes | None = None
+    committed_end = None
+    for txn, end in WriteAheadLog.iter_committed(wal_path):
+        committed_end = end
+        for rtype, payload in txn:
+            if rtype == REC_PAGE:
+                (pid,) = struct.unpack_from("<I", payload, 0)
+                pages[pid] = payload[4:]
+            elif rtype == REC_KEYS:
+                appended.extend(json.loads(payload.decode("utf-8")))
+            elif rtype == REC_CKPT_BASE:
+                # Snapshot of the whole table at checkpoint start; it
+                # subsumes every append logged before it.
+                base_entries = json.loads(payload.decode("utf-8"))
+                appended = []
+            elif rtype == REC_META:
+                header_image = payload
+    if committed_end is None or header_image is None:
+        return False  # no committed state transition to apply
+    meta_fields = _parse_fixed_header(header_image)
+    page_size = meta_fields["page_size"]
+    page_count = meta_fields["page_count"]
+    if base_entries is None:
+        # No checkpoint was in flight, so the main file's key table is
+        # exactly the last-checkpoint state and its header is intact.
+        durable = read_header(path)
+        with open(path, "rb") as f:
+            f.seek(durable["key_table_offset"])
+            raw = f.read(durable["key_table_bytes"])
+        base_entries = json.loads(raw.decode("utf-8"))
+        # Seal the *folded* table (base plus the WAL's appends) into the
+        # WAL before the main file is touched: recovery itself may crash
+        # mid-replay, clobbering the tail the lines above just read, and
+        # the retry must then be as self-contained as an interrupted
+        # checkpoint. The unsealed tail past the last COMMIT is
+        # discarded first so this transaction is actually reachable by
+        # the next scan.
+        wal = WriteAheadLog(wal_path, file_factory=file_factory)
+        try:
+            wal.truncate_to(committed_end)
+            wal.append(
+                REC_CKPT_BASE,
+                json.dumps(base_entries + appended).encode("utf-8"),
+            )
+            wal.append(REC_META, header_image)
+            wal.commit()
+        finally:
+            wal.close()
+    table = json.dumps(base_entries + appended).encode("utf-8")
+    kt_offset = (page_count + 1) * page_size
+    patched = bytearray(header_image)
+    patched[_KT_FIELDS_OFFSET : _KT_FIELDS_OFFSET + _KT_FIELDS.size] = (
+        _KT_FIELDS.pack(kt_offset, len(table))
+    )
+    f = file_factory(path, "r+b")
+    try:
+        for pid in sorted(pages):
+            f.seek(pid * page_size)
+            f.write(pages[pid])
+        f.seek(kt_offset)
+        f.write(table)
+        f.truncate(kt_offset + len(table))
+        f.flush()
+        os.fsync(f.fileno())
+        f.seek(0)
+        f.write(bytes(patched))
+        f.flush()
+        os.fsync(f.fileno())
+    finally:
+        f.close()
+    # The main file now holds everything; retire the WAL.
+    wal = WriteAheadLog(wal_path, file_factory=file_factory)
+    try:
+        wal.reset()
+    finally:
+        wal.close()
+    return True
+
+
+# -- the write path ----------------------------------------------------------
+
+
+class TreeWriter:
+    """Per-operation WAL commits and checkpoints for a writable tree.
+
+    Owned by a :class:`~repro.gausstree.tree.GaussTree` opened with
+    ``writable=True``; the tree calls :meth:`commit` with the set of
+    nodes an ``insert``/``delete`` dirtied, and :meth:`checkpoint` from
+    ``flush``/``close``.
+    """
+
+    def __init__(
+        self,
+        tree,
+        store: FilePageStore,
+        wal: WriteAheadLog,
+        keys: list[Hashable],
+        height: int,
+        lock: _IndexLock | None = None,
+    ) -> None:
+        self.tree = tree
+        self.store = store
+        self.wal = wal
+        self._lock = lock
+        self.key_table = _KeyTable.from_keys(keys)
+        self._logged_keys = len(self.key_table.keys)
+        self.height = height
+        # Offset of a torn transaction whose rollback also failed (e.g.
+        # ENOSPC on both): appending after those bytes would make every
+        # later fsynced commit unreachable to the recovery scan, so the
+        # tail must be re-truncated before the WAL accepts new records.
+        self._pending_rollback: int | None = None
+
+    # -- structure helpers ---------------------------------------------------
+
+    def _attached(self, node: Node) -> bool:
+        while node.parent is not None:
+            node = node.parent
+        return node is self.tree.root
+
+    @staticmethod
+    def _depth(node: Node) -> int:
+        depth = 0
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def _encode(self, node: Node, level: int) -> bytes:
+        layout = self.tree.layout
+        if node.is_leaf:
+            leaf: LeafNode = node  # type: ignore[assignment]
+            return encode_leaf_page(
+                layout,
+                leaf.page_id,
+                leaf.entries,
+                [self.key_table.slot(v.key) for v in leaf.entries],
+            )
+        inner: InnerNode = node  # type: ignore[assignment]
+        return encode_inner_page(
+            layout,
+            inner.page_id,
+            level,
+            [c.rect.as_flat_bounds() for c in inner.children],
+            [c.page_id for c in inner.children],
+            [c.count for c in inner.children],
+        )
+
+    def header_page_image(self) -> bytes:
+        tree = self.tree
+        return _build_header_page(
+            page_size=tree.layout.page_size,
+            dims=tree.layout.dims,
+            degree=tree.degree,
+            sigma_rule=tree.sigma_rule,
+            height=self.height,
+            root_page=tree.root.page_id,
+            page_count=self.store.page_count,
+            n_objects=len(tree),
+            key_table_bytes=self.key_table.encoded_length,
+            free_pages=self.store.free_pages,
+        )
+
+    # -- commit --------------------------------------------------------------
+
+    def commit(self, dirty: set[Node]) -> None:
+        """Make one completed tree operation durable: a WAL transaction
+        of page images + appended keys + header meta, then install the
+        images into the store (buffer-dirty, write-back tracked)."""
+        live = [n for n in dirty if self._attached(n)]
+        live_leaf = next((n for n in live if n.is_leaf), None)
+        if live_leaf is not None:
+            self.height = self._depth(live_leaf) + 1
+        else:  # pure-structural op; rare, costs a leftmost-path walk
+            self.height = self.tree.height
+        images: list[tuple[int, bytes]] = []
+        for node in live:
+            level = 0 if node.is_leaf else self.height - 1 - self._depth(node)
+            images.append((node.page_id, self._encode(node, level)))
+        new_keys = self.key_table.keys[self._logged_keys :]
+        self._ensure_clean_tail()
+        start = self.wal.tell()
+        try:
+            for pid, image in images:
+                self.wal.append_page(pid, image)
+            if new_keys:
+                self.wal.append(
+                    REC_KEYS,
+                    json.dumps([_encode_key(k) for k in new_keys]).encode(
+                        "utf-8"
+                    ),
+                )
+            self.wal.append(REC_META, self.header_page_image())
+            self.wal.commit()
+        except BaseException:
+            # A torn transaction must not be sealed by the *next* commit:
+            # roll the WAL back to the transaction start. If the rollback
+            # itself fails (disk full, injected crash), remember the
+            # offset — _ensure_clean_tail retries before any later append
+            # so a fsynced commit can never land behind torn bytes where
+            # the recovery scan would discard it.
+            try:
+                self.wal.truncate_to(start)
+            except Exception:
+                self._pending_rollback = start
+            raise
+        self._logged_keys = len(self.key_table.keys)
+        for pid, image in images:
+            self.store.write(pid, image)
+
+    def _ensure_clean_tail(self) -> None:
+        """Retry a previously failed transaction rollback; raises (and
+        keeps the WAL closed to new records) while the tail stays torn."""
+        if self._pending_rollback is not None:
+            self.wal.truncate_to(self._pending_rollback)
+            self._pending_rollback = None
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Transfer committed state into the main file; then empty the WAL.
+
+        fsync ordering: WAL (with a ``CKPT_BASE`` key-table snapshot that
+        makes replay independent of the main file's tail) strictly before
+        data pages, data pages before the header, header before the WAL
+        truncate.
+        """
+        store, wal = self.store, self.wal
+        # Marks left behind by a commit that failed mid-WAL-append: the
+        # mutation *is* in the live tree this checkpoint's header will
+        # describe, so its pages must be committed first — otherwise the
+        # header (n_objects, root) and the page images disagree and the
+        # file no longer opens. If the commit fails again, the
+        # checkpoint aborts here with the main file untouched.
+        pending = self.tree._dirty_nodes
+        if pending:
+            self.commit(pending)
+            self.tree._dirty_nodes = set()
+        images = store.dirty_images()
+        if not images and wal.is_empty:
+            return
+        self._ensure_clean_tail()
+        table = self.key_table.dump()
+        header_page = self.header_page_image()
+        wal.append(REC_CKPT_BASE, table)
+        wal.append(REC_META, header_page)
+        wal.commit()
+        if not wal.fsync:
+            wal.sync()  # checkpoint ordering is non-negotiable
+        for pid in sorted(images):
+            store.write_page_to_file(pid, images[pid])
+        kt_offset = (store.page_count + 1) * store.page_size
+        store.write_raw(kt_offset, table)
+        store.truncate_file(kt_offset + len(table))
+        store.sync()  # data pages durable before the header flips
+        store.write_raw(0, header_page)
+        store.sync()  # header durable before the WAL is discarded
+        wal.reset()
+        store.mark_all_clean()
+
+    def rebind_after_save(self, saved: SaveResult) -> None:
+        """Adopt the page ids of a compacting in-place ``save``.
+
+        ``save_tree`` materialized every node, so the whole tree can be
+        re-pointed at the freshly written (dense) page ids and the store
+        reset onto the new file generation.
+        """
+        stack: list[Node] = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            node.page_id = saved.page_of[id(node)]
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[attr-defined]
+        self.store.rebind(saved.page_count)
+        self.key_table = saved.key_table
+        self._logged_keys = len(saved.key_table.keys)
+        self.height = saved.height
+
+    def close(self, checkpoint: bool = True) -> None:
+        try:
+            if checkpoint:
+                self.checkpoint()
+        finally:
+            self.wal.close()
+            if self._lock is not None:
+                self._lock.release()
 
 
 # -- opening -----------------------------------------------------------------
@@ -268,86 +946,87 @@ class _NodeLoader:
         return node
 
 
-def read_header(path: str | os.PathLike) -> dict:
-    """Parse and validate the fixed file header; returns its fields."""
-    with open(path, "rb") as f:
-        raw = f.read(_HEADER.size)
-    if len(raw) < _HEADER.size:
-        raise ValueError(f"{os.fspath(path)!r} is not a Gauss-tree index file")
-    (
-        magic,
-        version,
-        page_size,
-        dims,
-        degree,
-        rule_code,
-        height,
-        root_page,
-        page_count,
-        n_objects,
-        kt_offset,
-        kt_bytes,
-    ) = _HEADER.unpack(raw)
-    if magic != MAGIC:
-        raise ValueError(f"{os.fspath(path)!r} is not a Gauss-tree index file")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"index format version {version} not supported "
-            f"(this build reads version {FORMAT_VERSION})"
-        )
-    if rule_code not in _SIGMA_RULE_FROM_CODE:
-        raise ValueError(f"unknown sigma rule code {rule_code}")
-    # Sanity-check the geometry against the actual file so a corrupt or
-    # truncated header fails with a clear error instead of an absurd
-    # allocation (page_count is a u32) or an opaque KeyError later.
-    file_size = os.path.getsize(path)
-    if (
-        page_size < 256
-        or page_count < 1
-        or not 1 <= root_page <= page_count
-        or kt_offset != (page_count + 1) * page_size
-        or kt_offset + kt_bytes > file_size
-    ):
-        raise ValueError(
-            f"{os.fspath(path)!r} has a corrupt index header "
-            f"(page_size={page_size}, page_count={page_count}, "
-            f"root_page={root_page}, key_table={kt_offset}+{kt_bytes}, "
-            f"file_size={file_size})"
-        )
-    return {
-        "page_size": page_size,
-        "dims": dims,
-        "degree": degree,
-        "sigma_rule": _SIGMA_RULE_FROM_CODE[rule_code],
-        "height": height,
-        "root_page": root_page,
-        "page_count": page_count,
-        "n_objects": n_objects,
-        "key_table_offset": kt_offset,
-        "key_table_bytes": kt_bytes,
-    }
-
-
 def open_tree(
     path: str | os.PathLike,
     buffer: BufferManager | None = None,
     cost_model: DiskCostModel | None = None,
+    *,
+    writable: bool = False,
+    fsync: bool = True,
+    file_factory: Callable = open,
 ):
-    """Open a saved index for querying; nodes materialize lazily.
+    """Open a saved index; nodes materialize lazily.
 
-    The returned tree is read-only (``insert``/``delete`` raise); pass a
-    sized ``buffer`` to reproduce the paper's cache experiments against
-    real bytes.
+    With ``writable=True`` (format v2 only) the tree accepts
+    ``insert``/``delete``, each committed through the write-ahead log;
+    call ``flush()``/``close()`` to checkpoint. A WAL left behind by a
+    crashed writer is replayed before anything is read, for read-only
+    opens too — the committed tail supersedes the main file's bytes.
+    ``fsync=False`` keeps the recovery guarantees but lets the newest
+    commits ride in the OS cache (faster, bounded loss on power cut).
     """
     from repro.gausstree.tree import GaussTree
 
+    lock: _IndexLock | None = None
+    if writable:
+        lock = _IndexLock(path)
+        # Retry briefly: the holder may be a *reader* replaying a
+        # crashed writer's WAL (bounded, seconds at most), which is not
+        # the genuine writer conflict the error below describes.
+        deadline = time.monotonic() + _LOCK_RETRY_SECONDS
+        while not lock.acquire():
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"{os.fspath(path)!r} is already open writable in "
+                    "another process (single-writer index)"
+                )
+            time.sleep(0.05)
+    try:
+        return _open_tree_locked(
+            path,
+            buffer,
+            cost_model,
+            writable=writable,
+            fsync=fsync,
+            file_factory=file_factory,
+            lock=lock,
+        )
+    except BaseException:
+        # On any failure the writer lock must not outlive this call —
+        # a leaked in-process flock would block every later open.
+        if lock is not None:
+            lock.release()
+        raise
+
+
+def _open_tree_locked(
+    path,
+    buffer,
+    cost_model,
+    *,
+    writable: bool,
+    fsync: bool,
+    file_factory: Callable,
+    lock,
+):
+    from repro.gausstree.tree import GaussTree
+
+    recover_index(path, file_factory=file_factory, _lock=lock)
     meta = read_header(path)
+    if writable and meta["version"] < 2:
+        raise ValueError(
+            f"{os.fspath(path)!r} is a format v1 index, which opens "
+            "read-only; open it and save() to rewrite as v2 first"
+        )
     store = FilePageStore(
         path,
         meta["page_size"],
         allocated_pages=meta["page_count"],
+        free_pages=meta["free_pages"],
+        writable=writable,
         buffer=buffer,
         cost_model=cost_model,
+        file_factory=file_factory,
     )
     table = json.loads(
         store.read_tail(
@@ -377,10 +1056,21 @@ def open_tree(
     else:
         raise ValueError(f"root page has unknown kind {kind}")
     tree.root = root
-    tree.read_only = True
     if len(tree) != meta["n_objects"]:
         raise ValueError(
             f"index corrupt: header says {meta['n_objects']} objects, "
             f"root subtree counts {len(tree)}"
         )
+    if writable:
+        # A fresh writer always starts from an empty WAL: recovery above
+        # either replayed-and-truncated it or left only an unsealed tail.
+        wal = WriteAheadLog(
+            wal_path_for(path), fsync=fsync, file_factory=file_factory
+        )
+        wal.reset()
+        tree.attach_writer(
+            TreeWriter(tree, store, wal, keys, meta["height"], lock=lock)
+        )
+    else:
+        tree.read_only = True
     return tree

@@ -96,8 +96,16 @@ class GaussTree:
         self.sigma_rule = sigma_rule
         self.split_quality = split_quality
         self.root: Node = LeafNode(self.store.allocate())
-        #: Set by :meth:`open`: disk-backed trees have no write path yet.
+        #: Set by :meth:`open` for format-v1 files, which have no free
+        #: list and therefore no write path.
         self.read_only = False
+        #: Attached by :meth:`open` with ``writable=True``: commits every
+        #: mutation through the write-ahead log (see
+        #: :class:`~repro.gausstree.persist.TreeWriter`).
+        self._writer = None
+        # Nodes whose pages the current mutation dirtied; None when no
+        # writer is attached (in-memory trees pay one `is None` check).
+        self._dirty_nodes: set[Node] | None = None
 
     # -- capacities (Definition 4) ------------------------------------------
 
@@ -153,20 +161,59 @@ class GaussTree:
         for leaf in self.leaves():
             yield from leaf.entries
 
+    # -- write-path bookkeeping ----------------------------------------------
+
+    def attach_writer(self, writer) -> None:
+        """Wire a :class:`~repro.gausstree.persist.TreeWriter` in: every
+        mutation marks the nodes whose pages it touched and commits them
+        as one WAL transaction when the operation completes."""
+        self._writer = writer
+        self._dirty_nodes = set()
+        self.read_only = False
+
+    def _mark_dirty(self, *nodes: Node) -> None:
+        if self._dirty_nodes is not None:
+            self._dirty_nodes.update(nodes)
+
+    def _commit_mutation(self) -> None:
+        if self._writer is not None:
+            # Cleared only after the commit lands: if it raises (ENOSPC,
+            # injected crash) the marks survive, so a caller that keeps
+            # the tree re-logs these pages with its next operation
+            # instead of silently never persisting them.
+            self._writer.commit(self._dirty_nodes)
+            self._dirty_nodes = set()
+
     # -- insertion -------------------------------------------------------------
 
     def insert(self, v: PFV) -> None:
-        """Insert one pfv (Section 5.3 path selection + median split)."""
+        """Insert one pfv (Section 5.3 path selection + median split).
+
+        On a writable disk-opened tree the operation is committed to the
+        write-ahead log before returning (durable once ``insert``
+        returns, under the tree's fsync setting)."""
         self._check_writable()
+        if self._writer is not None:
+            # Fail unsupported key types *before* mutating anything, so a
+            # bad key cannot wedge every later commit.
+            from repro.gausstree.persist import _encode_key
+
+            _encode_key(v.key)
+        self._insert_impl(v)
+        self._commit_mutation()
+
+    def _insert_impl(self, v: PFV) -> None:
         if v.dims != self.dims:
             raise ValueError(f"vector is {v.dims}-d, tree is {self.dims}-d")
         leaf = self._choose_leaf(v)
         leaf.add(v)
+        self._mark_dirty(leaf)
         node: Optional[InnerNode] = leaf.parent
         while node is not None:
             assert node.rect is not None
             node.rect.extend_vector(v)
             node.invalidate_count()
+            self._mark_dirty(node)
             node = node.parent
         if len(leaf.entries) > self.leaf_max:
             self._handle_overflow(leaf)
@@ -231,15 +278,18 @@ class GaussTree:
                 if len(node.children) <= self.inner_max:  # type: ignore[attr-defined]
                     return
                 new_node = self._split_inner(node)  # type: ignore[arg-type]
+            self._mark_dirty(node, new_node)
             parent = node.parent
             if parent is None:
                 new_root = InnerNode(self.store.allocate())
                 new_root.add_child(node)
                 new_root.add_child(new_node)
                 self.root = new_root
+                self._mark_dirty(new_root)
                 return
             parent.refresh_rect()
             parent.add_child(new_node)
+            self._mark_dirty(parent)
             node = parent
 
     def _split_leaf(self, leaf: LeafNode) -> LeafNode:
@@ -278,9 +328,11 @@ class GaussTree:
             return False
         leaf, index = found
         leaf.remove_at(index)
+        self._mark_dirty(leaf)
         if leaf.parent is not None:
             leaf.parent.invalidate_count()
         self._condense(leaf)
+        self._commit_mutation()
         return True
 
     def _find_entry(
@@ -324,6 +376,9 @@ class GaussTree:
             else:
                 node.refresh_rect()
                 parent.invalidate_count()  # child rect tightened: stale caches
+            # Either way the parent's page changed: a child entry left,
+            # or the child's stored MBR/cardinality moved.
+            self._mark_dirty(parent)
             node = parent
         node.refresh_rect()  # tighten the root
         # Collapse a degenerate inner root.
@@ -338,14 +393,18 @@ class GaussTree:
         if not self.root.is_leaf and not self.root.children:  # type: ignore[attr-defined]
             self.store.free(self.root.page_id)
             self.root = LeafNode(self.store.allocate())
+            self._mark_dirty(self.root)
+        # Reinserts ride inside the same logical operation (and the same
+        # WAL transaction): _insert_impl, not insert.
         for orphan in orphans:
-            self.insert(orphan)
+            self._insert_impl(orphan)
 
     def _check_writable(self) -> None:
         if self.read_only:
             raise RuntimeError(
                 "this Gauss-tree was opened from disk and is read-only; "
-                "rebuild the index and save() to change its contents"
+                "open it with writable=True (format v2) to change its "
+                "contents"
             )
 
     # -- persistence ---------------------------------------------------------------
@@ -358,30 +417,95 @@ class GaussTree:
         header and a key table; :meth:`open` maps it back. Page ids are
         re-assigned densely on save, so a save/open round trip is also a
         compaction.
+
+        A tree with an attached writable store flushes its write-ahead
+        log first: committed-but-unbuffered state must reach the main
+        file and the WAL must empty *before* the target is replaced,
+        otherwise reopening would replay stale page images over the
+        freshly saved file. Saving a writable tree over its own file
+        additionally rebinds the in-memory nodes to the compacted page
+        ids, so the tree stays writable afterwards.
         """
+        import os as _os
+
         from repro.gausstree.persist import save_tree
 
-        save_tree(self, path)
+        if self._writer is not None:
+            self.flush()
+        saved = save_tree(
+            self,
+            path,
+            _writer_lock=(
+                self._writer._lock if self._writer is not None else None
+            ),
+        )
+        # realpath, not abspath: saving through a symlink to the backing
+        # file still replaces the inode under the store and must rebind.
+        if self._writer is not None and _os.path.realpath(
+            _os.fspath(path)
+        ) == _os.path.realpath(self.store.path):
+            self._writer.rebind_after_save(saved)
 
     @classmethod
-    def open(cls, path, buffer=None, cost_model=None) -> "GaussTree":
-        """Open an index file saved by :meth:`save` for querying.
+    def open(
+        cls,
+        path,
+        buffer=None,
+        cost_model=None,
+        *,
+        writable: bool = False,
+        fsync: bool = True,
+        file_factory=open,
+    ) -> "GaussTree":
+        """Open an index file saved by :meth:`save`.
 
         Nodes materialize lazily from page bytes through a
         :class:`~repro.storage.filestore.FilePageStore`; queries on the
         opened tree read real pages through the buffer while reporting
-        the same logical page-access counts as the in-memory tree. The
-        returned tree is read-only.
+        the same logical page-access counts as the in-memory tree.
+
+        By default the returned tree is read-only. With
+        ``writable=True`` (format v2 files) ``insert``/``delete`` work
+        and are durable per operation through the write-ahead log; call
+        :meth:`flush` or :meth:`close` to checkpoint into the main file.
+        A WAL left behind by a crashed writer is replayed on open.
         """
         from repro.gausstree.persist import open_tree
 
-        return open_tree(path, buffer=buffer, cost_model=cost_model)
+        return open_tree(
+            path,
+            buffer=buffer,
+            cost_model=cost_model,
+            writable=writable,
+            fsync=fsync,
+            file_factory=file_factory,
+        )
 
-    def close(self) -> None:
-        """Release the backing file of a disk-opened tree (no-op otherwise)."""
-        close = getattr(self.store, "close", None)
-        if close is not None:
-            close()
+    def flush(self) -> None:
+        """Checkpoint a writable disk-opened tree (no-op otherwise).
+
+        Transfers every committed page image, the key table and the
+        header into the main file with fsync ordering (WAL before data
+        pages before header), then empties the WAL.
+        """
+        if self._writer is not None:
+            self._writer.checkpoint()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Release the backing file of a disk-opened tree (no-op otherwise).
+
+        A writable tree checkpoints first unless ``checkpoint=False``
+        (the committed state is still safe in the WAL and will be
+        replayed on the next open — the crash-recovery path, which the
+        recovery benchmark and tests exercise deliberately).
+        """
+        try:
+            if self._writer is not None:
+                self._writer.close(checkpoint=checkpoint)
+        finally:
+            close = getattr(self.store, "close", None)
+            if close is not None:
+                close()
 
     # -- queries ------------------------------------------------------------------
 

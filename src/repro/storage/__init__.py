@@ -10,20 +10,29 @@ simulation equivalents:
 ``pagestore``  — page allocation + per-query access logs.
 ``serializer`` — byte encoding of leaf/inner pages (round-trip tested).
 ``filestore``  — file-backed page store serving real bytes through the
-                 buffer (the disk path behind ``GaussTree.save/open``).
+                 buffer (the disk path behind ``GaussTree.save/open``);
+                 in writable mode the data half of the WAL protocol.
+``wal``        — write-ahead log with checksummed records and redo replay.
+``fault``      — crash-injection file doubles for the durability tests.
 """
 
 from repro.storage.buffer import BufferManager, BufferStats
 from repro.storage.costmodel import DiskCostModel
+from repro.storage.fault import FaultInjector, FaultyFile, InjectedCrash
 from repro.storage.filestore import FilePageStore
 from repro.storage.layout import PageLayout
 from repro.storage.pagestore import PageStore
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
     "BufferManager",
     "BufferStats",
     "DiskCostModel",
+    "FaultInjector",
+    "FaultyFile",
     "FilePageStore",
+    "InjectedCrash",
     "PageLayout",
     "PageStore",
+    "WriteAheadLog",
 ]

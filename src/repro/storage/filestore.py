@@ -11,14 +11,36 @@ and served from an in-memory frame cache on a hit. The frame cache mirrors
 buffer residency via the buffer's eviction hook, so the bytes held in
 memory are exactly the pages the simulated 50 MB cache says are resident.
 
-The store only reads: the file layout (header in the page-0 slot, node
-pages at ``page_id * page_size``, key table behind the last page) is
-owned and *written* by :mod:`repro.gausstree.persist`.
+In read-only mode the store only reads; the file layout (header in the
+page-0 slot, node pages at ``page_id * page_size``, key table behind the
+last page) is owned by :mod:`repro.gausstree.persist`.
+
+In **writable** mode (``writable=True``) the store becomes the data half
+of a write-ahead protocol (see :mod:`repro.storage.wal`):
+
+* :meth:`write` installs a committed page image *in memory only* — into
+  the frame cache, with the page marked dirty in the buffer. The main
+  file stays untouched between checkpoints, which is what makes crash
+  recovery a pure WAL replay.
+* a dirty page evicted from the buffer is written back exactly once via
+  the buffer's write-back hook — into the store's *pending overlay*, not
+  the file, preserving the image until the next checkpoint while keeping
+  buffer residency meaningful;
+* reads overlay the main file with the frame cache and the pending
+  images, so the store always serves the latest committed bytes;
+* :meth:`allocate` reuses ids from the free-page list (populated by node
+  deletes and persisted in the v2 header) before growing the file.
+
+The checkpoint itself — transferring dirty images, key table and header
+into the file with the right fsync ordering — is driven by
+:class:`repro.gausstree.persist.TreeWriter` through the raw-IO helpers
+(:meth:`write_page_to_file`, :meth:`write_raw`, :meth:`sync`).
 """
 
 from __future__ import annotations
 
 import os
+from typing import Callable
 
 from repro.storage.buffer import BufferManager
 from repro.storage.costmodel import DiskCostModel
@@ -59,18 +81,29 @@ class FilePageStore(PageStore):
         page_size: int,
         *,
         allocated_pages: int = 0,
+        free_pages: tuple[int, ...] = (),
+        writable: bool = False,
         buffer: BufferManager | None = None,
         cost_model: DiskCostModel | None = None,
+        file_factory: Callable = open,
     ) -> None:
         super().__init__(buffer=buffer, cost_model=cost_model)
         if page_size < 256:
             raise ValueError(f"page_size too small: {page_size}")
         self.path = os.fspath(path)
         self.page_size = page_size
-        self._file = open(self.path, "rb")
-        # Page 0 is the header slot; node pages start at 1.
+        self.writable = writable
+        self._file_factory = file_factory
+        self._file = file_factory(self.path, "r+b" if writable else "rb")
+        # Page 0 is the header slot; node pages start at 1. The free list
+        # holds allocated-region ids currently unused (LIFO reuse).
         self._next_page_id = 1 + allocated_pages
         self._allocated = set(range(1, 1 + allocated_pages))
+        self._free: list[int] = [p for p in free_pages if p in self._allocated]
+        self._allocated.difference_update(self._free)
+        # Committed page images whose buffer frame was evicted before the
+        # next checkpoint could persist them (the write-back target).
+        self._pending: dict[int, bytes] = {}
         # Bytes of the buffer-resident pages; kept in lockstep with the
         # buffer via an eviction listener, detached again on close().
         if self.buffer._evict_listeners:
@@ -86,13 +119,30 @@ class FilePageStore(PageStore):
         self.buffer.cold_start()
         self._frames: dict[int, bytes] = {}
         self.buffer.add_evict_listener(self._drop_frame)
+        if writable:
+            self.buffer.set_writeback(self._write_back)
 
     # -- byte fetching -------------------------------------------------------
 
     def _drop_frame(self, page_id: int) -> None:
         self._frames.pop(page_id, None)
 
+    def _write_back(self, page_id: int) -> None:
+        """A dirty page left the buffer: preserve its committed image.
+
+        Fired by the buffer exactly once per departure, before the
+        frame-dropping eviction listener, so the bytes are still in the
+        frame cache. The image moves to the pending overlay; the main
+        file is only written at the next checkpoint.
+        """
+        data = self._frames.get(page_id)
+        if data is not None:
+            self._pending[page_id] = data
+
     def _read_from_file(self, page_id: int) -> bytes:
+        pending = self._pending.get(page_id)
+        if pending is not None:
+            return pending
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         if len(data) != self.page_size:
@@ -143,17 +193,137 @@ class FilePageStore(PageStore):
             raise IOError(f"short read at offset {offset} of {self.path}")
         return data
 
-    # -- lifecycle -----------------------------------------------------------
+    # -- writing (committed-image installs; file IO only at checkpoint) ------
+
+    def _assert_writable(self) -> None:
+        if not self.writable:
+            raise RuntimeError(f"{self.path!r} is opened read-only")
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Install a committed page image (WAL already holds it durably).
+
+        The image lands in the frame cache with the page marked dirty;
+        if the buffer cannot hold it (zero capacity) it goes straight to
+        the pending overlay. The main file is untouched until the next
+        checkpoint, so a crash at any point replays from the WAL.
+        """
+        self._assert_writable()
+        if page_id not in self._allocated:
+            raise KeyError(f"page {page_id} is not allocated")
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page image has {len(data)} bytes, expected {self.page_size}"
+            )
+        self.log.pages_written += 1
+        self.buffer.write(page_id)
+        if self.buffer.contains(page_id):
+            self._frames[page_id] = data
+            # A stale pre-image in the overlay would shadow nothing (the
+            # frame wins) but would resurrect on eviction ordering bugs;
+            # drop it eagerly.
+            self._pending.pop(page_id, None)
+        else:
+            self._pending[page_id] = data
+
+    # -- allocation with free-page reuse -------------------------------------
+
+    def allocate(self) -> int:
+        if self.writable and self._free:
+            pid = self._free.pop()
+            self._allocated.add(pid)
+            return pid
+        return super().allocate()
 
     def free(self, page_id: int) -> None:
+        if self.writable:
+            # Forget any unpersisted image and the dirty flag first: a
+            # freed page must not be written back or checkpointed.
+            self.buffer.mark_clean(page_id)
+            self._pending.pop(page_id, None)
         self._frames.pop(page_id, None)
+        was_allocated = page_id in self._allocated
         super().free(page_id)
+        if self.writable and was_allocated:
+            if page_id == self._next_page_id - 1:
+                self._next_page_id -= 1  # shrink the high-water mark
+            else:
+                self._free.append(page_id)
+
+    @property
+    def page_count(self) -> int:
+        """High-water page id (node pages occupy ids ``1..page_count``)."""
+        return self._next_page_id - 1
+
+    @property
+    def free_pages(self) -> tuple[int, ...]:
+        """Free-listed page ids, in reuse (LIFO) order from the right."""
+        return tuple(self._free)
+
+    # -- checkpoint IO (driven by TreeWriter) --------------------------------
+
+    def dirty_images(self) -> dict[int, bytes]:
+        """Latest committed image of every page not yet in the main file."""
+        images = dict(self._pending)
+        for page_id in self.buffer.dirty_pages:
+            data = self._frames.get(page_id)
+            if data is not None:
+                images[page_id] = data
+        return images
+
+    def write_page_to_file(self, page_id: int, data: bytes) -> None:
+        self._assert_writable()
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+
+    def write_raw(self, offset: int, data: bytes) -> None:
+        self._assert_writable()
+        self._file.seek(offset)
+        self._file.write(data)
+
+    def truncate_file(self, size: int) -> None:
+        self._assert_writable()
+        self._file.truncate(size)
+
+    def sync(self) -> None:
+        """fsync the main file (checkpoint ordering barrier)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def mark_all_clean(self) -> None:
+        """Checkpoint epilogue: every image reached the main file."""
+        for page_id in self.buffer.dirty_pages:
+            self.buffer.mark_clean(page_id)
+        self._pending.clear()
+
+    def rebind(self, allocated_pages: int) -> None:
+        """Adopt a freshly rewritten file generation at the same path.
+
+        After an in-place compacting save the old file handle points at
+        the replaced inode; drop every cache, reset allocation to the
+        dense ids ``1..allocated_pages`` (empty free list), and reopen
+        through the original ``file_factory`` so crash injection and
+        other wrappers stay in force.
+        """
+        self._assert_writable()
+        self.buffer.cold_start()
+        self._frames.clear()
+        self._pending.clear()
+        self._allocated = set(range(1, allocated_pages + 1))
+        self._next_page_id = allocated_pages + 1
+        self._free = []
+        self._file.close()
+        self._file = self._file_factory(self.path, "r+b")
+
+    # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
         if not self._file.closed:
             self._file.close()
         self.buffer.remove_evict_listener(self._drop_frame)
+        if self.writable:
+            self.buffer.set_writeback(None)
         self._frames.clear()
+        self._pending.clear()
 
     def __enter__(self) -> "FilePageStore":
         return self

@@ -25,19 +25,26 @@ __all__ = ["PageStore", "AccessLog"]
 
 
 class AccessLog:
-    """Per-query access counters, reset by the caller between queries."""
+    """Per-query access counters, reset by the caller between queries.
 
-    __slots__ = ("pages_accessed", "page_faults", "io_seconds")
+    ``pages_written`` counts page-image installs on the writable storage
+    path; it is kept separate from ``pages_accessed`` because the
+    paper's page-access metric is defined over query reads only.
+    """
+
+    __slots__ = ("pages_accessed", "page_faults", "io_seconds", "pages_written")
 
     def __init__(self) -> None:
         self.pages_accessed = 0
         self.page_faults = 0
         self.io_seconds = 0.0
+        self.pages_written = 0
 
     def reset(self) -> None:
         self.pages_accessed = 0
         self.page_faults = 0
         self.io_seconds = 0.0
+        self.pages_written = 0
 
 
 class PageStore:

@@ -1,0 +1,251 @@
+"""Write-ahead log for the writable Gauss-tree storage path.
+
+Durability protocol (redo-only, physical logging):
+
+* Between checkpoints the main index file is **never** written. Every
+  mutating tree operation appends one *transaction* to the sidecar WAL
+  file: the full images of the pages it dirtied, the application keys it
+  appended to the key table, a ``META`` record carrying the complete
+  header-page image, and finally a ``COMMIT`` record — then the WAL is
+  flushed (and fsynced, unless the caller opted out).
+* A checkpoint first logs a ``CKPT_BASE`` record holding the *entire*
+  key table (making replay independent of the main file's soon-to-be
+  overwritten tail), then transfers the dirty pages, key table and
+  header into the main file with ``fsync`` ordering *WAL before data
+  pages before header*, and only then truncates the WAL.
+* Recovery (:func:`repro.gausstree.persist.recover_index`) scans the WAL,
+  keeps the longest prefix of checksum-valid records, applies everything
+  up to the last ``COMMIT`` and discards the torn tail — so a crash at
+  any byte leaves the index equal to a committed prefix of the workload.
+
+Record wire format (little-endian)::
+
+    <payload_len u32> <type u8> <payload bytes> <crc32 u32>
+
+where the CRC covers the type byte plus the payload. The file starts
+with the 8-byte magic ``GAUSWAL2``; a missing or mangled magic reads as
+an empty log (the writable open then re-initializes it).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable
+
+__all__ = [
+    "WriteAheadLog",
+    "WAL_MAGIC",
+    "REC_PAGE",
+    "REC_KEYS",
+    "REC_META",
+    "REC_CKPT_BASE",
+    "REC_COMMIT",
+]
+
+WAL_MAGIC = b"GAUSWAL2"
+
+REC_PAGE = 1  # payload: <page_id u32> <page image>
+REC_KEYS = 2  # payload: UTF-8 JSON list of tagged keys appended this txn
+REC_META = 3  # payload: full header-page image (fixed header + free list)
+REC_CKPT_BASE = 4  # payload: UTF-8 JSON of the entire key table
+REC_COMMIT = 5  # payload: empty
+
+_REC_HEAD = struct.Struct("<IB")
+_CRC = struct.Struct("<I")
+
+#: Upper bound on a single record payload; a garbage length field past
+#: this reads as a torn tail instead of a giant allocation.
+_MAX_PAYLOAD = 1 << 30
+
+
+class WriteAheadLog:
+    """Appender/reader for one index's sidecar WAL file.
+
+    Parameters
+    ----------
+    path:
+        The WAL file, conventionally ``<index path> + ".wal"``.
+    fsync:
+        Whether :meth:`commit` fsyncs. Disabling trades the durability
+        of the newest transactions for insert throughput; recovery
+        correctness is unaffected (the tail simply may be shorter).
+    file_factory:
+        ``open``-compatible callable; the crash tests pass a
+        :class:`~repro.storage.fault.FaultInjector` bound opener.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: bool = True,
+        file_factory: Callable = open,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        exists = os.path.exists(self.path)
+        self._file = file_factory(self.path, "r+b" if exists else "w+b")
+        if not exists:
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+            if fsync:
+                os.fsync(self._file.fileno())
+        else:
+            self._file.seek(0, os.SEEK_END)
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, rtype: int, payload: bytes) -> None:
+        """Buffer one record; durable only after :meth:`commit`."""
+        self._file.write(_REC_HEAD.pack(len(payload), rtype))
+        self._file.write(payload)
+        self._file.write(_CRC.pack(zlib.crc32(bytes([rtype]) + payload)))
+
+    def append_page(self, page_id: int, image: bytes) -> None:
+        self.append(REC_PAGE, struct.pack("<I", page_id) + image)
+
+    def commit(self) -> None:
+        """Seal the buffered records with a COMMIT and make them durable."""
+        self.append(REC_COMMIT, b"")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def tell(self) -> int:
+        """Current append offset (a transaction's rollback point)."""
+        return self._file.tell()
+
+    def truncate_to(self, offset: int) -> None:
+        """Roll back an unsealed transaction to its start offset."""
+        self._file.seek(offset)
+        self._file.truncate(offset)
+        self._file.flush()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Bytes currently in the WAL file (records plus magic)."""
+        return os.path.getsize(self.path)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the log holds no records (just the magic, or less)."""
+        return self.size <= len(WAL_MAGIC)
+
+    def reset(self) -> None:
+        """Empty the log (after a completed checkpoint made it redundant)."""
+        self._file.seek(0)
+        self._file.write(WAL_MAGIC)
+        self._file.truncate(len(WAL_MAGIC))
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._file.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog({self.path!r}, fsync={self.fsync})"
+
+    # -- scanning ------------------------------------------------------------
+
+    @staticmethod
+    def has_committed(path: str | os.PathLike) -> bool:
+        """Cheap streaming probe: does the log hold any COMMIT record?
+
+        Walks record headers (seeking over payloads, no CRC work, O(1)
+        memory) — a pre-check for recovery that must stay cheap on the
+        multi-hundred-MB WAL a killed bulk insert leaves behind. May
+        return a false positive on a log whose tail is garbage (the
+        caller's full scan then finds nothing committed); a genuinely
+        committed prefix is always detected because garbage can only
+        follow valid records.
+        """
+        try:
+            with open(path, "rb") as f:
+                if f.read(len(WAL_MAGIC)) != WAL_MAGIC:
+                    return False
+                f.seek(0, os.SEEK_END)
+                total = f.tell()
+                offset = len(WAL_MAGIC)
+                while offset + _REC_HEAD.size <= total:
+                    f.seek(offset)
+                    length, rtype = _REC_HEAD.unpack(f.read(_REC_HEAD.size))
+                    end = offset + _REC_HEAD.size + length + _CRC.size
+                    if length > _MAX_PAYLOAD or end > total:
+                        return False
+                    if rtype == REC_COMMIT:
+                        return True
+                    offset = end
+        except FileNotFoundError:
+            return False
+        return False
+
+    @staticmethod
+    def iter_committed(path: str | os.PathLike):
+        """Stream committed transactions: yields ``(records, end)``.
+
+        ``records`` is the transaction's ``(type, payload)`` list
+        (without the COMMIT) and ``end`` the byte offset just past its
+        COMMIT record. Reads record-by-record, so peak memory is one
+        transaction — not the whole log, which a killed bulk insert can
+        grow to hundreds of MB. Stops at the first torn or
+        checksum-corrupt record; records after the last COMMIT are never
+        yielded. A missing file or mangled magic yields nothing.
+        """
+        try:
+            f = open(path, "rb")
+        except FileNotFoundError:
+            return
+        with f:
+            if f.read(len(WAL_MAGIC)) != WAL_MAGIC:
+                return
+            f.seek(0, os.SEEK_END)
+            total = f.tell()
+            offset = len(WAL_MAGIC)
+            f.seek(offset)
+            current: list[tuple[int, bytes]] = []
+            while offset + _REC_HEAD.size <= total:
+                length, rtype = _REC_HEAD.unpack(f.read(_REC_HEAD.size))
+                end = offset + _REC_HEAD.size + length + _CRC.size
+                if length > _MAX_PAYLOAD or end > total:
+                    return  # torn tail
+                payload = f.read(length)
+                (crc,) = _CRC.unpack(f.read(_CRC.size))
+                if crc != zlib.crc32(bytes([rtype]) + payload):
+                    return  # corrupt: discard this record and the rest
+                if rtype == REC_COMMIT:
+                    yield current, end
+                    current = []
+                else:
+                    current.append((rtype, payload))
+                offset = end
+
+    @staticmethod
+    def scan(path: str | os.PathLike) -> list[list[tuple[int, bytes]]]:
+        """Committed transactions in the WAL, oldest first (fully
+        materialized — use :meth:`iter_committed` for large logs)."""
+        return [records for records, _ in WriteAheadLog.iter_committed(path)]
+
+    @staticmethod
+    def scan_detail(
+        path: str | os.PathLike,
+    ) -> tuple[list[list[tuple[int, bytes]]], int]:
+        """Like :meth:`scan`, plus the byte offset just past the last
+        COMMIT — the truncation point for discarding an unsealed tail
+        before appending (recovery does this to seal its own records)."""
+        committed: list[list[tuple[int, bytes]]] = []
+        committed_end = len(WAL_MAGIC)
+        for records, end in WriteAheadLog.iter_committed(path):
+            committed.append(records)
+            committed_end = end
+        return committed, committed_end

@@ -1,12 +1,31 @@
-"""Shared fixtures: small seeded databases and query generators."""
+"""Shared fixtures: small seeded databases and query generators.
+
+Also registers the hypothesis profiles: the crash-injection/durability
+property tests (tests/storage/test_wal.py, tests/gausstree/
+test_persist_write.py) deliberately do not pin ``max_examples``, so the
+example budget is the active profile's — ``dev`` (20 examples, fast
+local feedback) by default, ``default`` (hypothesis's stock 100) for
+CI's main suite via ``REPRO_HYPOTHESIS_PROFILE=default``, and ``ci``
+(150) when the dedicated durability step passes
+``--hypothesis-profile=ci``. Tests that pin their own ``@settings`` are
+unaffected by profiles.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.database import PFVDatabase
 from repro.core.pfv import PFV
+
+settings.register_profile("dev", max_examples=20, deadline=None)
+settings.register_profile("default", deadline=None)
+settings.register_profile("ci", max_examples=150, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_random_db(

@@ -1,0 +1,842 @@
+"""Durability of the writable disk-opened Gauss-tree.
+
+The acceptance bar of the write path is stated as two properties and
+enforced here with hypothesis:
+
+* **Crash prefix-consistency** — for a random insert (or insert/delete)
+  workload and a random crash point measured in written bytes, killing
+  the writer mid-flight and reopening the index always recovers, and
+  the recovered tree equals an in-memory replay of exactly the
+  operations that completed before the crash (every completed operation
+  is fsync-durable; the one in flight is torn away by WAL replay).
+* **Mutate-then-query equivalence** — interleaved inserts, deletes and
+  queries on a writable opened tree answer identically to a fresh
+  in-memory tree holding the same surviving objects, and after a
+  checkpoint the reopened tree reports the *same logical page-access
+  counts* as the live writable tree.
+
+Crash points are injected with :mod:`repro.storage.fault`; budgets are
+drawn small enough to die inside the very first WAL record and large
+enough to survive the whole workload, so commit boundaries, torn page
+images, torn commits, checkpoints and recovery itself all get hit.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pfv import PFV
+from repro.core.queries import MLIQuery, ThresholdQuery
+from repro.gausstree.persist import read_header, save_tree
+from repro.gausstree.tree import GaussTree
+from repro.storage.fault import FaultInjector, InjectedCrash
+from repro.storage.wal import WriteAheadLog
+
+from tests.conftest import make_random_query
+
+
+def make_vectors(rng, n, d, tag):
+    return [
+        PFV(
+            rng.uniform(0.0, 1.0, d),
+            rng.uniform(0.05, 0.4, d),
+            key=(tag, i),
+        )
+        for i in range(n)
+    ]
+
+
+def build_saved(path, base, d, degree=3):
+    tree = GaussTree(dims=d, degree=degree)
+    tree.extend(base)
+    tree.save(path)
+    return tree
+
+
+def assert_same_answers(expected_tree, actual_tree, d, seed, k=5, theta=0.2):
+    """MLIQ and TIQ agreement; exact key order (same structure) is not
+    assumed — posteriors are a property of the object *set*."""
+    q = make_random_query(d=d, seed=seed)
+    exp, _ = expected_tree.mliq(MLIQuery(q, k))
+    act, _ = actual_tree.mliq(MLIQuery(q, k))
+    assert {m.key for m in exp} == {m.key for m in act}
+    exp_p = {m.key: m.probability for m in exp}
+    for m in act:
+        assert m.probability == pytest.approx(exp_p[m.key], abs=1e-9)
+    exp_t, _ = expected_tree.tiq(ThresholdQuery(q, theta))
+    act_t, _ = actual_tree.tiq(ThresholdQuery(q, theta))
+    assert {m.key for m in exp_t} == {m.key for m in act_t}
+
+
+class TestCrashRecovery:
+    @given(
+        d=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+        n_base=st.integers(0, 30),
+        n_extra=st.integers(1, 20),
+        budget=st.integers(1, 250_000),
+    )
+    @settings(deadline=None)  # example budget comes from the active profile
+    def test_crash_during_inserts_recovers_durable_prefix(
+        self, tmp_path_factory, d, seed, n_base, n_extra, budget
+    ):
+        path = str(tmp_path_factory.mktemp("crash") / "t.gauss")
+        rng = np.random.default_rng(seed)
+        base = make_vectors(rng, n_base, d, "base")
+        extra = make_vectors(rng, n_extra, d, "extra")
+        build_saved(path, base, d)
+
+        injector = FaultInjector(budget)
+        completed = 0
+        writable = None
+        try:
+            writable = GaussTree.open(
+                path, writable=True, file_factory=injector.open
+            )
+            for v in extra:
+                writable.insert(v)
+                completed += 1
+            writable.flush()
+        except InjectedCrash:
+            pass
+        finally:
+            if writable is not None:
+                writable.close(checkpoint=False)
+
+        recovered = GaussTree.open(path)
+        try:
+            # Every completed insert was committed and (in the
+            # written-bytes-are-durable fault model) is recoverable;
+            # the torn one vanishes: an exact prefix.
+            assert len(recovered) == n_base + completed
+            recovered.check_invariants()
+            assert sorted(v.key for v in recovered) == sorted(
+                v.key for v in base + extra[:completed]
+            )
+            replay = GaussTree(dims=d, degree=3)
+            replay.extend(base + extra[:completed])
+            assert_same_answers(replay, recovered, d, seed + 1)
+        finally:
+            recovered.close()
+
+    @given(
+        d=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+        n_base=st.integers(4, 25),
+        budget=st.integers(1, 400_000),
+        ops=st.lists(st.integers(0, 2), min_size=1, max_size=18),
+    )
+    @settings(deadline=None)
+    def test_crash_during_mixed_ops_recovers_a_replayable_prefix(
+        self, tmp_path_factory, d, seed, n_base, budget, ops
+    ):
+        """Inserts *and* deletes: the durable prefix must replay to the
+        same object set and answers, including condense/reinsert ops
+        whose WAL transactions span many pages."""
+        path = str(tmp_path_factory.mktemp("mixed") / "t.gauss")
+        rng = np.random.default_rng(seed)
+        base = make_vectors(rng, n_base, d, "base")
+        fresh = iter(make_vectors(rng, len(ops), d, "fresh"))
+        build_saved(path, base, d)
+
+        injector = FaultInjector(budget)
+        applied: list[tuple[str, PFV]] = []
+        writable = None
+        try:
+            writable = GaussTree.open(
+                path, writable=True, file_factory=injector.open
+            )
+            alive = list(base)
+            for op in ops:
+                if op < 2 or not alive:  # bias 2:1 toward inserts
+                    v = next(fresh)
+                    writable.insert(v)
+                    applied.append(("insert", v))
+                    alive.append(v)
+                else:
+                    victim = alive.pop(int(rng.integers(len(alive))))
+                    assert writable.delete(victim)
+                    applied.append(("delete", victim))
+        except InjectedCrash:
+            # The op in flight did not complete: drop it from the replay.
+            pass
+        finally:
+            if writable is not None:
+                writable.close(checkpoint=False)
+
+        recovered = GaussTree.open(path)
+        try:
+            recovered.check_invariants()
+            replay = GaussTree(dims=d, degree=3)
+            replay.extend(base)
+            for kind, v in applied[: len(applied)]:
+                if kind == "insert":
+                    replay.insert(v)
+                else:
+                    assert replay.delete(v)
+            # The crash may have torn the last *uncompleted* op only.
+            assert len(recovered) == len(replay)
+            assert sorted(v.key for v in recovered) == sorted(
+                v.key for v in replay
+            )
+            assert_same_answers(replay, recovered, d, seed + 2)
+        finally:
+            recovered.close()
+
+    @given(seed=st.integers(0, 10_000), budget=st.integers(1, 120_000))
+    @settings(deadline=None)
+    def test_crash_during_checkpoint_loses_nothing(
+        self, tmp_path_factory, seed, budget
+    ):
+        """Once an op committed, a crash inside flush() cannot undo it:
+        the WAL's CKPT_BASE snapshot makes replay independent of the
+        half-rewritten main file."""
+        d = 2
+        path = str(tmp_path_factory.mktemp("ckpt") / "t.gauss")
+        rng = np.random.default_rng(seed)
+        base = make_vectors(rng, 15, d, "base")
+        extra = make_vectors(rng, 8, d, "extra")
+        build_saved(path, base, d)
+        writable = GaussTree.open(path, writable=True)
+        for v in extra:
+            writable.insert(v)
+        # Swap crash injection in *after* the inserts so the budget is
+        # spent inside the checkpoint's own writes.
+        injector = FaultInjector(budget)
+        store_file = writable.store._file
+        wal_file = writable._writer.wal._file
+        from repro.storage.fault import FaultyFile
+
+        writable.store._file = FaultyFile(store_file, injector)
+        writable._writer.wal._file = FaultyFile(wal_file, injector)
+        crashed = False
+        try:
+            writable.flush()
+        except InjectedCrash:
+            crashed = True
+        finally:
+            writable.close(checkpoint=False)
+
+        recovered = GaussTree.open(path)
+        try:
+            assert len(recovered) == len(base) + len(extra)
+            recovered.check_invariants()
+            replay = GaussTree(dims=d, degree=3)
+            replay.extend(base + extra)
+            assert_same_answers(replay, recovered, d, seed + 3)
+        finally:
+            recovered.close()
+        # With a tiny budget the checkpoint must actually have died —
+        # guard against the test silently not exercising the crash.
+        if budget < 1000:
+            assert crashed
+
+    @given(seed=st.integers(0, 10_000), budget=st.integers(1, 60_000))
+    @settings(deadline=None)
+    def test_crash_during_recovery_recovers_on_retry(
+        self, tmp_path_factory, seed, budget
+    ):
+        """Recovery is idempotent: kill it mid-replay, run it again."""
+        d = 2
+        path = str(tmp_path_factory.mktemp("rec") / "t.gauss")
+        rng = np.random.default_rng(seed)
+        base = make_vectors(rng, 10, d, "base")
+        extra = make_vectors(rng, 6, d, "extra")
+        build_saved(path, base, d)
+        writable = GaussTree.open(path, writable=True)
+        for v in extra:
+            writable.insert(v)
+        writable.close(checkpoint=False)  # leave everything in the WAL
+
+        injector = FaultInjector(budget)
+        try:
+            crashed_open = GaussTree.open(path, file_factory=injector.open)
+            crashed_open.close()
+        except InjectedCrash:
+            pass
+
+        recovered = GaussTree.open(path)  # real files: replay completes
+        try:
+            assert len(recovered) == len(base) + len(extra)
+            recovered.check_invariants()
+        finally:
+            recovered.close()
+
+
+class TestMutateQueryEquivalence:
+    @given(
+        d=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+        n_base=st.integers(2, 40),
+        ops=st.lists(st.integers(0, 3), min_size=1, max_size=25),
+    )
+    @settings(deadline=None)
+    def test_interleaved_ops_match_in_memory_tree(
+        self, tmp_path_factory, d, seed, n_base, ops
+    ):
+        path = str(tmp_path_factory.mktemp("equiv") / "t.gauss")
+        rng = np.random.default_rng(seed)
+        base = make_vectors(rng, n_base, d, "base")
+        fresh = iter(make_vectors(rng, len(ops), d, "fresh"))
+        build_saved(path, base, d)
+        writable = GaussTree.open(path, writable=True, fsync=False)
+        try:
+            alive = list(base)
+            query_round = 0
+            for op in ops:
+                if op <= 1 or not alive:
+                    v = next(fresh)
+                    writable.insert(v)
+                    alive.append(v)
+                elif op == 2:
+                    victim = alive.pop(int(rng.integers(len(alive))))
+                    assert writable.delete(victim)
+                else:
+                    query_round += 1
+                    reference = GaussTree(dims=d, degree=3)
+                    reference.extend(alive)
+                    assert len(writable) == len(alive)
+                    assert_same_answers(
+                        reference, writable, d, seed + query_round
+                    )
+            writable.check_invariants()
+            final_reference = GaussTree(dims=d, degree=3)
+            final_reference.extend(alive)
+            assert_same_answers(final_reference, writable, d, seed + 99)
+
+            # Write-back consistency: checkpoint, reopen cold, and the
+            # reopened tree must answer identically *with identical
+            # logical page-access counts* to the live writable tree.
+            writable.flush()
+            reopened = GaussTree.open(path)
+            try:
+                assert sorted(v.key for v in reopened) == sorted(
+                    v.key for v in alive
+                )
+                q = make_random_query(d=d, seed=seed + 7)
+                writable.store.cold_start()
+                live_matches, live_stats = writable.mliq(MLIQuery(q, 4))
+                reopened.store.cold_start()
+                disk_matches, disk_stats = reopened.mliq(MLIQuery(q, 4))
+                assert [m.key for m in live_matches] == [
+                    m.key for m in disk_matches
+                ]
+                assert (
+                    disk_stats.pages_accessed == live_stats.pages_accessed
+                )
+                assert disk_stats.nodes_expanded == live_stats.nodes_expanded
+            finally:
+                reopened.close()
+        finally:
+            writable.close()
+
+
+class TestWritableLifecycle:
+    def test_v1_files_still_open_read_only(self, tmp_path):
+        import struct
+
+        path = str(tmp_path / "v1.gauss")
+        rng = np.random.default_rng(3)
+        base = make_vectors(rng, 30, 2, "b")
+        mem = build_saved(path, base, 2)
+        # A v2 file with an empty free list is byte-compatible with v1
+        # except for the version field: rewrite it to forge a PR-1 file.
+        with open(path, "r+b") as f:
+            f.seek(8)
+            f.write(struct.pack("<H", 1))
+        meta = read_header(path)
+        assert meta["version"] == 1
+        assert meta["free_pages"] == ()
+        reopened = GaussTree.open(path)
+        try:
+            assert reopened.read_only
+            assert_same_answers(mem, reopened, 2, seed=11)
+            with pytest.raises(RuntimeError, match="read-only"):
+                reopened.insert(base[0])
+        finally:
+            reopened.close()
+        with pytest.raises(ValueError, match="format v1"):
+            GaussTree.open(path, writable=True)
+
+    def test_default_open_stays_read_only(self, tmp_path):
+        path = str(tmp_path / "ro.gauss")
+        rng = np.random.default_rng(5)
+        build_saved(path, make_vectors(rng, 20, 2, "b"), 2)
+        reopened = GaussTree.open(path)
+        try:
+            with pytest.raises(RuntimeError, match="read-only"):
+                reopened.insert(
+                    PFV(np.array([0.5, 0.5]), np.array([0.1, 0.1]), key="x")
+                )
+        finally:
+            reopened.close()
+
+    def test_open_close_without_ops_leaves_file_untouched(self, tmp_path):
+        path = str(tmp_path / "idle.gauss")
+        rng = np.random.default_rng(6)
+        build_saved(path, make_vectors(rng, 25, 2, "b"), 2)
+        before = open(path, "rb").read()
+        tree = GaussTree.open(path, writable=True)
+        tree.close()
+        assert open(path, "rb").read() == before
+
+    def test_deletes_populate_free_list_and_splits_reuse_it(self, tmp_path):
+        path = str(tmp_path / "free.gauss")
+        rng = np.random.default_rng(7)
+        base = make_vectors(rng, 120, 2, "b")
+        build_saved(path, base, 2)
+        original_pages = read_header(path)["page_count"]
+
+        tree = GaussTree.open(path, writable=True, fsync=False)
+        for v in base[:70]:
+            assert tree.delete(v)
+        tree.flush()
+        meta = read_header(path)
+        assert meta["free_pages"], "node dissolution must free pages"
+        freed = len(meta["free_pages"])
+        # page_count is a high-water mark: deletes never grow the file.
+        assert meta["page_count"] <= original_pages
+
+        replacement = make_vectors(rng, 70, 2, "r")
+        for v in replacement:
+            tree.insert(v)
+        tree.flush()
+        after = read_header(path)
+        # Same population as the start: reuse must keep the file from
+        # growing beyond its original footprint plus at most the freed
+        # ids that were dropped from the capped list (none here).
+        assert len(after["free_pages"]) < max(freed, 1)
+        assert after["page_count"] <= original_pages + 1
+        tree.close()
+
+        reopened = GaussTree.open(path)
+        try:
+            reopened.check_invariants()
+            assert len(reopened) == 120
+        finally:
+            reopened.close()
+
+    def test_unsupported_key_fails_before_mutating(self, tmp_path):
+        path = str(tmp_path / "badkey.gauss")
+        rng = np.random.default_rng(8)
+        build_saved(path, make_vectors(rng, 12, 2, "b"), 2)
+        tree = GaussTree.open(path, writable=True)
+        try:
+            with pytest.raises(TypeError, match="cannot persist key"):
+                tree.insert(
+                    PFV(
+                        np.array([0.5, 0.5]),
+                        np.array([0.1, 0.1]),
+                        key=frozenset({1}),
+                    )
+                )
+            assert len(tree) == 12  # nothing half-applied
+            tree.insert(
+                PFV(np.array([0.5, 0.5]), np.array([0.1, 0.1]), key="fine")
+            )
+        finally:
+            tree.close()
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 13
+        finally:
+            reopened.close()
+
+
+class TestSaveFlushesWal:
+    def test_save_with_pending_dirty_pages_flushes_the_wal_first(
+        self, tmp_path
+    ):
+        """Regression: GaussTree.save on a writable tree must checkpoint
+        before replacing the file. Without the flush, the old WAL (stale
+        page ids into the *new* compacted file) survives the save and is
+        replayed on the next open, corrupting the index — exactly what
+        save_tree alone does."""
+        path = str(tmp_path / "race.gauss")
+        rng = np.random.default_rng(9)
+        base = make_vectors(rng, 40, 2, "b")
+        build_saved(path, base, 2)
+        tree = GaussTree.open(path, writable=True)
+        extra = make_vectors(rng, 25, 2, "x")
+        for v in extra:
+            tree.insert(v)
+        # Pending state: committed WAL transactions, dirty pages, stale
+        # main file. save() must flush all of it before compacting.
+        assert not tree._writer.wal.is_empty
+        tree.save(path)
+        assert tree._writer.wal.is_empty
+        tree.close()
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 65
+            reopened.check_invariants()
+        finally:
+            reopened.close()
+
+    def test_raw_save_tree_leaves_no_replayable_wal_behind(self, tmp_path):
+        """Defense in depth below GaussTree.save: a raw save_tree over a
+        *held* index is refused outright (it would race the writer), and
+        over a released index it clears the stale WAL whose page images
+        would otherwise replay over the freshly compacted file."""
+        import sys
+
+        path = str(tmp_path / "hazard.gauss")
+        rng = np.random.default_rng(10)
+        base = make_vectors(rng, 40, 2, "b")
+        build_saved(path, base, 2)
+        tree = GaussTree.open(path, writable=True)
+        for v in make_vectors(rng, 25, 2, "x"):
+            tree.insert(v)
+        assert WriteAheadLog.scan(path + ".wal")
+        if sys.platform != "win32":
+            with pytest.raises(RuntimeError, match="open writable"):
+                save_tree(tree, path)  # held by our own writer: refused
+        assert len(list(tree)) == 65  # materialize before the store closes
+        tree.close(checkpoint=False)  # release; stale WAL stays behind
+        assert WriteAheadLog.scan(path + ".wal")
+        save_tree(tree, path)  # no live writer now: compact + clear WAL
+        assert WriteAheadLog.scan(path + ".wal") == []
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 65
+            reopened.check_invariants()
+        finally:
+            reopened.close()
+
+    def test_writable_tree_survives_in_place_save_and_keeps_writing(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "inplace.gauss")
+        rng = np.random.default_rng(11)
+        base = make_vectors(rng, 50, 2, "b")
+        build_saved(path, base, 2)
+        tree = GaussTree.open(path, writable=True)
+        first = make_vectors(rng, 20, 2, "f")
+        for v in first:
+            tree.insert(v)
+        tree.save(path)  # compacting in-place save rebinds page ids
+        second = make_vectors(rng, 15, 2, "s")
+        for v in second:
+            tree.insert(v)
+        assert tree.delete(base[0])
+        tree.close()
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 50 + 20 + 15 - 1
+            reopened.check_invariants()
+            reference = GaussTree(dims=2, degree=3)
+            reference.extend(base[1:] + first + second)
+            assert_same_answers(reference, reopened, 2, seed=12)
+        finally:
+            reopened.close()
+
+    def test_plain_save_tree_clears_a_stale_foreign_wal(self, tmp_path):
+        """Rebuilding an index over a path whose previous writable
+        session left a WAL behind (e.g. `repro insert --no-flush` then
+        `repro build`) must not let the stale WAL replay over the fresh
+        file on the next open."""
+        path = str(tmp_path / "rebuild.gauss")
+        rng = np.random.default_rng(15)
+        base = make_vectors(rng, 30, 2, "b")
+        build_saved(path, base, 2)
+        stale_writer = GaussTree.open(path, writable=True)
+        for v in make_vectors(rng, 10, 2, "x"):
+            stale_writer.insert(v)
+        stale_writer.close(checkpoint=False)  # state rides in the WAL
+        assert WriteAheadLog.scan(path + ".wal")
+        # A completely unrelated rebuild over the same path...
+        replacement = make_vectors(rng, 20, 2, "new")
+        fresh = GaussTree(dims=2, degree=3)
+        fresh.extend(replacement)
+        save_tree(fresh, path)
+        # ...must leave nothing for recovery to replay.
+        assert WriteAheadLog.scan(path + ".wal") == []
+        reopened = GaussTree.open(path)
+        try:
+            assert sorted(v.key for v in reopened) == sorted(
+                v.key for v in replacement
+            )
+            reopened.check_invariants()
+        finally:
+            reopened.close()
+
+    def test_failed_rollback_is_retried_before_the_next_commit(
+        self, tmp_path
+    ):
+        """If a commit *and* its WAL rollback both fail (disk full), a
+        later commit must not append behind the torn bytes — recovery
+        would discard it despite the acknowledged fsync."""
+        path = str(tmp_path / "poison.gauss")
+        rng = np.random.default_rng(16)
+        base = make_vectors(rng, 20, 2, "b")
+        build_saved(path, base, 2)
+        tree = GaussTree.open(path, writable=True)
+        writer = tree._writer
+
+        class _DiskFull(OSError):
+            pass
+
+        real_file = writer.wal._file
+
+        class _FailingTail:
+            """Tears one write mid-record, fails everything (rollback
+            included) until healed, then behaves like the real file."""
+
+            def __init__(self) -> None:
+                self.state = "tear"
+
+            def write(self, data):
+                if self.state == "tear":
+                    self.state = "dead"
+                    return real_file.write(data[: max(1, len(data) // 2)])
+                if self.state == "dead":
+                    raise _DiskFull("no space")
+                return real_file.write(data)
+
+            def truncate(self, size=None):
+                if self.state == "dead":
+                    raise _DiskFull("no space")
+                return real_file.truncate(size)
+
+            def __getattr__(self, name):
+                return getattr(real_file, name)
+
+        failing = _FailingTail()
+        writer.wal._file = failing
+        with pytest.raises(_DiskFull):
+            tree.insert(
+                PFV(np.array([0.5, 0.5]), np.array([0.1, 0.1]), key="lost")
+            )
+        assert writer._pending_rollback is not None
+        # "Space freed": writes work again; the next insert must first
+        # re-truncate the torn tail, then commit reachable records.
+        failing.state = "ok"
+        tree.insert(
+            PFV(np.array([0.6, 0.6]), np.array([0.1, 0.1]), key="durable")
+        )
+        assert writer._pending_rollback is None
+        tree.close(checkpoint=False)
+        recovered = GaussTree.open(path)
+        try:
+            keys = {v.key for v in recovered}
+            assert "durable" in keys
+        finally:
+            recovered.close()
+
+    def test_close_after_failed_commit_keeps_file_openable(self, tmp_path):
+        """Regression: a commit that dies mid-WAL-append leaves the
+        mutation in the live tree but not in the store; a later
+        close()/flush() must re-commit those pages before writing a
+        header that describes the live tree — otherwise n_objects and
+        the page images disagree and the file never opens again."""
+        path = str(tmp_path / "failcommit.gauss")
+        rng = np.random.default_rng(17)
+        base = make_vectors(rng, 20, 2, "b")
+        build_saved(path, base, 2)
+        tree = GaussTree.open(path, writable=True)
+        writer = tree._writer
+        real_file = writer.wal._file
+
+        class _Dies:
+            def __init__(self) -> None:
+                self.state = "tear"
+
+            def write(self, data):
+                if self.state == "tear":
+                    self.state = "dead"
+                    return real_file.write(data[: max(1, len(data) // 2)])
+                if self.state == "dead":
+                    raise OSError("no space")
+                return real_file.write(data)
+
+            def truncate(self, size=None):
+                if self.state == "dead":
+                    raise OSError("no space")
+                return real_file.truncate(size)
+
+            def __getattr__(self, name):
+                return getattr(real_file, name)
+
+        dies = _Dies()
+        writer.wal._file = dies
+        with pytest.raises(OSError):
+            tree.insert(
+                PFV(np.array([0.5, 0.5]), np.array([0.1, 0.1]), key="inmem")
+            )
+        assert len(tree) == 21  # the mutation survives in memory
+        dies.state = "ok"  # space freed before the close
+        tree.close()  # checkpoint: must publish the pending mutation
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 21
+            assert "inmem" in {v.key for v in reopened}
+            reopened.check_invariants()
+        finally:
+            reopened.close()
+
+    def test_second_writable_open_is_refused(self, tmp_path, monkeypatch):
+        import sys
+
+        from repro.gausstree import persist
+
+        if sys.platform == "win32":
+            pytest.skip("advisory flock locking is POSIX-only")
+        monkeypatch.setattr(persist, "_LOCK_RETRY_SECONDS", 0.05)
+        path = str(tmp_path / "locked.gauss")
+        rng = np.random.default_rng(18)
+        build_saved(path, make_vectors(rng, 15, 2, "b"), 2)
+        first = GaussTree.open(path, writable=True)
+        try:
+            with pytest.raises(RuntimeError, match="single-writer"):
+                GaussTree.open(path, writable=True)
+        finally:
+            first.close()
+        # Released on close: the index is writable again.
+        again = GaussTree.open(path, writable=True)
+        again.close()
+
+    def test_reader_does_not_truncate_a_live_writers_wal(self, tmp_path):
+        import sys
+
+        if sys.platform == "win32":
+            pytest.skip("advisory flock locking is POSIX-only")
+        path = str(tmp_path / "live.gauss")
+        rng = np.random.default_rng(19)
+        base = make_vectors(rng, 20, 2, "b")
+        build_saved(path, base, 2)
+        writer_tree = GaussTree.open(path, writable=True)
+        for v in make_vectors(rng, 5, 2, "x"):
+            writer_tree.insert(v)
+        wal_size = os.path.getsize(path + ".wal")
+        assert wal_size > 8
+        # A concurrent reader must *not* replay-and-truncate the live
+        # writer's WAL; it serves the last-checkpoint state instead.
+        reader = GaussTree.open(path)
+        try:
+            assert len(reader) == 20  # pre-insert checkpointed state
+        finally:
+            reader.close()
+        assert os.path.getsize(path + ".wal") == wal_size
+        # The writer's subsequent commits stay recoverable.
+        for v in make_vectors(rng, 3, 2, "y"):
+            writer_tree.insert(v)
+        writer_tree.close(checkpoint=False)
+        recovered = GaussTree.open(path)
+        try:
+            assert len(recovered) == 28
+        finally:
+            recovered.close()
+
+    def test_read_only_open_writes_no_sidecar_files(self, tmp_path):
+        """Regression: opening a clean index read-only must not create
+        lock (or any other) files — PR-1 read-only opens worked from
+        read-only media and must keep doing so."""
+        path = str(tmp_path / "pristine.gauss")
+        rng = np.random.default_rng(20)
+        build_saved(path, make_vectors(rng, 15, 2, "b"), 2)
+        before = sorted(os.listdir(tmp_path))
+        tree = GaussTree.open(path)
+        tree.close()
+        assert sorted(os.listdir(tmp_path)) == before
+
+    def test_save_over_a_live_foreign_writer_is_refused(self, tmp_path):
+        import sys
+
+        if sys.platform == "win32":
+            pytest.skip("advisory flock locking is POSIX-only")
+        path = str(tmp_path / "held.gauss")
+        rng = np.random.default_rng(21)
+        base = make_vectors(rng, 15, 2, "b")
+        build_saved(path, base, 2)
+        holder = GaussTree.open(path, writable=True)
+        try:
+            other = GaussTree(dims=2, degree=3)
+            other.extend(make_vectors(rng, 10, 2, "x"))
+            # A raw save_tree (what `repro build` does) over the held
+            # index would truncate the holder's WAL: refuse loudly.
+            with pytest.raises(RuntimeError, match="open writable"):
+                save_tree(other, path)
+            # The holder's own in-place save stays legal.
+            holder.insert(make_vectors(rng, 1, 2, "y")[0])
+            holder.save(path)
+        finally:
+            holder.close()
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 16
+        finally:
+            reopened.close()
+
+    def test_save_to_other_path_keeps_source_writable(self, tmp_path):
+        src = str(tmp_path / "src.gauss")
+        dst = str(tmp_path / "dst.gauss")
+        rng = np.random.default_rng(12)
+        base = make_vectors(rng, 30, 2, "b")
+        build_saved(src, base, 2)
+        tree = GaussTree.open(src, writable=True)
+        extra = make_vectors(rng, 10, 2, "x")
+        for v in extra:
+            tree.insert(v)
+        tree.save(dst)
+        # The copy is a clean, complete snapshot...
+        snapshot = GaussTree.open(dst)
+        try:
+            assert len(snapshot) == 40
+            snapshot.check_invariants()
+        finally:
+            snapshot.close()
+        # ...and the source keeps accepting (durable) writes.
+        tree.insert(make_vectors(rng, 1, 2, "y")[0])
+        tree.close()
+        reopened = GaussTree.open(src)
+        try:
+            assert len(reopened) == 41
+        finally:
+            reopened.close()
+
+
+class TestWalHousekeeping:
+    def test_checkpoint_empties_wal_and_main_file_serves_alone(self, tmp_path):
+        path = str(tmp_path / "hk.gauss")
+        rng = np.random.default_rng(13)
+        base = make_vectors(rng, 20, 2, "b")
+        build_saved(path, base, 2)
+        tree = GaussTree.open(path, writable=True)
+        for v in make_vectors(rng, 10, 2, "x"):
+            tree.insert(v)
+        wal_file = path + ".wal"
+        assert WriteAheadLog.scan(wal_file)
+        tree.flush()
+        assert WriteAheadLog.scan(wal_file) == []
+        assert os.path.getsize(wal_file) == 8  # just the magic
+        tree.close()
+        # Recovery has nothing to do; the main file alone is current.
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 30
+        finally:
+            reopened.close()
+
+    def test_close_without_checkpoint_defers_to_recovery(self, tmp_path):
+        path = str(tmp_path / "defer.gauss")
+        rng = np.random.default_rng(14)
+        base = make_vectors(rng, 20, 2, "b")
+        build_saved(path, base, 2)
+        stale_main = open(path, "rb").read()
+        tree = GaussTree.open(path, writable=True)
+        for v in make_vectors(rng, 10, 2, "x"):
+            tree.insert(v)
+        tree.close(checkpoint=False)
+        # Main file untouched, WAL carries the state...
+        assert open(path, "rb").read() == stale_main
+        # ...until any open (read-only included) replays it.
+        reopened = GaussTree.open(path)
+        try:
+            assert len(reopened) == 30
+            reopened.check_invariants()
+        finally:
+            reopened.close()
+        assert open(path, "rb").read() != stale_main
+        assert WriteAheadLog.scan(path + ".wal") == []
