@@ -13,6 +13,7 @@ from repro.core.queries import MLIQuery
 from repro.data.histograms import color_histogram_dataset
 from repro.data.workload import identification_workload
 from repro.gausstree.bulkload import bulk_load
+from repro.gausstree.mliq import gausstree_mliq
 from repro.storage.buffer import BufferManager
 from repro.storage.costmodel import DiskCostModel
 from repro.storage.layout import PageLayout
@@ -38,7 +39,7 @@ def _run(db, workload, cache_bytes):
     store.cold_start()
     io = faults = 0
     for item in workload:
-        _, stats = tree.mliq(MLIQuery(item.q, 1), tolerance=0.05)
+        _, stats = gausstree_mliq(tree, MLIQuery(item.q, 1), tolerance=0.05)
         io += stats.io_seconds
         faults += stats.page_faults
     return io / len(workload), faults / len(workload)

@@ -15,6 +15,7 @@ from repro.core.queries import MLIQuery
 from repro.data.histograms import color_histogram_dataset
 from repro.data.workload import identification_workload
 from repro.gausstree.bulkload import bulk_load
+from repro.gausstree.mliq import gausstree_mliq
 from repro.gausstree.tree import GaussTree
 
 N, QUERIES = 4_000, 25
@@ -29,7 +30,9 @@ def dataset():
 def _measure_pages(tree, workload):
     pages = 0
     for item in workload:
-        _, stats = tree.mliq(MLIQuery(item.q, 1), tolerance=float("inf"))
+        _, stats = gausstree_mliq(
+            tree, MLIQuery(item.q, 1), tolerance=float("inf")
+        )
         pages += stats.pages_accessed
     return pages / len(workload)
 

@@ -15,6 +15,7 @@ from repro.core.queries import MLIQuery
 from repro.data.synthetic import database_from_arrays
 from repro.data.uncertainty import per_object_quality_sigmas
 from repro.data.workload import identification_workload
+from repro.gausstree.mliq import gausstree_mliq
 from repro.gausstree.split import volume_split_quality
 from repro.gausstree.tree import GaussTree
 
@@ -43,7 +44,9 @@ def _build_and_measure(db, workload, split_quality=None):
     tree.extend(db.vectors)
     pages = 0
     for item in workload:
-        _, stats = tree.mliq(MLIQuery(item.q, 1), tolerance=float("inf"))
+        _, stats = gausstree_mliq(
+            tree, MLIQuery(item.q, 1), tolerance=float("inf")
+        )
         pages += stats.pages_accessed
     return pages
 

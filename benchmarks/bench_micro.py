@@ -75,8 +75,12 @@ def test_bulk_load(benchmark, db):
 
 
 def test_mliq_query(benchmark, tree, query):
-    benchmark(lambda: tree.mliq(MLIQuery(query, 1), tolerance=0.01))
+    from repro.gausstree.mliq import gausstree_mliq
+
+    benchmark(lambda: gausstree_mliq(tree, MLIQuery(query, 1), tolerance=0.01))
 
 
 def test_tiq_query(benchmark, tree, query):
-    benchmark(lambda: tree.tiq(ThresholdQuery(query, 0.5)))
+    from repro.gausstree.tiq import gausstree_tiq
+
+    benchmark(lambda: gausstree_tiq(tree, ThresholdQuery(query, 0.5)))

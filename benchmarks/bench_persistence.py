@@ -1,18 +1,20 @@
 #!/usr/bin/env python
 """Persistence + batch query benchmark (standalone script).
 
-Builds a Gauss-tree, saves it to a real index file, reopens it cold and
-compares three ways of answering the same 100-query MLIQ workload:
+Builds a Gauss-tree, saves it to a real index file, reconnects to it
+cold through the unified session API and compares three ways of
+answering the same 100-query MLIQ workload:
 
-* ``fresh_open_per_query`` — worst case: every query re-opens the index
-  (a new process per query); nodes re-materialize from page bytes.
-* ``per_query_loop``       — one open, naive loop over ``tree.mliq``.
-* ``batch``                — one open, ``tree.mliq_many`` (buffer-warm
-  traversal + cross-query vectorized refinement).
+* ``fresh_open_per_query`` — worst case: every query re-connects to the
+  index (a new process per query); nodes re-materialize from page bytes.
+* ``per_query_loop``       — one connection, ``execute`` per query.
+* ``batch``                — one connection, one ``execute_many`` (the
+  backend's buffer-warm shared-pass batch entry point).
 
-The sequential-scan baseline gets the same treatment (loop vs the
-single-pass ``mliq_many``). Numbers are written to ``BENCH_persistence.json``
-next to the repository root so CI and reviewers can diff them.
+The sequential-scan backend gets the same treatment (execute-loop vs
+the single-pass ``execute_many``). Numbers are written to
+``BENCH_persistence.json`` next to the repository root so CI and
+reviewers can diff them.
 
 Run:  PYTHONPATH=src python benchmarks/bench_persistence.py
       (REPRO_BENCH_N / REPRO_BENCH_QUERIES shrink or grow the workload)
@@ -32,12 +34,10 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.baselines.seqscan import SequentialScanIndex  # noqa: E402
-from repro.core.queries import MLIQuery  # noqa: E402
 from repro.data.synthetic import uniform_pfv_dataset  # noqa: E402
 from repro.data.workload import identification_workload  # noqa: E402
+from repro.engine import MLIQ, connect  # noqa: E402
 from repro.gausstree.bulkload import bulk_load  # noqa: E402
-from repro.gausstree.tree import GaussTree  # noqa: E402
 
 
 def _timed(fn):
@@ -49,7 +49,7 @@ def _timed(fn):
 def run(n: int, d: int, n_queries: int, k: int, seed: int) -> dict:
     db = uniform_pfv_dataset(n=n, d=d, seed=seed)
     workload = identification_workload(db, n_queries, seed=seed + 1)
-    queries = [MLIQuery(w.q, k) for w in workload]
+    specs = [MLIQ(w.q, k) for w in workload]
 
     tree, build_s = _timed(lambda: bulk_load(db.vectors, sigma_rule=db.sigma_rule))
     tmp_dir = tempfile.mkdtemp()
@@ -57,36 +57,34 @@ def run(n: int, d: int, n_queries: int, k: int, seed: int) -> dict:
     _, save_s = _timed(lambda: tree.save(index_path))
     file_bytes = os.path.getsize(index_path)
 
-    # Worst case: a fresh process per query (open + single query).
+    # Worst case: a fresh process per query (connect + single query).
     def fresh_open_per_query():
         answers = []
-        for query in queries:
-            t = GaussTree.open(index_path)
-            answers.append(t.mliq(query)[0])
-            t.close()
+        for spec in specs:
+            with connect(index_path) as session:
+                answers.append(session.execute(spec).matches)
         return answers
 
     fresh_answers, fresh_s = _timed(fresh_open_per_query)
 
-    # One cold open shared by both single-query loop and batch.
-    disk_tree, open_s = _timed(lambda: GaussTree.open(index_path))
+    # One cold connection shared by both single-query loop and batch.
+    disk, open_s = _timed(lambda: connect(index_path))
     loop_answers, loop_s = _timed(
-        lambda: [disk_tree.mliq(query)[0] for query in queries]
+        lambda: [disk.execute(spec).matches for spec in specs]
     )
-    disk_tree.store.cold_start()
-    (batch_answers, batch_stats), batch_s = _timed(
-        lambda: disk_tree.mliq_many(queries)
-    )
-    for a, b, c in zip(fresh_answers, loop_answers, batch_answers):
+    disk.cold_start()
+    batch_rs, batch_s = _timed(lambda: disk.execute_many(specs))
+    batch_stats = batch_rs.stats
+    for a, b, c in zip(fresh_answers, loop_answers, batch_rs):
         assert [m.key for m in a] == [m.key for m in b] == [m.key for m in c]
-    disk_tree.close()
+    disk.close()
 
-    scan = SequentialScanIndex(db)
+    scan = connect(db, backend="seqscan")
     scan_loop, scan_loop_s = _timed(
-        lambda: [scan.mliq(query)[0] for query in queries]
+        lambda: [scan.execute(spec).matches for spec in specs]
     )
-    (scan_batch, _), scan_batch_s = _timed(lambda: scan.mliq_many(queries))
-    for a, b in zip(scan_loop, scan_batch):
+    scan_batch_rs, scan_batch_s = _timed(lambda: scan.execute_many(specs))
+    for a, b in zip(scan_loop, scan_batch_rs):
         assert [m.key for m in a] == [m.key for m in b]
 
     shutil.rmtree(tmp_dir)

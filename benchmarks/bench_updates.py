@@ -41,6 +41,7 @@ from repro.core.pfv import PFV  # noqa: E402
 from repro.core.queries import MLIQuery  # noqa: E402
 from repro.data.synthetic import uniform_pfv_dataset  # noqa: E402
 from repro.gausstree.bulkload import bulk_load  # noqa: E402
+from repro.gausstree.mliq import gausstree_mliq  # noqa: E402
 from repro.gausstree.tree import GaussTree  # noqa: E402
 
 
@@ -99,13 +100,13 @@ def run(n: int, d: int, n_inserts: int, seed: int) -> dict:
     query = MLIQuery(
         PFV(rng.uniform(0, 1, d), rng.uniform(0.05, 0.4, d)), 5
     )
-    disk_matches, _ = recovered.mliq(query)
+    disk_matches, _ = gausstree_mliq(recovered, query)
     recovered.close()
 
     reference = GaussTree(dims=d, degree=tree.degree, layout=tree.layout,
                           sigma_rule=tree.sigma_rule)
     reference.extend(list(db.vectors) + nofsync_batch)
-    mem_matches, _ = reference.mliq(query)
+    mem_matches, _ = gausstree_mliq(reference, query)
     assert [m.key for m in mem_matches] == [m.key for m in disk_matches]
 
     # A clean (checkpointed) open for the recovery comparison.

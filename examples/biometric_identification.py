@@ -14,7 +14,7 @@ Run:  python examples/biometric_identification.py
 
 import numpy as np
 
-from repro import MLIQuery, PFV, scan_mliq
+from repro import MLIQ, MLIQuery, PFV, scan_mliq, session_for
 from repro.baselines.nn import knn_euclidean
 from repro.data.synthetic import database_from_arrays
 from repro.data.uncertainty import mixed_precision_sigmas
@@ -43,6 +43,7 @@ probes = identification_workload(gallery, N_PROBES, seed=11)
 # Index the gallery.
 store = make_page_store(gallery.dims)
 tree = bulk_load(gallery.vectors, page_store=store, sigma_rule=gallery.sigma_rule)
+session = session_for(tree, mliq_tolerance=0.01)
 print(f"Gauss-tree built: height {tree.height}, {store.allocated_pages} pages\n")
 
 nn_hits = scan_hits = tree_hits = 0
@@ -55,12 +56,12 @@ for probe in probes:
     scan_best = scan_mliq(gallery, MLIQuery(probe.q, 1))[0]
     scan_hits += scan_best.key == probe.true_key
 
-    # tolerance: posterior accuracy of Section 5.2.2 — 1% is plenty for
-    # an identification decision and keeps page counts low.
-    matches, stats = tree.mliq(MLIQuery(probe.q, 1), tolerance=0.01)
-    tree_hits += matches[0].key == probe.true_key
-    tree_pages += stats.pages_accessed
-    assert matches[0].key == scan_best.key  # index never changes answers
+    # mliq_tolerance: posterior accuracy of Section 5.2.2 — 1% is plenty
+    # for an identification decision and keeps page counts low.
+    result = session.execute(MLIQ(probe.q, 1))
+    tree_hits += result.matches[0].key == probe.true_key
+    tree_pages += result.stats.pages_accessed
+    assert result.matches[0].key == scan_best.key  # index never changes answers
 
 file_pages = -(-N_PERSONS // (8192 // (2 * N_FEATURES * 8 + 8)))
 print(f"identification rate over {N_PROBES} probes:")

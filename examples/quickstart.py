@@ -11,7 +11,16 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import PFV, GaussTree, MLIQuery, PFVDatabase, ThresholdQuery, scan_tiq
+from repro import (
+    MLIQ,
+    PFV,
+    TIQ,
+    GaussTree,
+    PFVDatabase,
+    ThresholdQuery,
+    scan_tiq,
+    session_for,
+)
 
 # Feature F1 is sensitive to head rotation, F2 to illumination.
 # (mu values are abstract face-geometry features; sigma encodes how
@@ -29,19 +38,22 @@ for v in db:
     print(f"  {v.key:35s} d = {np.linalg.norm(v.mu - query.mu):.2f}")
 print("-> nearest neighbour is O1, which is the WRONG person.\n")
 
-# Index the database in a Gauss-tree and ask identification queries.
+# Index the database in a Gauss-tree and ask identification queries
+# through the unified session API (repro.connect works the same way;
+# session_for adopts an index you already built).
 tree = GaussTree(dims=2, degree=2)
 tree.extend(db.vectors)
+session = session_for(tree)
 
-matches, stats = tree.mliq(MLIQuery(query, k=3))
+result = session.execute(MLIQ(query, k=3))
 print("1..3-most-likely identification (k-MLIQ) on the Gauss-tree:")
-for m in matches:
+for m in result.matches:
     print(f"  P = {m.probability:5.1%}  {m.key}")
-print(f"  ({stats.pages_accessed} page accesses, "
-      f"{stats.objects_refined} exact refinements)\n")
+print(f"  ({result.stats.pages_accessed} page accesses, "
+      f"{result.stats.objects_refined} exact refinements)\n")
 
 # Threshold identification: everyone above 12% probability.
-tiq_matches, _ = tree.tiq(ThresholdQuery(query, p_theta=0.12))
+tiq_matches = session.execute(TIQ(query, tau=0.12)).matches
 print("TIQ(P >= 12%):", [m.key.split(":")[0] for m in tiq_matches])
 
 # The sequential scan (the paper's reference algorithm) agrees exactly.

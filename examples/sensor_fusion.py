@@ -14,7 +14,7 @@ Run:  python examples/sensor_fusion.py
 
 import numpy as np
 
-from repro import PFV, PFVDatabase, ThresholdQuery, scan_tiq
+from repro import PFV, TIQ, PFVDatabase, ThresholdQuery, scan_tiq, session_for
 from repro.data.workload import identification_workload
 from repro.gausstree.tree import GaussTree
 
@@ -49,12 +49,12 @@ print(f"Gauss-tree: n={len(tree)}, height={tree.height}\n")
 probe = identification_workload(db, 1, seed=5)[0]
 print(f"anonymous reading; true origin = {probe.true_key}")
 
+session = session_for(tree, probability_tolerance=0.01)
 for theta in (0.05, 0.2, 0.5, 0.9):
     # probability_tolerance makes the *reported* posteriors accurate to
     # one point (the answer set itself is exact regardless).
-    matches, stats = tree.tiq(
-        ThresholdQuery(probe.q, theta), probability_tolerance=0.01
-    )
+    rs = session.execute(TIQ(probe.q, tau=theta))
+    matches, stats = rs.matches, rs.stats
     total = sum(m.probability for m in matches)
     scan_keys = {m.key for m in scan_tiq(db, ThresholdQuery(probe.q, theta))}
     assert {m.key for m in matches} == scan_keys, "index must stay exact"

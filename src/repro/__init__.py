@@ -16,6 +16,15 @@ Index (Section 5):
     disk persistence via ``save`` / ``open`` (single-file index, lazy
     page-decoded nodes) and :func:`repro.gausstree.bulk_load`.
 
+Unified query engine (the recommended surface):
+    :func:`repro.connect` — open a :class:`repro.Session` over a
+    database, a list of pfv, or a saved index file, through any
+    registered backend (``tree``, ``disk``, ``seqscan``, ``xtree``);
+    execute the composable specs :class:`repro.MLIQ`,
+    :class:`repro.TIQ` and :class:`repro.RankQuery`; ``explain()``
+    describes the plan. See README "Query API" for the migration table
+    from the per-method entry points (now deprecation shims).
+
 Baselines (Section 6):
     :class:`repro.baselines.XTreePFVIndex`,
     :class:`repro.baselines.SequentialScanIndex`,
@@ -41,9 +50,18 @@ from repro.core import (
     scan_mliq,
     scan_tiq,
 )
+from repro.engine import (
+    MLIQ,
+    TIQ,
+    RankQuery,
+    ResultSet,
+    Session,
+    connect,
+    session_for,
+)
 from repro.gausstree import GaussTree, bulk_load
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PFV",
@@ -58,5 +76,12 @@ __all__ = [
     "scan_tiq",
     "GaussTree",
     "bulk_load",
+    "connect",
+    "Session",
+    "session_for",
+    "MLIQ",
+    "TIQ",
+    "RankQuery",
+    "ResultSet",
     "__version__",
 ]

@@ -7,11 +7,19 @@ twice — one scan to determine the total probability, a second to report
 the qualifying objects, exactly as the paper describes. Sequential runs
 are charged streaming IO by the disk model, which is what makes the scan
 harder to beat on *overall* time than on page counts.
+
+The public per-method entry points (``mliq``/``tiq``/``mliq_many``/
+``tiq_many``) are deprecation shims since the unified session API landed:
+connect with ``repro.connect(db, backend="seqscan")`` and execute the
+specs of :mod:`repro.engine.spec` instead. Edge cases follow the engine's
+normalised semantics: an empty database is a valid (zero-page) source
+whose every query answers with the empty match list.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -26,6 +34,15 @@ from repro.storage.pagestore import PageStore
 __all__ = ["SequentialScanIndex"]
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"SequentialScanIndex.{old} is deprecated; use "
+        f"repro.connect(db, backend='seqscan').{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class SequentialScanIndex:
     """Exact identification queries over a flat paged file of pfv."""
 
@@ -35,13 +52,19 @@ class SequentialScanIndex:
         layout: PageLayout | None = None,
         page_store: PageStore | None = None,
     ) -> None:
-        if len(db) == 0:
-            raise ValueError("cannot scan an empty database")
         self.db = db
-        self.layout = layout if layout is not None else PageLayout(dims=db.dims)
         self.store = page_store if page_store is not None else PageStore()
+        if len(db) == 0:
+            # Normalised empty-database semantics: a zero-page file whose
+            # queries all answer with the empty match list. The layout
+            # stays as given (possibly None: an empty db has no dims yet).
+            self.layout = layout
+            self._pages: list[int] = []
+            self._rows_per_page = 0
+            return
+        self.layout = layout if layout is not None else PageLayout(dims=db.dims)
         per_page = self.layout.leaf_capacity
-        self._pages: list[int] = [
+        self._pages = [
             self.store.allocate()
             for _ in range(self.layout.pages_for_sequential_file(len(db)))
         ]
@@ -59,10 +82,40 @@ class SequentialScanIndex:
             self.db.mu_matrix, self.db.sigma_matrix, q, self.db.sigma_rule
         )
 
+    # -- deprecated public entry points --------------------------------------
+
     def mliq(self, query: MLIQuery) -> tuple[list[Match], QueryStats]:
+        """Deprecated shim; see :meth:`_mliq_impl`."""
+        _deprecated("mliq", "execute(MLIQ(q, k))")
+        return self._mliq_impl(query)
+
+    def tiq(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]:
+        """Deprecated shim; see :meth:`_tiq_impl`."""
+        _deprecated("tiq", "execute(TIQ(q, tau))")
+        return self._tiq_impl(query)
+
+    def mliq_many(
+        self, queries: Iterable[MLIQuery]
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Deprecated shim; see :meth:`_mliq_many_impl`."""
+        _deprecated("mliq_many", "execute_many([MLIQ(q, k), ...])")
+        return self._mliq_many_impl(list(queries))
+
+    def tiq_many(
+        self, queries: Iterable[ThresholdQuery]
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Deprecated shim; see :meth:`_tiq_many_impl`."""
+        _deprecated("tiq_many", "execute_many([TIQ(q, tau), ...])")
+        return self._tiq_many_impl(list(queries))
+
+    # -- implementations (the engine's seqscan backend calls these) ----------
+
+    def _mliq_impl(self, query: MLIQuery) -> tuple[list[Match], QueryStats]:
         """Exact k-MLIQ in a single sequential pass."""
         self.store.begin_query()
         started = time.perf_counter()
+        if not self._pages:
+            return [], self._stats(0, started)
         log_dens = self._scan_once(query.q)
         post = posteriors_from_log_densities(log_dens)
         order = np.lexsort((np.arange(log_dens.size), -log_dens))[: query.k]
@@ -72,10 +125,12 @@ class SequentialScanIndex:
         ]
         return matches, self._stats(len(self.db), started)
 
-    def tiq(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]:
+    def _tiq_impl(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]:
         """Exact TIQ in two sequential passes (Section 4's algorithm)."""
         self.store.begin_query()
         started = time.perf_counter()
+        if not self._pages:
+            return [], self._stats(0, started)
         log_dens = self._scan_once(query.q)  # pass 1: total probability
         post = posteriors_from_log_densities(log_dens)
         self.store.read_sequential_run(self._pages)  # pass 2: report
@@ -101,8 +156,8 @@ class SequentialScanIndex:
             self.db.sigma_rule,
         )
 
-    def mliq_many(
-        self, queries: Iterable[MLIQuery]
+    def _mliq_many_impl(
+        self, queries: Sequence[MLIQuery]
     ) -> tuple[list[list[Match]], QueryStats]:
         """Exact k-MLIQs for a batch in a *single* sequential pass.
 
@@ -116,6 +171,8 @@ class SequentialScanIndex:
             return [], QueryStats()
         self.store.begin_query()
         started = time.perf_counter()
+        if not self._pages:
+            return [[] for _ in queries], self._stats(0, started)
         log_dens = self._scan_once_multi([query.q for query in queries])
         results: list[list[Match]] = []
         for row, query in zip(log_dens, queries):
@@ -129,8 +186,8 @@ class SequentialScanIndex:
             )
         return results, self._stats(len(self.db) * len(queries), started)
 
-    def tiq_many(
-        self, queries: Iterable[ThresholdQuery]
+    def _tiq_many_impl(
+        self, queries: Sequence[ThresholdQuery]
     ) -> tuple[list[list[Match]], QueryStats]:
         """Exact TIQs for a batch: one density pass plus one report pass."""
         queries = list(queries)
@@ -138,6 +195,8 @@ class SequentialScanIndex:
             return [], QueryStats()
         self.store.begin_query()
         started = time.perf_counter()
+        if not self._pages:
+            return [[] for _ in queries], self._stats(0, started)
         log_dens = self._scan_once_multi([query.q for query in queries])
         self.store.read_sequential_run(self._pages)  # report pass
         results: list[list[Match]] = []

@@ -26,6 +26,7 @@ paper's Figure 7.
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
@@ -39,6 +40,15 @@ from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
 from repro.storage.pagestore import PageStore
 
 __all__ = ["XTreePFVIndex"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"XTreePFVIndex.{old} is deprecated; use "
+        f"repro.connect(db, backend='xtree').{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class XTreePFVIndex:
@@ -64,10 +74,16 @@ class XTreePFVIndex:
         page_store: PageStore | None = None,
         max_overlap: float = 0.2,
     ) -> None:
-        if len(db) == 0:
-            raise ValueError("cannot index an empty database")
         self.db = db
         self.coverage = coverage
+        if len(db) == 0:
+            # Normalised empty-database semantics (see repro.engine.spec):
+            # no boxes, no base pages, every query answers empty.
+            self.tree = None
+            self.store_ = page_store if page_store is not None else PageStore()
+            self._rows_per_page = 0
+            self._base_pages: list[int] = []
+            return
         if capacity is None:
             # Box entries store 2 d floats + payload, like a leaf pfv entry,
             # so reuse the pfv page capacity for comparability.
@@ -93,11 +109,13 @@ class XTreePFVIndex:
 
     @property
     def store(self) -> PageStore:
-        return self.tree.store
+        return self.store_ if self.tree is None else self.tree.store
 
     # -- queries -----------------------------------------------------------
 
     def _candidates(self, q) -> list[int]:
+        if self.tree is None:
+            return []
         query_rect = quantile_rect(q, self.coverage)
         return [e.payload for e in self.tree.intersecting(query_rect)]
 
@@ -115,6 +133,18 @@ class XTreePFVIndex:
         return log_dens, posteriors_from_log_densities(log_dens)
 
     def mliq(self, query: MLIQuery) -> tuple[list[Match], QueryStats]:
+        """Deprecated shim; connect with ``repro.connect(db,
+        backend="xtree")`` and execute ``MLIQ`` specs instead."""
+        _deprecated("mliq", "execute(MLIQ(q, k))")
+        return self._mliq_impl(query)
+
+    def tiq(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]:
+        """Deprecated shim; connect with ``repro.connect(db,
+        backend="xtree")`` and execute ``TIQ`` specs instead."""
+        _deprecated("tiq", "execute(TIQ(q, tau))")
+        return self._tiq_impl(query)
+
+    def _mliq_impl(self, query: MLIQuery) -> tuple[list[Match], QueryStats]:
         """Approximate k-MLIQ: intersect, refine, rank.
 
         Returns fewer than ``k`` matches (possibly none) when the filter
@@ -135,7 +165,7 @@ class XTreePFVIndex:
         stats = self._stats(len(rows), started)
         return matches, stats
 
-    def tiq(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]:
+    def _tiq_impl(self, query: ThresholdQuery) -> tuple[list[Match], QueryStats]:
         """Approximate TIQ over the candidate set."""
         store = self.store
         store.begin_query()
@@ -171,7 +201,8 @@ class XTreePFVIndex:
         )
 
     def __repr__(self) -> str:
+        supernodes = 0 if self.tree is None else self.tree.supernode_count
         return (
             f"XTreePFVIndex(n={len(self.db)}, coverage={self.coverage}, "
-            f"supernodes={self.tree.supernode_count})"
+            f"supernodes={supernodes})"
         )

@@ -12,14 +12,18 @@ below 1.0 shrink the datasets proportionally for quick looks.
 
 The index lifecycle commands exercise the real storage path: ``build``
 bulk-loads one of the paper's datasets into a Gauss-tree and saves it as
-a single index file, ``query`` opens that file from a *fresh process*
-(nodes decode lazily from page bytes) and answers MLIQ/TIQ batches
-through the buffer-warm batch API, and ``insert`` opens the index
+a single index file, ``query`` connects a unified-engine session to that
+file from a *fresh process* and answers MLIQ/TIQ/Rank batches through
+``Session.execute_many`` — on any registered backend (``--backend=disk``
+serves the saved tree's lazily decoded pages; ``tree``, ``seqscan`` and
+``xtree`` materialize the stored objects first, so the same file can be
+queried through every access method) — and ``insert`` opens the index
 *writable* and grows it with durable, WAL-committed inserts:
 
     python -m repro build ds1.gauss --dataset 1 --scale 0.2
     python -m repro query ds1.gauss --k 5 --queries 100
-    python -m repro query ds1.gauss --theta 0.3 --queries 50
+    python -m repro query ds1.gauss --theta 0.3 --backend seqscan
+    python -m repro query ds1.gauss --rank 10 --min-mass 0.95 --explain
     python -m repro insert ds1.gauss --count 500
 
 ``insert`` doubles as the crash-recovery demonstrator: kill the process
@@ -111,48 +115,61 @@ def _cmd_build(args: argparse.Namespace) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> None:
-    from repro.core.database import PFVDatabase
-    from repro.core.queries import MLIQuery, ThresholdQuery
-    from repro.gausstree.tree import GaussTree
+    from repro.engine import MLIQ, TIQ, RankQuery, connect
 
-    if (args.k is None) == (args.theta is None):
-        raise SystemExit("pass exactly one of --k (MLIQ) or --theta (TIQ)")
+    modes = sum(x is not None for x in (args.k, args.theta, args.rank))
+    if modes != 1:
+        raise SystemExit(
+            "pass exactly one of --k (MLIQ), --theta (TIQ) or --rank"
+        )
+    if args.min_mass is not None and args.rank is None:
+        raise SystemExit("--min-mass only applies to --rank queries")
     if args.queries < 1:
         raise SystemExit("--queries must be at least 1")
     started = time.perf_counter()
-    tree = GaussTree.open(args.index)
+    session = connect(args.index, backend=args.backend)
     opened = time.perf_counter()
-    print(f"opened {tree!r} from {args.index} in {opened - started:.2f}s")
+    print(f"connected {session!r} to {args.index} in {opened - started:.2f}s")
     # Re-observation workload over the stored objects, like the paper's
-    # evaluation protocol (materializes the tree once to sample from it).
-    db = PFVDatabase(list(tree), sigma_rule=tree.sigma_rule)
+    # evaluation protocol (materializes the index once to sample from it).
+    db = session.database()
     workload = identification_workload(db, args.queries, seed=args.seed)
     sampled = time.perf_counter()
-    if args.k is not None:
-        queries = [MLIQuery(w.q, args.k) for w in workload]
-        results, stats = tree.mliq_many(queries)
-    else:
-        queries = [ThresholdQuery(w.q, args.theta) for w in workload]
-        results, stats = tree.tiq_many(queries)
+    try:
+        if args.k is not None:
+            specs = [MLIQ(w.q, args.k) for w in workload]
+        elif args.theta is not None:
+            specs = [TIQ(w.q, args.theta) for w in workload]
+        else:
+            specs = [
+                RankQuery(w.q, args.rank, min_mass=args.min_mass)
+                for w in workload
+            ]
+    except ValueError as exc:  # spec validation: bad --k/--theta/--min-mass
+        raise SystemExit(str(exc)) from None
+    if args.explain:
+        print(session.explain(specs).describe())
+    result = session.execute_many(specs)
     finished = time.perf_counter()
+    stats = result.stats
     hits = sum(
         1
-        for w, matches in zip(workload, results)
+        for w, matches in zip(workload, result)
         if matches and matches[0].key == w.true_key
     )
     print(
-        f"{len(queries)} queries in {finished - sampled:.2f}s "
-        f"({(finished - sampled) / len(queries) * 1e3:.1f} ms/query, "
-        f"batch API): {stats.pages_accessed} page accesses, "
+        f"{len(specs)} queries in {finished - sampled:.2f}s "
+        f"({(finished - sampled) / len(specs) * 1e3:.1f} ms/query, "
+        f"backend={result.backend}): {stats.pages_accessed} page accesses, "
         f"{stats.page_faults} faults, top-1 hit rate "
-        f"{hits / len(queries):.0%}"
+        f"{hits / len(specs):.0%}"
     )
-    for w, matches in list(zip(workload, results))[: args.show]:
+    for w, matches in list(zip(workload, result))[: args.show]:
         top = ", ".join(
             f"{m.key!r}:{m.probability:.1%}" for m in matches[:3]
         )
         print(f"  true={w.true_key!r} -> [{top}]")
-    tree.close()
+    session.close()
 
 
 def _cmd_insert(args: argparse.Namespace) -> None:
@@ -166,7 +183,12 @@ def _cmd_insert(args: argparse.Namespace) -> None:
     if args.count < 1:
         raise SystemExit("--count must be at least 1")
     started = time.perf_counter()
-    tree = GaussTree.open(args.index, writable=True, fsync=not args.no_fsync)
+    tree = GaussTree.open(
+        args.index,
+        writable=True,
+        fsync=not args.no_fsync,
+        auto_checkpoint_bytes=args.auto_checkpoint_bytes,
+    )
     opened = time.perf_counter()
     print(
         f"opened {tree!r} writable from {args.index} "
@@ -283,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="close without checkpointing; the next open replays the WAL",
     )
     p.add_argument(
+        "--auto-checkpoint-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint automatically whenever the WAL reaches N bytes "
+        "(bounds recovery replay; default: only flush on close)",
+    )
+    p.add_argument(
         "--exit-after",
         type=int,
         default=None,
@@ -294,9 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "query",
-        help="open a saved index and answer an MLIQ/TIQ batch against it",
+        help="open a saved index and answer an MLIQ/TIQ/Rank batch "
+        "through the unified session API",
     )
     p.add_argument("index", help="index file written by `build`")
+    p.add_argument(
+        "--backend",
+        default="disk",
+        choices=("disk", "tree", "seqscan", "xtree"),
+        help="access method serving the batch (default: disk — the "
+        "saved Gauss-tree itself; tree/seqscan/xtree materialize the "
+        "stored objects first)",
+    )
     p.add_argument(
         "--k", type=int, default=None, help="answer k-MLIQs with this k"
     )
@@ -305,6 +344,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="answer TIQs with this probability threshold",
+    )
+    p.add_argument(
+        "--rank",
+        type=int,
+        default=None,
+        help="answer probabilistic top-k RankQueries with this k",
+    )
+    p.add_argument(
+        "--min-mass",
+        type=float,
+        default=None,
+        help="truncate --rank answers at this cumulative posterior mass",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the session's query plan before executing",
     )
     p.add_argument("--queries", type=int, default=100)
     p.add_argument("--seed", type=int, default=7)

@@ -1,0 +1,51 @@
+"""``repro.engine`` — one composable query surface over every backend.
+
+The paper's thesis is that a single probabilistic query model (MLIQ /
+TIQ over Gaussian pfv) can be served by interchangeable access methods.
+This package makes that a literal API:
+
+* :func:`connect` opens a :class:`Session` over a database, a list of
+  pfv, or a saved index file, through any registered backend
+  (``tree``, ``disk``, ``seqscan``, ``xtree`` built in);
+* sessions execute the declarative specs :class:`MLIQ`, :class:`TIQ`
+  and :class:`RankQuery` via ``execute`` / ``execute_many``, always
+  returning a :class:`ResultSet` (matches + merged stats + backend
+  provenance), and ``explain`` describes the plan without running it;
+* new access methods join by implementing the capability-declaring
+  :class:`Backend` protocol and calling :func:`register_backend`.
+
+The legacy per-method entry points (``GaussTree.mliq`` and friends)
+remain as thin deprecation shims; see README "Query API" for the
+migration table.
+"""
+
+from repro.engine.backends import (
+    Backend,
+    BackendAdapter,
+    CapabilityError,
+    PlanEstimate,
+    available_backends,
+    register_backend,
+)
+from repro.engine.planner import Plan
+from repro.engine.result import ResultSet
+from repro.engine.session import Session, connect, session_for
+from repro.engine.spec import MLIQ, TIQ, Query, RankQuery
+
+__all__ = [
+    "connect",
+    "Session",
+    "session_for",
+    "MLIQ",
+    "TIQ",
+    "RankQuery",
+    "Query",
+    "ResultSet",
+    "Plan",
+    "Backend",
+    "BackendAdapter",
+    "PlanEstimate",
+    "CapabilityError",
+    "register_backend",
+    "available_backends",
+]

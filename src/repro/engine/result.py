@@ -1,0 +1,90 @@
+"""Uniform result container returned by every ``Session.execute*`` call.
+
+A :class:`ResultSet` bundles the per-query match lists with one merged
+:class:`~repro.core.queries.QueryStats` and the provenance of the
+backend that produced them — the same shape whether the session ran one
+query or a batch, and whichever access method served it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterator, Sequence
+
+from repro.core.queries import Match, QueryStats
+from repro.engine.spec import Query
+
+__all__ = ["ResultSet"]
+
+
+class ResultSet:
+    """Matches + merged stats + backend provenance for 1..m queries.
+
+    Indexing is per input query: ``rs[i]`` is the match list of the
+    ``i``-th query of the batch, ``len(rs)`` the number of queries. For
+    the common single-query case, :attr:`matches` is the one match list
+    directly.
+    """
+
+    __slots__ = ("queries", "backend", "stats", "_per_query")
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        per_query: Sequence[list[Match]],
+        stats: QueryStats,
+        backend: str,
+    ) -> None:
+        if len(queries) != len(per_query):
+            raise ValueError(
+                f"{len(queries)} queries but {len(per_query)} result lists"
+            )
+        self.queries: tuple[Query, ...] = tuple(queries)
+        self._per_query: list[list[Match]] = [list(m) for m in per_query]
+        self.stats = stats
+        #: Name of the backend that executed the batch (provenance).
+        self.backend = backend
+
+    # -- per-query access ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._per_query)
+
+    def __getitem__(self, index: int) -> list[Match]:
+        return self._per_query[index]
+
+    def __iter__(self) -> Iterator[list[Match]]:
+        return iter(self._per_query)
+
+    @property
+    def matches(self) -> list[Match]:
+        """The single query's matches; raises on multi-query batches."""
+        if len(self._per_query) != 1:
+            raise ValueError(
+                f"ResultSet holds {len(self._per_query)} queries; index it "
+                "per query instead of using .matches"
+            )
+        return self._per_query[0]
+
+    # -- conveniences --------------------------------------------------------
+
+    def keys(self) -> list[list[Hashable]]:
+        """Per-query lists of matched object keys, in rank order."""
+        return [[m.key for m in matches] for matches in self._per_query]
+
+    def cumulative_probability(self, index: int = 0) -> list[float]:
+        """Running posterior mass of one query's ranking (for RankQuery:
+        how complete the reported prefix is)."""
+        return list(
+            itertools.accumulate(
+                m.probability for m in self._per_query[index]
+            )
+        )
+
+    def __repr__(self) -> str:
+        sizes = [len(m) for m in self._per_query]
+        shown = repr(sizes) if len(sizes) <= 4 else f"{sum(sizes)} total"
+        return (
+            f"ResultSet(backend={self.backend!r}, queries={len(self)}, "
+            f"matches={shown}, pages={self.stats.pages_accessed})"
+        )

@@ -1,0 +1,270 @@
+"""The connection-style facade: ``connect(source) -> Session``.
+
+One composable query surface over every backend: a session executes the
+declarative specs of :mod:`repro.engine.spec` through whichever access
+method it was connected with and always returns the same
+:class:`~repro.engine.result.ResultSet` shape. This is the seam the
+ROADMAP's scaling work (sharding, async serving, backend choosers)
+plugs into — everything above it (CLI, evaluation runner, benchmarks)
+already speaks only this surface.
+
+    import repro
+
+    with repro.connect(db, backend="tree") as session:
+        rs = session.execute(repro.MLIQ(q, k=5))
+        print(rs.backend, rs.stats.pages_accessed, rs.matches)
+        print(session.explain(repro.TIQ(q, tau=0.3)).describe())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.database import PFVDatabase
+from repro.core.pfv import PFV
+from repro.core.queries import Match, QueryStats
+from repro.engine.backends import (
+    Backend,
+    CapabilityError,
+    available_backends,
+    backend_for_index,
+    create_backend,
+)
+from repro.engine.planner import Plan, build_plan
+from repro.engine.result import ResultSet
+from repro.engine.spec import Query, query_kind
+
+__all__ = ["Session", "connect", "session_for"]
+
+
+class Session:
+    """A live connection to one backend, executing the query algebra.
+
+    Construct via :func:`connect` (or :func:`session_for` to adopt an
+    already-built index). Usable as a context manager; ``close()``
+    checkpoints and releases persistent backends.
+    """
+
+    def __init__(self, backend: Backend) -> None:
+        self._backend = backend
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Provenance name of the connected backend."""
+        return self._backend.name
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        return self._backend.capabilities
+
+    @property
+    def writable(self) -> bool:
+        return "writable" in self._backend.capabilities
+
+    def __len__(self) -> int:
+        return self._backend.count()
+
+    # -- query execution -----------------------------------------------------
+
+    def execute(self, query: Query) -> ResultSet:
+        """Execute one spec; ``ResultSet.matches`` is the answer."""
+        return self.execute_many([query])
+
+    def execute_many(self, queries: Iterable[Query]) -> ResultSet:
+        """Execute a batch (mixed kinds allowed) in one call.
+
+        Queries of the same kind share the backend's native batch entry
+        point when it declares the ``"batch"`` capability (one
+        buffer-warm pass); results come back in input order with one
+        merged :class:`~repro.core.queries.QueryStats`.
+        """
+        self._check_open()
+        specs = list(queries)
+        for spec in specs:
+            query_kind(spec)  # fail fast on non-spec inputs
+        per_query: list[list[Match] | None] = [None] * len(specs)
+        total = QueryStats()
+
+        groups: dict[str, list[int]] = {}
+        for i, spec in enumerate(specs):
+            groups.setdefault(query_kind(spec), []).append(i)
+
+        for kind, indices in groups.items():
+            subset = [specs[i] for i in indices]
+            if kind == "mliq":
+                answered, stats = self._backend.run_mliq(subset)
+            elif kind == "tiq":
+                answered, stats = self._backend.run_tiq(subset)
+            else:  # rank: lower to mliq, then apply the mass cut
+                answered, stats = self._backend.run_mliq(
+                    [s.lower() for s in subset]
+                )
+                answered = [
+                    _mass_cut(matches, spec.min_mass)
+                    for matches, spec in zip(answered, subset)
+                ]
+            for i, matches in zip(indices, answered):
+                per_query[i] = matches
+            total.merge(stats)
+
+        return ResultSet(
+            specs,
+            [m if m is not None else [] for m in per_query],
+            total,
+            self._backend.name,
+        )
+
+    def explain(self, query: Query | Sequence[Query]) -> Plan:
+        """Describe the execution of a spec (or batch) without running it.
+
+        Accepts the same input shapes as :meth:`execute` /
+        :meth:`execute_many`: one spec, or any iterable of specs.
+        """
+        self._check_open()
+        if hasattr(query, "kind"):  # a single spec (specs are not iterable)
+            queries = [query]
+        else:
+            queries = list(query)
+        return build_plan(self._backend, queries)
+
+    # -- data access ---------------------------------------------------------
+
+    def database(self) -> PFVDatabase:
+        """Materialise the stored objects as a database (e.g. to derive
+        a ground-truthed workload from the indexed population)."""
+        self._check_open()
+        return self._backend.database()
+
+    # -- mutation (capability-gated) ----------------------------------------
+
+    def insert(self, v: PFV) -> None:
+        """Insert one pfv (``"writable"`` capability required; durable
+        per operation on WAL-backed disk sessions)."""
+        self._check_open()
+        self._backend.insert(v)
+
+    def delete(self, v: PFV) -> bool:
+        """Delete one pfv; returns whether it was found."""
+        self._check_open()
+        return self._backend.delete(v)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def cold_start(self) -> None:
+        """Drop the backend's page cache (evaluation protocol hook)."""
+        self._check_open()
+        self._backend.cold_start()
+
+    def flush(self) -> None:
+        """Checkpoint a durable backend (no-op otherwise)."""
+        self._check_open()
+        self._backend.flush()
+
+    def close(self) -> None:
+        """Release the backend (checkpoints persistent writers); the
+        session refuses further work afterwards. Idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"n={self._backend.count()}"
+        return (
+            f"Session(backend={self._backend.name!r}, {state}, "
+            f"capabilities={sorted(self._backend.capabilities)})"
+        )
+
+
+def _mass_cut(matches: list[Match], min_mass: float | None) -> list[Match]:
+    """Truncate a posterior-ranked list at ``min_mass`` cumulative mass
+    (keeping the match that crosses the line)."""
+    if min_mass is None:
+        return matches
+    out: list[Match] = []
+    mass = 0.0
+    for m in matches:
+        out.append(m)
+        mass += m.probability
+        if mass >= min_mass:
+            break
+    return out
+
+
+def connect(
+    source,
+    backend: str = "auto",
+    *,
+    writable: bool = False,
+    **options,
+) -> Session:
+    """Open a session over ``source`` through one registered backend.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.core.database.PFVDatabase`, an iterable of
+        pfv, or the path of a saved Gauss-tree index file.
+    backend:
+        ``"auto"`` picks ``"disk"`` for a path and ``"tree"`` for
+        in-memory data. Explicit names come from
+        :func:`~repro.engine.backends.available_backends` —
+        ``"tree"``, ``"disk"``, ``"seqscan"``, ``"xtree"`` built in.
+        A non-path source with ``"disk"`` is an error; a *path* with a
+        database-backed backend (``"tree"``/``"seqscan"``/``"xtree"``)
+        materialises the stored objects first, so any index file can be
+        served through any backend.
+    writable:
+        For ``"disk"``: open the index WAL-durable (format v2). The
+        in-memory ``"tree"`` backend is always writable.
+    options:
+        Backend-specific keywords, e.g. ``page_store=``, ``layout=``,
+        ``degree=``, ``mliq_tolerance=``/``tiq_tolerance=`` (tree),
+        ``fsync=``/``auto_checkpoint_bytes=`` (disk, writable),
+        ``coverage=`` (xtree).
+    """
+    if backend == "auto":
+        import os
+
+        backend = "disk" if isinstance(source, (str, os.PathLike)) else "tree"
+    built = create_backend(backend, source, writable=writable, options=options)
+    # Gate on declared capabilities, not on backend names, so registered
+    # third-party writable backends work and read-only ones fail loudly.
+    if writable and "writable" not in built.capabilities:
+        close = getattr(built, "close", None)
+        if close is not None:
+            close()
+        raise CapabilityError(
+            f"backend {backend!r} does not support writable sessions "
+            f"(capabilities: {sorted(built.capabilities)})"
+        )
+    return Session(built)
+
+
+def session_for(index, name: str | None = None, **options) -> Session:
+    """Adopt an already-built index object (GaussTree,
+    SequentialScanIndex, XTreePFVIndex, a registered Backend, or any
+    legacy object with ``mliq``/``tiq`` methods) as a session.
+    ``options`` reach the adapter (Gauss-tree: ``mliq_tolerance``,
+    ``tiq_tolerance``, ``probability_tolerance``)."""
+    if isinstance(index, Session):
+        if options:
+            raise TypeError("an existing Session accepts no adapter options")
+        return index
+    return Session(backend_for_index(index, name, **options))
+
+
+# Re-exported for discoverability next to connect().
+connect.available_backends = available_backends  # type: ignore[attr-defined]

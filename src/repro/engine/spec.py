@@ -1,0 +1,168 @@
+"""The engine's query algebra: declarative specs, separate from execution.
+
+One probabilistic query model is served by interchangeable access
+methods (the point of the paper), so the query *specification* must not
+know anything about execution. The three specs here are plain frozen
+dataclasses; a :class:`~repro.engine.session.Session` routes them to
+whichever backend it was connected with, and
+:mod:`repro.engine.planner` describes how they will run.
+
+* :class:`MLIQ` — the k-most-likely identification query (Definition 3).
+* :class:`TIQ` — the threshold identification query (Definition 2),
+  with an optional accuracy slack ``eps``.
+* :class:`RankQuery` — probabilistic top-k ranking. In this model every
+  query observation has exactly one true identity, so the posterior
+  vector ``P(v | q)`` *is* the probability distribution over candidate
+  identities and the consensus ranking (in the sense of "Consensus
+  Answers for Queries over Probabilistic Databases") is simply the
+  posterior-descending order. ``RankQuery(q, k)`` therefore returns the
+  top-``k`` of that ranking, optionally truncated once the reported
+  ranking carries at least ``min_mass`` cumulative posterior mass — a
+  "stop when the answer is probably complete" cut that MLIQ's fixed
+  ``k`` cannot express.
+
+Normalised edge-case semantics (every backend conforms; the
+cross-backend parity property test enforces it):
+
+============================  ============================================
+situation                     result
+============================  ============================================
+``k == 0``                    valid spec; the empty match list
+``k > len(database)``         all ``len(database)`` objects, ranked
+empty database                the empty match list (MLIQ, TIQ and Rank)
+``TIQ.tau == 0``              the full ranked database
+============================  ============================================
+
+The legacy specs (:class:`~repro.core.queries.MLIQuery`,
+:class:`~repro.core.queries.ThresholdQuery`) predate this table: they
+reject ``k == 0`` at construction and some backends used to reject
+empty databases. ``lower()`` converts an engine spec into its legacy
+counterpart for backends implemented against the old surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+from repro.core.pfv import PFV
+from repro.core.queries import MLIQuery, ThresholdQuery
+
+__all__ = ["MLIQ", "TIQ", "RankQuery", "Query", "query_kind"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MLIQ:
+    """k-most-likely identification: the ``k`` highest-posterior objects.
+
+    Parameters
+    ----------
+    q:
+        The query observation (a pfv: means plus uncertainties).
+    k:
+        Result size; ``0`` is valid and yields the empty result.
+    """
+
+    q: PFV
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    @property
+    def kind(self) -> str:
+        return "mliq"
+
+    def lower(self) -> MLIQuery:
+        """The legacy spec; callers must special-case ``k == 0``."""
+        if self.k == 0:
+            raise ValueError("k == 0 has no legacy MLIQuery equivalent")
+        return MLIQuery(self.q, self.k)
+
+
+@dataclasses.dataclass(frozen=True)
+class TIQ:
+    """Threshold identification: every object with posterior >= ``tau``.
+
+    Parameters
+    ----------
+    q:
+        The query observation.
+    tau:
+        The posterior threshold (the paper's ``p_theta``).
+    eps:
+        Accuracy slack for the accept/reject *decision*: an object whose
+        posterior interval straddles ``tau`` but is narrower than
+        ``eps`` may be classified by the interval midpoint instead of
+        forcing further page reads (Section 5.2.3). ``0.0`` demands the
+        exact answer set; exact backends (the sequential scan) ignore a
+        positive ``eps`` and simply answer exactly.
+    """
+
+    q: PFV
+    tau: float = 0.5
+    eps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tau <= 1.0:
+            raise ValueError(
+                f"tau must be a probability in [0, 1], got {self.tau}"
+            )
+        if not 0.0 <= self.eps <= 1.0:
+            raise ValueError(f"eps must be in [0, 1], got {self.eps}")
+
+    @property
+    def kind(self) -> str:
+        return "tiq"
+
+    def lower(self) -> ThresholdQuery:
+        return ThresholdQuery(self.q, self.tau)
+
+
+@dataclasses.dataclass(frozen=True)
+class RankQuery:
+    """Probabilistic top-k ranking under the posterior distribution.
+
+    Returns at most ``k`` objects in posterior-descending order. With
+    ``min_mass`` set, the ranking is additionally truncated at the first
+    prefix whose cumulative posterior reaches ``min_mass`` — "rank
+    candidates until the answer is 99% complete". Executed by lowering
+    to an MLIQ and trimming, so every backend that answers MLIQ answers
+    RankQuery with identical semantics.
+    """
+
+    q: PFV
+    k: int = 1
+    min_mass: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+        if self.min_mass is not None and not 0.0 < self.min_mass <= 1.0:
+            raise ValueError(
+                f"min_mass must be in (0, 1], got {self.min_mass}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "rank"
+
+    def lower(self) -> "MLIQ":
+        """The engine MLIQ this executes as; the session applies the
+        ``min_mass`` cut to the ranked result afterwards."""
+        return MLIQ(self.q, self.k)
+
+
+Query = Union[MLIQ, TIQ, RankQuery]
+
+
+def query_kind(query: Query) -> str:
+    """The dispatch kind of a spec; raises TypeError for non-specs."""
+    kind = getattr(query, "kind", None)
+    if kind not in ("mliq", "tiq", "rank"):
+        raise TypeError(
+            f"not an engine query spec: {query!r} (expected MLIQ, TIQ or "
+            "RankQuery; legacy MLIQuery/ThresholdQuery must be wrapped)"
+        )
+    return kind

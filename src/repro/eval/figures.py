@@ -24,16 +24,14 @@ import os
 from typing import Sequence
 
 from repro.baselines.nn import knn_euclidean
-from repro.baselines.seqscan import SequentialScanIndex
-from repro.baselines.xtree_pfv import XTreePFVIndex
 from repro.core.database import PFVDatabase
-from repro.core.queries import MLIQuery, ThresholdQuery
+from repro.core.queries import MLIQuery
 from repro.data.histograms import color_histogram_dataset
 from repro.data.synthetic import uniform_pfv_dataset
 from repro.data.workload import IdentificationQuery, identification_workload
+from repro.engine import connect
 from repro.eval.metrics import PrecisionRecall, precision_recall
 from repro.eval.runner import BatchResult, run_mliq_batch, run_tiq_batch
-from repro.gausstree.bulkload import bulk_load
 from repro.storage.buffer import BufferManager
 from repro.storage.costmodel import DiskCostModel
 from repro.storage.layout import PageLayout
@@ -161,8 +159,8 @@ class Figure7Cell:
     batch: BatchResult
 
 
-def _gausstree_method(db: PFVDatabase, mliq_tolerance: float):
-    """Gauss-tree access method with its own page store, paper-sized cache.
+def _gausstree_session(db: PFVDatabase, mliq_tolerance: float):
+    """Gauss-tree session with its own page store, paper-sized cache.
 
     With the default ``mliq_tolerance = inf`` both query types run the
     paper's published algorithms verbatim: Figure 4's k-MLIQ (ranking,
@@ -173,20 +171,13 @@ def _gausstree_method(db: PFVDatabase, mliq_tolerance: float):
     (``tolerance=1e-9`` / ``0.0``) buy provably exact posteriors/answer
     sets for extra page reads; EXPERIMENTS.md reports both settings.
     """
-    store = make_page_store(db.dims)
-    tree = bulk_load(db.vectors, page_store=store, sigma_rule=db.sigma_rule)
-
-    class _Method:
-        def __init__(self) -> None:
-            self.store = store
-
-        def mliq(self, query: MLIQuery):
-            return tree.mliq(query, tolerance=mliq_tolerance)
-
-        def tiq(self, query: ThresholdQuery):
-            return tree.tiq(query, tolerance=mliq_tolerance)
-
-    return _Method()
+    return connect(
+        db,
+        backend="tree",
+        page_store=make_page_store(db.dims),
+        mliq_tolerance=mliq_tolerance,
+        tiq_tolerance=mliq_tolerance,
+    )
 
 
 def figure7(
@@ -211,9 +202,13 @@ def figure7(
         workload = identification_workload(db, n_queries, seed=seed)
 
     methods = {
-        "G-Tree": _gausstree_method(db, mliq_tolerance),
-        "X-Tree": XTreePFVIndex(db, page_store=make_page_store(db.dims)),
-        "Seq.File": SequentialScanIndex(db, page_store=make_page_store(db.dims)),
+        "G-Tree": _gausstree_session(db, mliq_tolerance),
+        "X-Tree": connect(
+            db, backend="xtree", page_store=make_page_store(db.dims)
+        ),
+        "Seq.File": connect(
+            db, backend="seqscan", page_store=make_page_store(db.dims)
+        ),
     }
 
     batches: dict[tuple[str, str], BatchResult] = {}

@@ -1,27 +1,42 @@
-"""Experiment runner: batches of queries against any access method.
+"""Experiment runner: batches of queries against any session/backend.
 
-The runner abstracts over the three competitors of Figure 7 (Gauss-tree,
-X-tree filter+refine, sequential scan) behind a minimal protocol — an
-object with ``mliq(query) -> (matches, stats)`` and
-``tiq(query) -> (matches, stats)`` — and aggregates per-query
-:class:`~repro.core.queries.QueryStats` over a workload, cold-starting the
-buffer before each batch as the paper's experiments do.
+Since the unified engine API landed, the runner is a thin layer over
+:class:`repro.engine.Session`: every workload item is executed through
+``Session.execute`` (one spec at a time — the paper's evaluation
+protocol charges each query its own page accesses, so the shared-pass
+batch entry points are deliberately *not* used here) and the per-query
+:class:`~repro.core.queries.QueryStats` are aggregated, cold-starting
+the buffer before each batch as the paper's experiments do.
+
+``run_mliq_batch`` / ``run_tiq_batch`` accept a ready
+:class:`~repro.engine.Session` or any legacy access-method object
+(GaussTree, SequentialScanIndex, XTreePFVIndex, or anything with
+``mliq``/``tiq`` methods), which is adopted via
+:func:`repro.engine.session_for`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Hashable, Protocol, Sequence
+from typing import Hashable, Protocol, Sequence
 
 from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
 from repro.data.workload import IdentificationQuery
+from repro.engine import MLIQ, TIQ, Session, session_for
 from repro.eval.metrics import PrecisionRecall, precision_recall
 
 __all__ = ["AccessMethod", "BatchResult", "run_mliq_batch", "run_tiq_batch"]
 
 
 class AccessMethod(Protocol):
-    """Anything that answers both identification query types."""
+    """Deprecated 1.x typing alias: the pre-engine per-method protocol.
+
+    Kept only so existing annotations keep importing (the same shim
+    policy as the ``mliq``/``tiq`` entry points; removal in 2.0).
+    Objects of this shape are adopted by the runner — and by
+    :func:`repro.engine.session_for` — automatically; new backends
+    should implement :class:`repro.engine.Backend` instead.
+    """
 
     def mliq(self, query: MLIQuery) -> tuple[list[Match], QueryStats]: ...
 
@@ -62,36 +77,31 @@ class BatchResult:
         return out
 
 
-def _cold_start(method: AccessMethod) -> None:
-    store = getattr(method, "store", None)
-    if store is not None:
-        store.cold_start()
-
-
 def _run_batch(
-    method: AccessMethod,
+    method,
     method_name: str,
     query_kind: str,
     workload: Sequence[IdentificationQuery],
-    execute: Callable[[IdentificationQuery], tuple[list[Match], QueryStats]],
+    make_spec,
     score: bool,
 ) -> BatchResult:
     if not workload:
         raise ValueError("empty workload")
-    _cold_start(method)
+    session: Session = session_for(method)
+    session.cold_start()
     totals = QueryStats()
     per_query_keys: list[list[Hashable]] = []
     for item in workload:
-        matches, stats = execute(item)
-        totals.merge(stats)
-        per_query_keys.append([m.key for m in matches])
+        result = session.execute(make_spec(item))
+        totals.merge(result.stats)
+        per_query_keys.append([m.key for m in result.matches])
     effectiveness = None
     if score:
         effectiveness = precision_recall(
             per_query_keys, [item.true_key for item in workload]
         )
     return BatchResult(
-        method=method_name,
+        method=method_name or session.backend_name,
         query_kind=query_kind,
         totals=totals,
         per_query_keys=per_query_keys,
@@ -100,7 +110,7 @@ def _run_batch(
 
 
 def run_mliq_batch(
-    method: AccessMethod,
+    method,
     workload: Sequence[IdentificationQuery],
     k: int = 1,
     method_name: str = "",
@@ -109,16 +119,16 @@ def run_mliq_batch(
     """Run a k-MLIQ over every workload query, cold buffer at the start."""
     return _run_batch(
         method,
-        method_name or type(method).__name__,
+        method_name or _default_name(method),
         f"{k}-MLIQ",
         workload,
-        lambda item: method.mliq(MLIQuery(item.q, k)),
+        lambda item: MLIQ(item.q, k),
         score,
     )
 
 
 def run_tiq_batch(
-    method: AccessMethod,
+    method,
     workload: Sequence[IdentificationQuery],
     p_theta: float,
     method_name: str = "",
@@ -127,9 +137,15 @@ def run_tiq_batch(
     """Run a TIQ over every workload query, cold buffer at the start."""
     return _run_batch(
         method,
-        method_name or type(method).__name__,
+        method_name or _default_name(method),
         f"TIQ(P={p_theta:g})",
         workload,
-        lambda item: method.tiq(ThresholdQuery(item.q, p_theta)),
+        lambda item: TIQ(item.q, p_theta),
         score,
     )
+
+
+def _default_name(method) -> str:
+    if isinstance(method, Session):
+        return method.backend_name
+    return type(method).__name__

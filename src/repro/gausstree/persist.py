@@ -712,11 +712,18 @@ class TreeWriter:
         keys: list[Hashable],
         height: int,
         lock: _IndexLock | None = None,
+        auto_checkpoint_bytes: int | None = None,
     ) -> None:
+        if auto_checkpoint_bytes is not None and auto_checkpoint_bytes <= 0:
+            raise ValueError(
+                f"auto_checkpoint_bytes must be positive, got "
+                f"{auto_checkpoint_bytes}"
+            )
         self.tree = tree
         self.store = store
         self.wal = wal
         self._lock = lock
+        self.auto_checkpoint_bytes = auto_checkpoint_bytes
         self.key_table = _KeyTable.from_keys(keys)
         self._logged_keys = len(self.key_table.keys)
         self.height = height
@@ -829,6 +836,23 @@ class TreeWriter:
         if self._pending_rollback is not None:
             self.wal.truncate_to(self._pending_rollback)
             self._pending_rollback = None
+
+    def maybe_auto_checkpoint(self) -> None:
+        """WAL-size-triggered checkpoint: flush once the log reaches the
+        configured bound.
+
+        Called by the tree after each committed mutation (with the dirty
+        marks already cleared, so nothing is double-logged). A crash
+        during the triggered checkpoint is no different from a crash
+        during an explicit ``flush()`` — the CKPT_BASE protocol makes
+        recovery self-contained either way, which the crash harness
+        exercises.
+        """
+        if (
+            self.auto_checkpoint_bytes is not None
+            and self.wal.tell() >= self.auto_checkpoint_bytes
+        ):
+            self.checkpoint()
 
     # -- checkpoint ----------------------------------------------------------
 
@@ -953,6 +977,7 @@ def open_tree(
     *,
     writable: bool = False,
     fsync: bool = True,
+    auto_checkpoint_bytes: int | None = None,
     file_factory: Callable = open,
 ):
     """Open a saved index; nodes materialize lazily.
@@ -967,6 +992,11 @@ def open_tree(
     """
     from repro.gausstree.tree import GaussTree
 
+    if auto_checkpoint_bytes is not None and not writable:
+        raise ValueError(
+            "auto_checkpoint_bytes only applies to writable opens "
+            "(a read-only tree never writes the WAL)"
+        )
     lock: _IndexLock | None = None
     if writable:
         lock = _IndexLock(path)
@@ -988,6 +1018,7 @@ def open_tree(
             cost_model,
             writable=writable,
             fsync=fsync,
+            auto_checkpoint_bytes=auto_checkpoint_bytes,
             file_factory=file_factory,
             lock=lock,
         )
@@ -1006,6 +1037,7 @@ def _open_tree_locked(
     *,
     writable: bool,
     fsync: bool,
+    auto_checkpoint_bytes: int | None,
     file_factory: Callable,
     lock,
 ):
@@ -1069,7 +1101,15 @@ def _open_tree_locked(
         )
         wal.reset()
         tree.attach_writer(
-            TreeWriter(tree, store, wal, keys, meta["height"], lock=lock)
+            TreeWriter(
+                tree,
+                store,
+                wal,
+                keys,
+                meta["height"],
+                lock=lock,
+                auto_checkpoint_bytes=auto_checkpoint_bytes,
+            )
         )
     else:
         tree.read_only = True

@@ -183,6 +183,9 @@ class GaussTree:
             # instead of silently never persisting them.
             self._writer.commit(self._dirty_nodes)
             self._dirty_nodes = set()
+            # After the marks are cleared, so a WAL-size-triggered
+            # checkpoint never re-commits the operation it just sealed.
+            self._writer.maybe_auto_checkpoint()
 
     # -- insertion -------------------------------------------------------------
 
@@ -455,6 +458,7 @@ class GaussTree:
         *,
         writable: bool = False,
         fsync: bool = True,
+        auto_checkpoint_bytes: int | None = None,
         file_factory=open,
     ) -> "GaussTree":
         """Open an index file saved by :meth:`save`.
@@ -469,6 +473,12 @@ class GaussTree:
         and are durable per operation through the write-ahead log; call
         :meth:`flush` or :meth:`close` to checkpoint into the main file.
         A WAL left behind by a crashed writer is replayed on open.
+
+        ``auto_checkpoint_bytes`` (writable only) bounds the sidecar
+        WAL: whenever a committed operation leaves the WAL at or above
+        this many bytes, the tree checkpoints immediately — so crash
+        recovery never replays more than roughly this much log. Default
+        ``None`` keeps the explicit flush()/close() discipline.
         """
         from repro.gausstree.persist import open_tree
 
@@ -478,6 +488,7 @@ class GaussTree:
             cost_model=cost_model,
             writable=writable,
             fsync=fsync,
+            auto_checkpoint_bytes=auto_checkpoint_bytes,
             file_factory=file_factory,
         )
 
@@ -509,12 +520,29 @@ class GaussTree:
 
     # -- queries ------------------------------------------------------------------
 
+    @staticmethod
+    def _warn_deprecated(old: str, new: str) -> None:
+        import warnings
+
+        warnings.warn(
+            f"GaussTree.{old} is deprecated; use "
+            f"repro.connect(...).{new} through the session API instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def mliq(
         self, query: MLIQuery, tolerance: float = 1e-9
     ) -> tuple[list[Match], QueryStats]:
-        """k-most-likely identification query (Sections 5.2.1-5.2.2)."""
+        """k-most-likely identification query (Sections 5.2.1-5.2.2).
+
+        Deprecated entry point: connect the tree through
+        ``repro.connect`` (or ``repro.engine.session_for(tree)``) and
+        ``execute(MLIQ(q, k))`` instead.
+        """
         from repro.gausstree.mliq import gausstree_mliq
 
+        self._warn_deprecated("mliq", "execute(MLIQ(q, k))")
         return gausstree_mliq(self, query, tolerance=tolerance)
 
     def tiq(
@@ -523,9 +551,14 @@ class GaussTree:
         tolerance: float = 0.0,
         probability_tolerance: float | None = None,
     ) -> tuple[list[Match], QueryStats]:
-        """Threshold identification query (Section 5.2.3)."""
+        """Threshold identification query (Section 5.2.3).
+
+        Deprecated entry point: use the session API
+        (``execute(TIQ(q, tau))``) instead.
+        """
         from repro.gausstree.tiq import gausstree_tiq
 
+        self._warn_deprecated("tiq", "execute(TIQ(q, tau))")
         return gausstree_tiq(
             self,
             query,
@@ -541,10 +574,12 @@ class GaussTree:
         Per-query results are identical to :meth:`mliq`; the batch shares
         the page cache and vectorizes per-node refinement across queries
         (see :mod:`repro.gausstree.batch`). Returns ``(per-query match
-        lists, aggregate stats)``.
+        lists, aggregate stats)``. Deprecated entry point: use the
+        session API (``execute_many``) instead.
         """
         from repro.gausstree.batch import gausstree_mliq_many
 
+        self._warn_deprecated("mliq_many", "execute_many([MLIQ(...), ...])")
         return gausstree_mliq_many(self, list(queries), tolerance=tolerance)
 
     def tiq_many(
@@ -554,9 +589,11 @@ class GaussTree:
         probability_tolerance: float | None = None,
     ) -> tuple[list[list[Match]], QueryStats]:
         """Answer a batch of TIQs in one buffer-warm pass (see
-        :meth:`mliq_many`)."""
+        :meth:`mliq_many`). Deprecated entry point: use the session API
+        (``execute_many``) instead."""
         from repro.gausstree.batch import gausstree_tiq_many
 
+        self._warn_deprecated("tiq_many", "execute_many([TIQ(...), ...])")
         return gausstree_tiq_many(
             self,
             list(queries),

@@ -35,9 +35,18 @@ class TestCorrectness:
         want = scan_tiq(db, ThresholdQuery(q, 0.05))
         assert [m.key for m in got] == [m.key for m in want]
 
-    def test_empty_database_rejected(self):
-        with pytest.raises(ValueError):
-            SequentialScanIndex(PFVDatabase())
+    def test_empty_database_answers_empty(self):
+        # Normalised edge-case semantics (repro.engine.spec): an empty
+        # database is a valid zero-page source, not an error.
+        idx = SequentialScanIndex(PFVDatabase())
+        assert idx.file_pages == 0
+        q = make_random_query(d=3, seed=9)
+        matches, stats = idx._mliq_impl(MLIQuery(q, 3))
+        assert matches == [] and stats.pages_accessed == 0
+        matches, _ = idx._tiq_impl(ThresholdQuery(q, 0.1))
+        assert matches == []
+        batches, _ = idx._mliq_many_impl([MLIQuery(q, 2)] * 3)
+        assert batches == [[], [], []]
 
     def test_mliq_many_matches_singles(self, scan_index):
         db, idx = scan_index

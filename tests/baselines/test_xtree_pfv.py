@@ -19,9 +19,17 @@ def indexed_db():
 
 
 class TestConstruction:
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            XTreePFVIndex(PFVDatabase())
+    def test_empty_database_answers_empty(self):
+        # Normalised edge-case semantics (repro.engine.spec): an empty
+        # database is a valid source whose queries answer empty.
+        idx = XTreePFVIndex(PFVDatabase())
+        from tests.conftest import make_random_query
+
+        q = make_random_query(d=3, seed=5)
+        matches, stats = idx._mliq_impl(MLIQuery(q, 3))
+        assert matches == [] and stats.pages_accessed == 0
+        matches, _ = idx._tiq_impl(ThresholdQuery(q, 0.2))
+        assert matches == []
 
     def test_repr(self, indexed_db):
         _, idx = indexed_db

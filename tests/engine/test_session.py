@@ -1,0 +1,360 @@
+"""The unified session API: connect, execute, explain, capabilities.
+
+Behavioral contract of ``repro.engine``: every backend answers the same
+specs with the same ResultSet shape, the normalised edge-case semantics
+hold on all of them, rank queries lower to MLIQ + mass cut, plans
+describe execution without running it, and the legacy per-method entry
+points still work but warn.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.seqscan import SequentialScanIndex
+from repro.core.database import PFVDatabase
+from repro.core.pfv import PFV
+from repro.core.queries import MLIQuery, ThresholdQuery
+from repro.engine import (
+    MLIQ,
+    TIQ,
+    CapabilityError,
+    RankQuery,
+    available_backends,
+    connect,
+    register_backend,
+    session_for,
+)
+from repro.gausstree.bulkload import bulk_load
+
+from tests.conftest import make_random_db, make_random_query
+
+EXACT_BACKENDS = ("tree", "seqscan")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_random_db(n=90, d=3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def q():
+    return make_random_query(d=3, seed=12)
+
+
+class TestSpecs:
+    def test_mliq_accepts_k_zero_rejects_negative(self, q):
+        assert MLIQ(q, 0).k == 0
+        with pytest.raises(ValueError):
+            MLIQ(q, -1)
+
+    def test_tiq_validates_tau_and_eps(self, q):
+        with pytest.raises(ValueError):
+            TIQ(q, tau=1.5)
+        with pytest.raises(ValueError):
+            TIQ(q, tau=0.5, eps=-0.1)
+
+    def test_rank_validates_min_mass(self, q):
+        with pytest.raises(ValueError):
+            RankQuery(q, 3, min_mass=0.0)
+        assert RankQuery(q, 3, min_mass=1.0).min_mass == 1.0
+
+    def test_non_spec_rejected_by_execute(self, db, q):
+        with connect(db, backend="seqscan") as s:
+            with pytest.raises(TypeError):
+                s.execute(MLIQuery(q, 3))  # legacy spec, not an engine spec
+
+
+class TestExecute:
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_mliq_matches_reference_scan(self, db, q, backend):
+        from repro.core.scan import scan_mliq
+
+        with connect(db, backend=backend) as s:
+            rs = s.execute(MLIQ(q, 7))
+        want = [m.key for m in scan_mliq(db, MLIQuery(q, 7))]
+        assert [m.key for m in rs.matches] == want
+        assert rs.backend == backend
+        assert rs.stats.pages_accessed > 0
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_tiq_matches_reference_scan(self, db, q, backend):
+        from repro.core.scan import scan_tiq
+
+        with connect(db, backend=backend) as s:
+            rs = s.execute(TIQ(q, tau=0.05))
+        want = [m.key for m in scan_tiq(db, ThresholdQuery(q, 0.05))]
+        assert [m.key for m in rs.matches] == want
+
+    def test_rank_is_mliq_plus_mass_cut(self, db, q):
+        with connect(db, backend="seqscan") as s:
+            full = s.execute(MLIQ(q, 20)).matches
+            ranked = s.execute(RankQuery(q, 20, min_mass=0.9)).matches
+        # A prefix of the MLIQ ranking, cut where cumulative mass >= 0.9.
+        assert [m.key for m in ranked] == [m.key for m in full[: len(ranked)]]
+        mass = sum(m.probability for m in ranked)
+        assert mass >= 0.9 or len(ranked) == 20
+        if len(ranked) > 1:
+            assert sum(m.probability for m in ranked[:-1]) < 0.9
+
+    def test_execute_many_mixed_kinds_in_input_order(self, db, q):
+        q2 = make_random_query(d=3, seed=77)
+        specs = [MLIQ(q, 3), TIQ(q2, 0.01), RankQuery(q, 5), MLIQ(q2, 1)]
+        with connect(db, backend="tree") as s:
+            rs = s.execute_many(specs)
+            singles = [s.execute(spec)[0] for spec in specs]
+        assert len(rs) == 4
+        for got, want in zip(rs, singles):
+            assert [m.key for m in got] == [m.key for m in want]
+        assert rs.queries == tuple(specs)
+
+    def test_resultset_shape(self, db, q):
+        with connect(db, backend="seqscan") as s:
+            rs = s.execute_many([MLIQ(q, 2), MLIQ(q, 3)])
+        assert len(rs) == 2 and len(rs[1]) == 3
+        assert rs.keys() == [[m.key for m in per] for per in rs]
+        with pytest.raises(ValueError):
+            _ = rs.matches  # multi-query: must index per query
+        cum = rs.cumulative_probability(1)
+        assert cum == sorted(cum) and len(cum) == 3
+
+
+class TestEdgeSemantics:
+    """The normalised table of repro.engine.spec, on every backend."""
+
+    @pytest.mark.parametrize("backend", ("tree", "seqscan", "xtree"))
+    def test_k_zero_and_k_beyond_n(self, db, q, backend):
+        with connect(db, backend=backend) as s:
+            assert s.execute(MLIQ(q, 0)).matches == []
+            got = s.execute(MLIQ(q, len(db) + 50)).matches
+            assert 0 < len(got) <= len(db)
+            if "exact" in s.capabilities:
+                assert len(got) == len(db)
+
+    @pytest.mark.parametrize("backend", ("tree", "seqscan", "xtree"))
+    def test_empty_database(self, q, backend):
+        with connect(PFVDatabase(), backend=backend) as s:
+            assert len(s) == 0
+            assert s.execute(MLIQ(q, 5)).matches == []
+            assert s.execute(TIQ(q, 0.2)).matches == []
+            assert s.execute(RankQuery(q, 3, min_mass=0.5)).matches == []
+
+    def test_tau_zero_returns_full_ranked_database(self, db, q):
+        for backend in EXACT_BACKENDS:
+            with connect(db, backend=backend) as s:
+                assert len(s.execute(TIQ(q, tau=0.0)).matches) == len(db)
+
+    def test_empty_tree_session_promotes_on_insert(self, q):
+        s = connect([], backend="tree")
+        assert s.writable and len(s) == 0
+        s.insert(PFV([0.5, 0.5, 0.5], [0.1, 0.1, 0.1], key="first"))
+        assert len(s) == 1
+        assert s.execute(MLIQ(q, 1)).keys() == [["first"]]
+
+    def test_empty_tree_promotion_keeps_sigma_rule(self):
+        from repro.core.joint import SigmaRule
+
+        src = PFVDatabase(sigma_rule=SigmaRule.PAPER)
+        s = connect(src, backend="tree")
+        assert s.database().sigma_rule is SigmaRule.PAPER
+        s.insert(PFV([0.5, 0.5], [0.1, 0.1], key="first"))
+        assert s.database().sigma_rule is SigmaRule.PAPER
+
+
+class TestSources:
+    def test_iterable_source(self, db, q):
+        with connect(list(db.vectors), backend="tree") as s:
+            assert len(s) == len(db)
+
+    def test_disk_roundtrip_and_any_backend_on_a_path(self, tmp_path, db, q):
+        path = str(tmp_path / "idx.gauss")
+        bulk_load(db.vectors, sigma_rule=db.sigma_rule).save(path)
+        answers = {}
+        for backend in ("disk", "tree", "seqscan"):
+            with connect(path, backend=backend) as s:
+                answers[backend] = {
+                    m.key for m in s.execute(MLIQ(q, 5)).matches
+                }
+        assert answers["disk"] == answers["tree"] == answers["seqscan"]
+
+    def test_auto_picks_disk_for_paths_tree_for_data(self, tmp_path, db):
+        path = str(tmp_path / "idx.gauss")
+        bulk_load(db.vectors, sigma_rule=db.sigma_rule).save(path)
+        with connect(path) as s:
+            assert s.backend_name == "disk"
+        with connect(db) as s:
+            assert s.backend_name == "tree"
+
+    def test_disk_needs_a_path(self, db):
+        with pytest.raises(TypeError):
+            connect(db, backend="disk")
+
+    def test_unknown_backend(self, db):
+        with pytest.raises(ValueError, match="unknown backend"):
+            connect(db, backend="btree")
+
+    def test_unknown_options_rejected_by_every_factory(self, db):
+        for backend in ("tree", "seqscan", "xtree"):
+            with pytest.raises(TypeError):
+                connect(db, backend=backend, not_an_option=1)
+
+    def test_read_only_open_rejects_auto_checkpoint(self, tmp_path, db):
+        from repro.gausstree.tree import GaussTree
+
+        path = str(tmp_path / "ro.gauss")
+        bulk_load(db.vectors, sigma_rule=db.sigma_rule).save(path)
+        with pytest.raises(ValueError, match="writable"):
+            GaussTree.open(path, auto_checkpoint_bytes=1 << 20)
+
+    def test_writable_disk_session(self, tmp_path, db, q):
+        path = str(tmp_path / "w.gauss")
+        bulk_load(db.vectors, sigma_rule=db.sigma_rule).save(path)
+        with connect(path, writable=True, auto_checkpoint_bytes=1 << 20) as s:
+            assert s.backend_name == "disk-writable" and s.writable
+            v = PFV([0.5] * 3, [0.1] * 3, key="added")
+            s.insert(v)
+            assert s.delete(v) is True
+            s.flush()
+        with connect(path) as s:
+            assert len(s) == len(db)
+
+    def test_writable_rejected_on_read_only_backends(self, db):
+        with pytest.raises(CapabilityError):
+            connect(db, backend="seqscan", writable=True)
+        with connect(db, backend="seqscan") as s:
+            with pytest.raises(CapabilityError):
+                s.insert(PFV([0.5] * 3, [0.1] * 3, key="x"))
+
+
+class TestExplain:
+    def test_plan_fields_and_describe(self, db, q):
+        with connect(db, backend="seqscan") as s:
+            plan = s.explain([MLIQ(q, 3)] * 4)
+        assert plan.backend == "seqscan"
+        assert plan.strategy == "batched"
+        assert plan.n_queries == 4
+        assert plan.estimated_pages > 0
+        assert plan.estimated_io_seconds > 0
+        text = plan.describe()
+        assert "seqscan" in text and "page accesses" in text
+
+    def test_estimate_tracks_costmodel(self, db, q):
+        # The seqscan MLIQ estimate is exactly the cost model's price of
+        # one sequential pass — the planner quotes storage/costmodel.
+        with connect(db, backend="seqscan") as s:
+            plan = s.explain(MLIQ(q, 3))
+            backend = s._backend
+            pages = backend.index.file_pages
+            assert plan.estimated_pages == pages
+            assert plan.estimated_io_seconds == pytest.approx(
+                backend.store.cost_model.sequential_read_seconds(pages)
+            )
+
+    def test_explain_accepts_any_iterable_like_execute_many(self, db, q):
+        with connect(db, backend="seqscan") as s:
+            from_list = s.explain([MLIQ(q, 2), MLIQ(q, 3)])
+            from_gen = s.explain(MLIQ(q, k) for k in (2, 3))
+        assert from_gen == from_list
+
+    def test_rank_lowering_is_reported(self, db, q):
+        with connect(db, backend="tree") as s:
+            plan = s.explain(RankQuery(q, 5, min_mass=0.9))
+        assert any("rank" in step for step in plan.lowering)
+
+    def test_approximate_backend_is_flagged(self, db, q):
+        with connect(db, backend="xtree") as s:
+            plan = s.explain(MLIQ(q, 3))
+        assert any("approximate" in note for note in plan.notes)
+
+
+class TestSessionLifecycle:
+    def test_closed_session_refuses_work(self, db, q):
+        s = connect(db, backend="seqscan")
+        s.close()
+        s.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            s.execute(MLIQ(q, 1))
+
+    def test_session_for_adopts_existing_indexes(self, db, q):
+        tree = bulk_load(db.vectors, sigma_rule=db.sigma_rule)
+        scan = SequentialScanIndex(db)
+        a = session_for(tree).execute(MLIQ(q, 5)).keys()
+        b = session_for(scan).execute(MLIQ(q, 5)).keys()
+        assert a == b
+
+    def test_session_for_wraps_legacy_duck_typed_methods(self, db, q):
+        class Legacy:
+            def mliq(self, query):
+                return SequentialScanIndex(db)._mliq_impl(query)
+
+        s = session_for(Legacy(), name="custom")
+        assert s.backend_name == "custom"
+        assert len(s.execute(MLIQ(q, 4)).matches) == 4
+        with pytest.raises(CapabilityError):
+            s.execute(TIQ(q, 0.5))  # no tiq method declared
+
+    def test_register_backend(self, db, q):
+        calls = []
+
+        def factory(source, *, writable, options):
+            from repro.engine.backends import SeqScanBackend
+
+            calls.append(options)
+            backend = SeqScanBackend(SequentialScanIndex(db))
+            backend.name = "recording"
+            return backend
+
+        register_backend("recording", factory, "test double", replace=True)
+        with connect(db, backend="recording", marker=1) as s:
+            assert s.backend_name == "recording"
+            assert len(s.execute(MLIQ(q, 2)).matches) == 2
+        assert calls == [{"marker": 1}]
+        assert "recording" in available_backends()
+        with pytest.raises(ValueError):
+            register_backend("recording", factory)
+
+
+class TestDeprecationShims:
+    def test_legacy_entry_points_warn_but_work(self, db, q):
+        tree = bulk_load(db.vectors, sigma_rule=db.sigma_rule)
+        scan = SequentialScanIndex(db)
+        spec = MLIQuery(q, 3)
+        for call in (
+            lambda: tree.mliq(spec),
+            lambda: tree.tiq(ThresholdQuery(q, 0.1)),
+            lambda: tree.mliq_many([spec]),
+            lambda: tree.tiq_many([ThresholdQuery(q, 0.1)]),
+            lambda: scan.mliq(spec),
+            lambda: scan.tiq(ThresholdQuery(q, 0.1)),
+            lambda: scan.mliq_many([spec]),
+            lambda: scan.tiq_many([ThresholdQuery(q, 0.1)]),
+        ):
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                result = call()
+            assert result is not None
+
+    def test_engine_paths_emit_no_deprecation_warnings(self, db, q):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with connect(db, backend="tree") as s:
+                s.execute_many([MLIQ(q, 3), TIQ(q, 0.1), RankQuery(q, 2)])
+            with connect(db, backend="seqscan") as s:
+                s.execute(MLIQ(q, 3))
+            with connect(db, backend="xtree") as s:
+                s.execute(MLIQ(q, 3))
+
+    def test_top_level_exports(self):
+        for name in ("connect", "Session", "MLIQ", "TIQ", "RankQuery"):
+            assert hasattr(repro, name)
+
+
+class TestEps:
+    def test_tiq_eps_zero_is_exact_and_groups_do_not_leak(self, db, q):
+        # A strict (eps=0) TIQ sharing a batch with a loose one must
+        # still be answered exactly.
+        with connect(db, backend="tree") as s:
+            rs = s.execute_many([TIQ(q, 0.05, eps=0.0), TIQ(q, 0.05, eps=0.2)])
+            exact = s.execute(TIQ(q, 0.05)).matches
+        assert [m.key for m in rs[0]] == [m.key for m in exact]

@@ -1,0 +1,120 @@
+"""Public-API snapshot of the unified engine surface.
+
+``repro.engine`` is the seam everything else (CLI, evaluation runner,
+benchmarks, future sharding/async serving) is built on, so its exported
+names and call signatures are pinned here verbatim. A failure in this
+file means the public surface changed: if that is intentional, update
+the snapshot *and* the README "Query API" section (migration table,
+deprecation policy) in the same commit.
+"""
+
+import inspect
+
+import repro
+import repro.engine as engine
+
+
+def sig(obj) -> str:
+    return str(inspect.signature(obj))
+
+
+EXPECTED_ENGINE_EXPORTS = {
+    "connect",
+    "Session",
+    "session_for",
+    "MLIQ",
+    "TIQ",
+    "RankQuery",
+    "Query",
+    "ResultSet",
+    "Plan",
+    "Backend",
+    "BackendAdapter",
+    "PlanEstimate",
+    "CapabilityError",
+    "register_backend",
+    "available_backends",
+}
+
+# Signatures of the callable surface, pinned exactly (the quoted
+# annotations come from `from __future__ import annotations`).
+EXPECTED_SIGNATURES = {
+    "connect": "(source, backend: 'str' = 'auto', *, "
+    "writable: 'bool' = False, **options) -> 'Session'",
+    "session_for": "(index, name: 'str | None' = None, **options) "
+    "-> 'Session'",
+    "register_backend": "(name: 'str', factory: 'Callable[..., Backend]', "
+    "description: 'str' = '', *, replace: 'bool' = False) -> 'None'",
+    "available_backends": "() -> 'dict[str, str]'",
+    "MLIQ": "(q: 'PFV', k: 'int' = 1) -> None",
+    "TIQ": "(q: 'PFV', tau: 'float' = 0.5, eps: 'float' = 0.0) -> None",
+    "RankQuery": "(q: 'PFV', k: 'int' = 1, "
+    "min_mass: 'float | None' = None) -> None",
+}
+
+EXPECTED_SESSION_METHODS = {
+    "execute": "(self, query: 'Query') -> 'ResultSet'",
+    "execute_many": "(self, queries: 'Iterable[Query]') -> 'ResultSet'",
+    "explain": "(self, query: 'Query | Sequence[Query]') -> 'Plan'",
+    "insert": "(self, v: 'PFV') -> 'None'",
+    "delete": "(self, v: 'PFV') -> 'bool'",
+    "database": "(self) -> 'PFVDatabase'",
+    "cold_start": "(self) -> 'None'",
+    "flush": "(self) -> 'None'",
+    "close": "(self) -> 'None'",
+}
+
+
+def test_engine_export_names_are_pinned():
+    assert set(engine.__all__) == EXPECTED_ENGINE_EXPORTS
+    for name in engine.__all__:
+        assert hasattr(engine, name), f"__all__ names missing export {name}"
+
+
+def test_engine_callable_signatures_are_pinned():
+    for name, expected in EXPECTED_SIGNATURES.items():
+        assert sig(getattr(engine, name)) == expected, (
+            f"signature drift in repro.engine.{name}: "
+            f"{sig(getattr(engine, name))!r}"
+        )
+
+
+def test_session_method_signatures_are_pinned():
+    for name, expected in EXPECTED_SESSION_METHODS.items():
+        method = getattr(engine.Session, name)
+        assert sig(method) == expected, (
+            f"signature drift in Session.{name}: {sig(method)!r}"
+        )
+
+
+def test_backend_protocol_members():
+    # The capability-declaring protocol every backend implements.
+    members = {
+        name
+        for name in ("run_mliq", "run_tiq", "count", "estimate")
+        if callable(getattr(engine.BackendAdapter, name, None))
+    }
+    assert members == {"run_mliq", "run_tiq", "count", "estimate"}
+
+
+def test_top_level_reexports():
+    for name in (
+        "connect",
+        "Session",
+        "session_for",
+        "MLIQ",
+        "TIQ",
+        "RankQuery",
+        "ResultSet",
+    ):
+        assert getattr(repro, name) is getattr(engine, name)
+        assert name in repro.__all__
+
+
+def test_builtin_backends_registered():
+    assert set(engine.available_backends()) >= {
+        "tree",
+        "disk",
+        "seqscan",
+        "xtree",
+    }
