@@ -25,6 +25,14 @@ Unified query engine (the recommended surface):
     describes the plan. See README "Query API" for the migration table
     from the per-method entry points (now deprecation shims).
 
+Sharded serving (scale-out):
+    :mod:`repro.cluster` — ``repro shard-build`` partitions a database
+    into per-shard indexes behind a manifest; ``connect(manifest,
+    backend="sharded", pool="process")`` fans batches out to shard
+    sessions (serial or process pool) and merges globally renormalised
+    posteriors; ``repro serve`` exposes any session as a concurrent
+    JSON HTTP endpoint. See README "Sharded serving".
+
 Baselines (Section 6):
     :class:`repro.baselines.XTreePFVIndex`,
     :class:`repro.baselines.SequentialScanIndex`,
@@ -61,7 +69,12 @@ from repro.engine import (
 )
 from repro.gausstree import GaussTree, bulk_load
 
-__version__ = "1.2.0"
+# Importing the cluster package registers the "sharded" backend with the
+# engine registry, so connect(..., backend="sharded") works out of the
+# box (the subsystem itself is stdlib-only on top of the engine).
+import repro.cluster  # noqa: E402,F401  (registration side effect)
+
+__version__ = "1.3.0"
 
 __all__ = [
     "PFV",

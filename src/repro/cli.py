@@ -30,6 +30,22 @@ queried through every access method) — and ``insert`` opens the index
 at any point (or pass ``--exit-after N`` for a deterministic mid-workload
 ``kill -9`` equivalent) and the next ``query``/``insert`` replays the
 write-ahead log — every insert that completed survives.
+
+The sharded serving commands (see README "Sharded serving"):
+
+    python -m repro shard-build cluster/ds1 --dataset 1 --shards 4
+    python -m repro query cluster/ds1.shards.json --backend sharded \
+        --k 5 --pool process --workers 4
+    python -m repro serve cluster/ds1.shards.json --port 8631
+
+``shard-build`` partitions a dataset deterministically (hash or
+round-robin), saves one Gauss-tree index per shard and writes the
+``.shards.json`` manifest; ``query --backend sharded`` fans batches out
+to the shards and merges globally renormalised posteriors; ``serve``
+exposes any index (or manifest) as a concurrent JSON HTTP endpoint.
+``query --input workload.jsonl`` (or ``--input -`` for stdin) replays a
+JSONL spec file — the same wire format the server accepts — instead of
+generating a re-observation workload.
 """
 
 from __future__ import annotations
@@ -114,62 +130,197 @@ def _cmd_build(args: argparse.Namespace) -> None:
     )
 
 
+def _backend_options(
+    args: argparse.Namespace, backend: str, context: str
+) -> dict:
+    """connect() options from the --pool/--workers flags; rejects them
+    for non-sharded backends (``context`` names the right fix)."""
+    options: dict = {}
+    if getattr(args, "pool", None) is not None:
+        options["pool"] = args.pool
+    if getattr(args, "workers", None) is not None:
+        options["workers"] = args.workers
+    if options and backend != "sharded":
+        raise SystemExit(f"--pool/--workers only apply to {context}")
+    return options
+
+
+def _load_input_specs(path: str):
+    """Parse a JSONL workload file (``-`` reads stdin)."""
+    from repro.cluster.wire import WireError, load_jsonl
+
+    try:
+        if path == "-":
+            specs = load_jsonl(sys.stdin)
+        else:
+            with open(path, encoding="utf-8") as f:
+                specs = load_jsonl(f)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}") from None
+    except WireError as exc:
+        raise SystemExit(f"bad workload {path}: {exc}") from None
+    if not specs:
+        raise SystemExit(f"workload {path} holds no queries")
+    return specs
+
+
 def _cmd_query(args: argparse.Namespace) -> None:
     from repro.engine import MLIQ, TIQ, RankQuery, connect
 
     modes = sum(x is not None for x in (args.k, args.theta, args.rank))
-    if modes != 1:
+    if args.input is not None:
+        if modes:
+            raise SystemExit(
+                "--input replays a spec file; drop --k/--theta/--rank "
+                "(each line carries its own kind and parameters)"
+            )
+    elif modes != 1:
         raise SystemExit(
-            "pass exactly one of --k (MLIQ), --theta (TIQ) or --rank"
+            "pass exactly one of --k (MLIQ), --theta (TIQ) or --rank "
+            "(or --input FILE for a JSONL workload)"
         )
     if args.min_mass is not None and args.rank is None:
         raise SystemExit("--min-mass only applies to --rank queries")
     if args.queries < 1:
         raise SystemExit("--queries must be at least 1")
     started = time.perf_counter()
-    session = connect(args.index, backend=args.backend)
+    session = connect(
+        args.index,
+        backend=args.backend,
+        **_backend_options(args, args.backend, "--backend sharded"),
+    )
     opened = time.perf_counter()
     print(f"connected {session!r} to {args.index} in {opened - started:.2f}s")
-    # Re-observation workload over the stored objects, like the paper's
-    # evaluation protocol (materializes the index once to sample from it).
-    db = session.database()
-    workload = identification_workload(db, args.queries, seed=args.seed)
+    workload = None
+    if args.input is not None:
+        specs = _load_input_specs(args.input)
+    else:
+        # Re-observation workload over the stored objects, like the
+        # paper's evaluation protocol (materializes the index once to
+        # sample from it).
+        db = session.database()
+        workload = identification_workload(db, args.queries, seed=args.seed)
+        try:
+            if args.k is not None:
+                specs = [MLIQ(w.q, args.k) for w in workload]
+            elif args.theta is not None:
+                specs = [TIQ(w.q, args.theta) for w in workload]
+            else:
+                specs = [
+                    RankQuery(w.q, args.rank, min_mass=args.min_mass)
+                    for w in workload
+                ]
+        except ValueError as exc:  # bad --k/--theta/--min-mass
+            raise SystemExit(str(exc)) from None
     sampled = time.perf_counter()
-    try:
-        if args.k is not None:
-            specs = [MLIQ(w.q, args.k) for w in workload]
-        elif args.theta is not None:
-            specs = [TIQ(w.q, args.theta) for w in workload]
-        else:
-            specs = [
-                RankQuery(w.q, args.rank, min_mass=args.min_mass)
-                for w in workload
-            ]
-    except ValueError as exc:  # spec validation: bad --k/--theta/--min-mass
-        raise SystemExit(str(exc)) from None
     if args.explain:
         print(session.explain(specs).describe())
     result = session.execute_many(specs)
     finished = time.perf_counter()
     stats = result.stats
-    hits = sum(
-        1
-        for w, matches in zip(workload, result)
-        if matches and matches[0].key == w.true_key
-    )
-    print(
+    line = (
         f"{len(specs)} queries in {finished - sampled:.2f}s "
         f"({(finished - sampled) / len(specs) * 1e3:.1f} ms/query, "
         f"backend={result.backend}): {stats.pages_accessed} page accesses, "
-        f"{stats.page_faults} faults, top-1 hit rate "
-        f"{hits / len(specs):.0%}"
+        f"{stats.page_faults} faults"
     )
-    for w, matches in list(zip(workload, result))[: args.show]:
-        top = ", ".join(
-            f"{m.key!r}:{m.probability:.1%}" for m in matches[:3]
+    if workload is not None:
+        hits = sum(
+            1
+            for w, matches in zip(workload, result)
+            if matches and matches[0].key == w.true_key
         )
-        print(f"  true={w.true_key!r} -> [{top}]")
+        line += f", top-1 hit rate {hits / len(specs):.0%}"
+    print(line)
+    if result.provenance:
+        for shard_name, shard_stats in result.provenance:
+            print(
+                f"  {shard_name}: {shard_stats.pages_accessed} pages, "
+                f"{shard_stats.objects_refined} refinements"
+            )
+    if workload is not None:
+        for w, matches in list(zip(workload, result))[: args.show]:
+            top = ", ".join(
+                f"{m.key!r}:{m.probability:.1%}" for m in matches[:3]
+            )
+            print(f"  true={w.true_key!r} -> [{top}]")
+    else:
+        for spec, matches in list(zip(specs, result))[: args.show]:
+            top = ", ".join(
+                f"{m.key!r}:{m.probability:.1%}" for m in matches[:3]
+            )
+            print(f"  {spec.kind} -> [{top}]")
     session.close()
+
+
+def _cmd_shard_build(args: argparse.Namespace) -> None:
+    from repro.cluster import build_shards
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    db = _build_dataset(args.dataset, args.scale)
+    started = time.perf_counter()
+    manifest = build_shards(
+        db,
+        args.shards,
+        args.out_prefix,
+        policy=args.policy,
+        page_size=args.page_size,
+    )
+    elapsed = time.perf_counter() - started
+    sizes = ", ".join(str(s.objects) for s in manifest.shards)
+    print(
+        f"sharded data set {args.dataset} (n={len(db)}) into "
+        f"{manifest.n_shards} shard(s) [{sizes}] with policy "
+        f"{manifest.policy!r} in {elapsed:.1f}s"
+    )
+    print(f"manifest: {manifest.source_path}")
+    print(
+        "serve it:  python -m repro serve "
+        f"{manifest.source_path} --pool process"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.cluster import QueryServer
+    from repro.engine import connect
+
+    backend = args.backend
+    if backend == "auto":
+        backend = (
+            "sharded" if args.index.endswith(".json") else "disk"
+        )
+    started = time.perf_counter()
+    session = connect(
+        args.index,
+        backend=backend,
+        **_backend_options(
+            args,
+            backend,
+            "sharded serving (a .shards.json manifest or "
+            "--backend sharded)",
+        ),
+    )
+    print(
+        f"connected {session!r} to {args.index} "
+        f"in {time.perf_counter() - started:.2f}s"
+    )
+    server = QueryServer(
+        session, args.host, args.port, verbose=args.verbose
+    ).start()
+    host, port = server.address
+    print(
+        f"serving http://{host}:{port} "
+        "(POST /query, GET /healthz, GET /stats) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        session.close()
 
 
 def _cmd_insert(args: argparse.Namespace) -> None:
@@ -327,14 +478,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="open a saved index and answer an MLIQ/TIQ/Rank batch "
         "through the unified session API",
     )
-    p.add_argument("index", help="index file written by `build`")
+    p.add_argument(
+        "index",
+        help="index file written by `build`, or a .shards.json manifest "
+        "written by `shard-build` (use --backend sharded)",
+    )
     p.add_argument(
         "--backend",
         default="disk",
-        choices=("disk", "tree", "seqscan", "xtree"),
+        choices=("disk", "tree", "seqscan", "xtree", "sharded"),
         help="access method serving the batch (default: disk — the "
         "saved Gauss-tree itself; tree/seqscan/xtree materialize the "
-        "stored objects first)",
+        "stored objects first; sharded fans out over a shard manifest)",
+    )
+    p.add_argument(
+        "--input",
+        default=None,
+        metavar="FILE",
+        help="replay a JSONL spec workload (one query object per line, "
+        "the `repro serve` wire format) instead of generating a "
+        "re-observation workload; '-' reads stdin",
+    )
+    p.add_argument(
+        "--pool",
+        default=None,
+        choices=("serial", "process"),
+        help="sharded only: fan-out worker pool (default serial)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sharded only: process-pool worker count",
     )
     p.add_argument(
         "--k", type=int, default=None, help="answer k-MLIQs with this k"
@@ -371,6 +546,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the top matches of this many queries (default: 5)",
     )
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "shard-build",
+        help="partition a dataset into N per-shard Gauss-tree indexes "
+        "plus a .shards.json manifest",
+    )
+    p.add_argument(
+        "out_prefix",
+        help="output prefix: writes <prefix>.shard-NN.gauss files and "
+        "the <prefix>.shards.json manifest",
+    )
+    p.add_argument("--dataset", type=int, default=1, choices=(1, 2))
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset size multiplier (same semantics as figure6/figure7)",
+    )
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument(
+        "--policy",
+        default="hash",
+        choices=("hash", "round-robin"),
+        help="shard placement: stable key hash (default) or position "
+        "round-robin",
+    )
+    p.add_argument(
+        "--page-size",
+        type=int,
+        default=8192,
+        help="bytes per shard index page (default: 8192)",
+    )
+    p.set_defaults(func=_cmd_shard_build)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve an index (or shard manifest) as a concurrent JSON "
+        "HTTP endpoint",
+    )
+    p.add_argument(
+        "index",
+        help="index file from `build` or .shards.json manifest from "
+        "`shard-build`",
+    )
+    p.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "disk", "tree", "seqscan", "xtree", "sharded"),
+        help="backend behind the endpoint (auto: sharded for a "
+        ".json manifest, disk otherwise)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8631,
+        help="listening port (0 binds an ephemeral port)",
+    )
+    p.add_argument(
+        "--pool",
+        default=None,
+        choices=("serial", "process"),
+        help="sharded only: fan-out worker pool",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="sharded only: process-pool worker count",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,79 @@
+"""``repro.cluster`` — sharded parallel serving over the unified engine.
+
+The scaling layer the ROADMAP's serving story plugs into: one database
+split into N disjoint shards, each behind its own inner backend, fanned
+out to by a :class:`~repro.cluster.backend.ShardedBackend` that merges
+per-shard answers into *globally correct* posteriors (the Bayes
+denominator spans every shard; see :mod:`repro.cluster.backend` for the
+math), served concurrently over HTTP by :mod:`repro.cluster.server`.
+
+The lifecycle:
+
+1. :func:`build_shards` (CLI: ``repro shard-build``) partitions a
+   database deterministically (``hash`` or ``round-robin`` policy),
+   saves one Gauss-tree index per shard and writes a
+   ``<name>.shards.json`` manifest;
+2. ``repro.connect(manifest, backend="sharded", pool="process")`` opens
+   a session that fans batches out through a
+   :mod:`~repro.cluster.pool` worker pool (serial, or a
+   ``multiprocessing`` pool whose workers open disk shards locally so
+   page buffers stay per-process);
+3. :func:`serve` (CLI: ``repro serve``) exposes any session — sharded
+   or not — as a JSON HTTP endpoint, with :class:`ServeClient` as the
+   matching stdlib client and :mod:`~repro.cluster.wire` as the shared
+   workload format (``repro query --input queries.jsonl`` speaks it
+   too).
+
+Importing this package registers the ``"sharded"`` backend with the
+engine registry (``repro`` imports it eagerly, so ``connect(...,
+backend="sharded")`` always works).
+"""
+
+from repro.cluster.backend import ClusterError, ShardedBackend
+from repro.cluster.client import RemoteAnswer, RemoteError, ServeClient
+from repro.cluster.partition import (
+    PARTITION_POLICIES,
+    ShardInfo,
+    ShardManifest,
+    build_shards,
+    load_manifest,
+    partition_database,
+    shard_of,
+    stable_shard_hash,
+)
+from repro.cluster.pool import POOL_KINDS, ProcessPool, SerialPool, make_pool
+from repro.cluster.server import QueryServer, serve
+from repro.cluster.wire import (
+    WireError,
+    dump_jsonl,
+    load_jsonl,
+    spec_from_json,
+    spec_to_json,
+)
+
+__all__ = [
+    "ClusterError",
+    "ShardedBackend",
+    "PARTITION_POLICIES",
+    "ShardInfo",
+    "ShardManifest",
+    "build_shards",
+    "load_manifest",
+    "partition_database",
+    "shard_of",
+    "stable_shard_hash",
+    "POOL_KINDS",
+    "SerialPool",
+    "ProcessPool",
+    "make_pool",
+    "QueryServer",
+    "serve",
+    "ServeClient",
+    "RemoteAnswer",
+    "RemoteError",
+    "WireError",
+    "spec_to_json",
+    "spec_from_json",
+    "load_jsonl",
+    "dump_jsonl",
+]

@@ -1,0 +1,536 @@
+"""The ``"sharded"`` backend: fan-out over N shard sessions, exact merge.
+
+Each shard holds a disjoint slice of the database behind its own inner
+backend (``tree``, ``disk``, ``seqscan`` — anything registered). A batch
+fans out through a :mod:`~repro.cluster.pool` worker pool and the
+per-shard answers merge into *globally correct* identification results.
+
+The merge is the interesting part. A shard can only normalise posteriors
+over its own objects::
+
+    P_s(v | q) = p(q | v) / Z_s,   Z_s = sum_{w in shard s} p(q | w)
+
+but the paper's identification posterior conditions on the closed world
+of the *whole* database, whose Bayes denominator spans every shard::
+
+    P(v | q) = p(q | v) / Z,       Z = sum_s Z_s
+
+Because shards partition the database, ``Z`` is exactly the sum of the
+per-shard denominators — including shards that contributed *no*
+candidate (their density mass still shrinks everyone else's posterior).
+Every shard therefore reports, per query, its total density ``log Z_s``
+(recovered from its top match: ``log Z_s = log p(q|v_top) -
+log P_s(v_top|q)``, with an MLIQ(q, 1) probe for TIQ batches whose local
+answer set is empty), and the merge renormalises the union of shard
+candidates against ``log Z = logsumexp_s(log Z_s)``.
+
+Correctness of the candidate sets:
+
+* **MLIQ(k)** — the global top-k by posterior is the top-k by density,
+  and each shard returns its local top-k by density, so the union of
+  local top-k lists contains the global top-k.
+* **TIQ(tau)** — ``Z_s <= Z`` means every local posterior bounds the
+  global one from above, so each shard's local TIQ(tau) answer is a
+  superset of the global answers living on that shard; the merge then
+  applies the exact global filter ``p(q|v)/Z >= tau``.
+* **RankQuery** — lowered to MLIQ by the session, which applies the
+  ``min_mass`` cut *after* this merge, i.e. against global posteriors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+
+from repro.core.database import PFVDatabase
+from repro.core.gaussian import logsumexp
+from repro.core.queries import Match, MLIQuery, QueryStats
+from repro.engine.backends import (
+    BackendAdapter,
+    PlanEstimate,
+    as_database,
+    create_backend,
+    register_backend,
+)
+from repro.engine.session import Session
+from repro.engine.spec import MLIQ, TIQ
+from repro.cluster.partition import (
+    MANIFEST_SUFFIX,
+    ShardManifest,
+    load_manifest,
+    partition_database,
+)
+from repro.cluster.pool import ClusterError, SerialPool, make_pool
+
+__all__ = ["ClusterError", "ShardedBackend", "ShardReply"]
+
+#: Inner backends whose answers provably equal the sequential scan;
+#: a sharded deployment over them stays exact (third-party inners are
+#: probed for the capability instead).
+_EXACT_INNER = {"tree", "disk", "seqscan"}
+
+
+# ---------------------------------------------------------------------------
+# Worker-side pieces (module level: pickled by reference into pool workers)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ShardReply:
+    """One shard's answer to one fanned-out payload.
+
+    ``per_query`` holds ``(matches, log_total)`` pairs in query order:
+    the shard-local answer list (posteriors still shard-normalised) and
+    the shard's log Bayes denominator ``log Z_s`` for that query
+    (``-inf`` for an empty shard or fully underflowed densities).
+    """
+
+    per_query: list[tuple[list[Match], float]]
+    stats: QueryStats
+
+
+class _ShardOpener:
+    """Picklable ``opener(shard_id) -> Session`` over the shard sources.
+
+    Sources are per-shard index file paths (manifest mode) or per-shard
+    :class:`PFVDatabase` slices (in-memory mode). Workers call this
+    lazily, so each process opens only the shards it actually serves and
+    keeps their page buffers local.
+    """
+
+    def __init__(
+        self, sources: list, inner: str, inner_options: dict
+    ) -> None:
+        self.sources = sources
+        self.inner = inner
+        self.inner_options = dict(inner_options)
+
+    def __call__(self, shard_id: int) -> Session:
+        source = self.sources[shard_id]
+        if source is None:
+            raise ClusterError(
+                f"shard {shard_id} is empty and has no index to open"
+            )
+        try:
+            backend = create_backend(
+                self.inner,
+                source,
+                writable=False,
+                options=dict(self.inner_options),
+            )
+        except ClusterError:
+            raise
+        except Exception as exc:
+            raise ClusterError(
+                f"cannot open shard {shard_id} "
+                f"({source if isinstance(source, str) else 'in-memory'}) "
+                f"with inner backend {self.inner!r}: {exc}"
+            ) from exc
+        return Session(backend)
+
+
+def _shard_log_total(matches: list[Match]) -> float:
+    """Recover ``log Z_s`` from a shard's answer list.
+
+    The top match has the shard's maximal posterior (``>= 1/n_s``), so
+    ``log p(q|v) - log P_s(v|q)`` reproduces the local log-sum-exp
+    denominator at full float precision. Empty lists and underflowed
+    densities yield ``-inf`` — a shard contributing no mass.
+    """
+    if not matches:
+        return -math.inf
+    top = max(matches, key=lambda m: m.probability)
+    if top.probability <= 0.0 or math.isinf(top.log_density):
+        return -math.inf
+    return top.log_density - math.log(top.probability)
+
+
+def _run_shard_payload(session: Session, payload) -> ShardReply:
+    """Execute one fanned-out payload on an open shard session.
+
+    Runs in pool workers (and inline for the serial pool). Payloads are
+    ``("mliq", [(q, k), ...])`` or ``("tiq", [(q, tau, eps), ...])``;
+    TIQ payloads piggyback an ``MLIQ(q, 1)`` denominator probe per query
+    in the same batch, so a shard whose threshold answer is empty still
+    reports its total density mass.
+    """
+    kind, items = payload
+    if kind == "mliq":
+        specs = [MLIQ(q, k) for q, k in items]
+        rs = session.execute_many(specs)
+        per = [(list(matches), _shard_log_total(matches)) for matches in rs]
+        return ShardReply(per, rs.stats)
+    if kind == "tiq":
+        tiqs = [TIQ(q, tau, eps) for q, tau, eps in items]
+        probes = [MLIQ(q, 1) for q, _, _ in items]
+        rs = session.execute_many([*tiqs, *probes])
+        per = []
+        for i in range(len(items)):
+            matches = list(rs[i])
+            probe = rs[len(items) + i]
+            per.append((matches, _shard_log_total(probe)))
+        return ShardReply(per, rs.stats)
+    raise ClusterError(f"unknown shard payload kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The fan-out backend
+# ---------------------------------------------------------------------------
+
+
+class ShardedBackend(BackendAdapter):
+    """Fan a batch out to N shard sessions and merge globally.
+
+    Connect over a shard manifest (built by ``repro shard-build`` /
+    :func:`~repro.cluster.partition.build_shards`)::
+
+        repro.connect("ds1.shards.json", backend="sharded",
+                      pool="process", workers=4)
+
+    or shard an in-memory source on the fly (the parity-testing path)::
+
+        repro.connect(db, backend="sharded", shards=3, inner="tree")
+
+    Options: ``inner`` (inner backend name; default ``"disk"`` for a
+    manifest, ``"tree"`` for in-memory sources), ``pool`` (``"serial"``
+    or ``"process"``), ``workers``, ``shards`` + ``policy`` (in-memory
+    partitioning), ``inner_options`` (dict forwarded to every shard's
+    backend factory).
+    """
+
+    def __init__(
+        self,
+        sources: list,
+        counts: list[int],
+        *,
+        inner: str,
+        pool_kind: str,
+        workers: int | None,
+        inner_options: dict,
+        manifest: ShardManifest | None = None,
+    ) -> None:
+        if len(sources) != len(counts):
+            raise ValueError("one object count per shard source required")
+        self.inner = inner
+        self.manifest = manifest
+        self._counts = list(counts)
+        self._sources = list(sources)
+        self._opener = _ShardOpener(self._sources, inner, inner_options)
+        self._pool = make_pool(
+            pool_kind,
+            self._opener,
+            _run_shard_payload,
+            n_shards=len(sources),
+            workers=workers,
+        )
+        # Spawn pool workers now, while the constructing thread (the
+        # connect() caller) is the only one running — forking later
+        # from an HTTP handler thread risks inheriting held locks.
+        warm = getattr(self._pool, "warm", None)
+        if warm is not None:
+            warm()
+        #: Shards that hold at least one object; empty shards never get
+        #: tasks (an empty shard's denominator contribution is zero).
+        self._active = [i for i, c in enumerate(counts) if c > 0]
+        self._meta_sessions: dict[int, Session] = {}
+        self._pending_provenance: list[tuple[str, QueryStats]] = []
+        self.name = f"sharded({inner}x{len(sources)})"
+        caps = {"mliq", "tiq", "batch"}
+        if self._inner_is_exact():
+            caps.add("exact")
+        self.capabilities = frozenset(caps)
+        self._closed = False
+
+    # -- shard plumbing ------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._sources)
+
+    def _inner_is_exact(self) -> bool:
+        if self.inner in _EXACT_INNER:
+            return True
+        if self.inner == "xtree":
+            return False
+        if not self._active:  # empty deployment answers exactly (nothing)
+            return True
+        probe = self._meta_session(self._active[0])
+        return "exact" in probe.capabilities
+
+    def _meta_session(self, shard_id: int) -> Session:
+        """A parent-side session for metadata (estimates, database
+        materialisation). The serial pool shares its execution sessions;
+        the process pool's sessions live in workers, so the parent opens
+        its own read-only view lazily."""
+        if isinstance(self._pool, SerialPool):
+            return self._pool.session(shard_id)
+        session = self._meta_sessions.get(shard_id)
+        if session is None:
+            session = self._opener(shard_id)
+            self._meta_sessions[shard_id] = session
+        return session
+
+    def _fan_out(self, payload) -> list[tuple[int, ShardReply]]:
+        tasks = [(i, payload) for i in self._active]
+        replies = self._pool.run(tasks)
+        for shard_id, reply in zip(self._active, replies):
+            self._pending_provenance.append(
+                (f"shard-{shard_id:02d}:{self.inner}", reply.stats)
+            )
+        return list(zip(self._active, replies))
+
+    def take_provenance(self) -> tuple[tuple[str, QueryStats], ...]:
+        """Per-shard (name, stats) pairs accumulated since the last take
+        — the session attaches them to the ResultSet it returns."""
+        taken = tuple(self._pending_provenance)
+        self._pending_provenance = []
+        return taken
+
+    # -- query execution -----------------------------------------------------
+
+    def _mliq_batch(
+        self, queries: list[MLIQuery]
+    ) -> tuple[list[list[Match]], QueryStats]:
+        payload = ("mliq", [(query.q, query.k) for query in queries])
+        shard_replies = self._fan_out(payload)
+        total = QueryStats()
+        for _, reply in shard_replies:
+            total.merge(reply.stats)
+        results: list[list[Match]] = []
+        n = self.count()
+        for j, query in enumerate(queries):
+            merged = self._merge_candidates(shard_replies, j, n)
+            results.append(merged[: query.k])
+        return results, total
+
+    def _tiq_batch(
+        self, specs: list[TIQ]
+    ) -> tuple[list[list[Match]], QueryStats]:
+        payload = ("tiq", [(s.q, s.tau, s.eps) for s in specs])
+        shard_replies = self._fan_out(payload)
+        total = QueryStats()
+        for _, reply in shard_replies:
+            total.merge(reply.stats)
+        results: list[list[Match]] = []
+        n = self.count()
+        for j, spec in enumerate(specs):
+            merged = self._merge_candidates(shard_replies, j, n)
+            results.append(
+                [m for m in merged if m.probability >= spec.tau]
+            )
+        return results, total
+
+    @staticmethod
+    def _merge_candidates(
+        shard_replies: list[tuple[int, ShardReply]], j: int, total_n: int
+    ) -> list[Match]:
+        """Merge query ``j``'s shard answers into globally normalised
+        matches, ordered by descending global posterior (ties broken by
+        shard id then local rank, so merges are deterministic)."""
+        log_z = logsumexp(
+            [reply.per_query[j][1] for _, reply in shard_replies]
+        )
+        pool: list[tuple[float, int, int, Match]] = []
+        for shard_id, reply in shard_replies:
+            matches, _ = reply.per_query[j]
+            for rank, m in enumerate(matches):
+                pool.append((-m.log_density, shard_id, rank, m))
+        pool.sort(key=lambda item: item[:3])
+        merged: list[Match] = []
+        for neg_ld, _, _, m in pool:
+            ld = -neg_ld
+            if math.isfinite(log_z):
+                probability = (
+                    0.0 if math.isinf(ld) else min(1.0, math.exp(ld - log_z))
+                )
+            else:
+                # Every shard's denominator underflowed: mirror the
+                # scan's "maximally indifferent" uniform fallback.
+                probability = 1.0 / max(1, total_n)
+            merged.append(Match(m.vector, ld, probability))
+        return merged
+
+    # -- metadata ------------------------------------------------------------
+
+    def count(self) -> int:
+        return sum(self._counts)
+
+    def estimate(self, kind: str, specs) -> PlanEstimate:
+        if not self._active or not specs:
+            return PlanEstimate(0, 0.0, "empty deployment: no shards hit")
+        pages = 0
+        branch_seconds: list[float] = []
+        cost_model = None
+        for shard_id in self._active:
+            session = self._meta_session(shard_id)
+            est = session._backend.estimate(kind, specs)
+            pages += est.pages
+            branch_seconds.append(est.io_seconds)
+            store = getattr(session._backend, "store", None)
+            if cost_model is None and store is not None:
+                cost_model = store.cost_model
+        if cost_model is None:
+            from repro.storage.costmodel import DiskCostModel
+
+            cost_model = DiskCostModel()
+        io_seconds = cost_model.fan_out_seconds(
+            branch_seconds, parallel=self._pool.parallel
+        )
+        how = (
+            "max over shards (parallel pool)"
+            if self._pool.parallel
+            else "sum over shards (serial fan-out)"
+        )
+        return PlanEstimate(
+            pages,
+            io_seconds,
+            f"fan-out to {len(self._active)} shard(s); latency priced as "
+            f"{how} plus per-shard dispatch",
+        )
+
+    def plan_lowering(self, kinds) -> tuple[str, ...]:
+        """Extra lowering lines for ``Session.explain`` (planner hook)."""
+        steps = [
+            f"fan-out: {len(self._active)} of {self.n_shards} shard(s) "
+            f"via {self._pool.kind} pool, inner backend {self.inner!r}",
+            "merge: renormalise posteriors against the global Bayes "
+            "denominator (logsumexp of per-shard totals)",
+        ]
+        if "tiq" in kinds:
+            steps.append(
+                "tiq: per-shard TIQ(tau) superset + MLIQ(q, 1) "
+                "denominator probe per query"
+            )
+        return tuple(steps)
+
+    def database(self) -> PFVDatabase:
+        merged: PFVDatabase | None = None
+        for shard_id in self._active:
+            shard_db = self._meta_session(shard_id).database()
+            if merged is None:
+                merged = PFVDatabase(sigma_rule=shard_db.sigma_rule)
+            merged.extend(shard_db)
+        return merged if merged is not None else PFVDatabase()
+
+    def cold_start(self) -> None:
+        if isinstance(self._pool, SerialPool):
+            for shard_id in self._active:
+                self._pool.session(shard_id).cold_start()
+        for session in self._meta_sessions.values():
+            session.cold_start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        sessions, self._meta_sessions = self._meta_sessions, {}
+        for session in sessions.values():
+            session.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedBackend {self.name!r} n={self.count()} "
+            f"pool={self._pool.kind}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Factory + registration
+# ---------------------------------------------------------------------------
+
+
+def _looks_like_manifest(source) -> bool:
+    return isinstance(source, (str, os.PathLike)) and os.fspath(
+        source
+    ).endswith((MANIFEST_SUFFIX, ".json"))
+
+
+def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
+    inner = options.pop("inner", None)
+    policy = options.pop("policy", None)
+    pool_kind = options.pop("pool", "serial")
+    workers = options.pop("workers", None)
+    inner_options = dict(options.pop("inner_options", None) or {})
+    shards_requested = options.pop("shards", None)
+    if options:
+        raise TypeError(
+            f"the 'sharded' backend does not understand options "
+            f"{sorted(options)}"
+        )
+
+    manifest: ShardManifest | None = None
+    if isinstance(source, ShardManifest):
+        manifest = source
+    elif _looks_like_manifest(source):
+        manifest = load_manifest(source)
+
+    if manifest is not None:
+        # The manifest *is* the partitioning; shards=/policy= would be
+        # silently ignored, so make the contradiction loud.
+        if shards_requested is not None or policy is not None:
+            raise TypeError(
+                "shards=/policy= describe in-memory partitioning and "
+                "conflict with a manifest source (the manifest fixes "
+                f"{manifest.n_shards} shards, policy "
+                f"{manifest.policy!r}); re-run `repro shard-build` to "
+                "re-partition"
+            )
+        inner = inner or "disk"
+        sources = manifest.shard_paths()
+        missing = [
+            p
+            for p, info in zip(sources, manifest.shards)
+            if info.objects > 0 and (p is None or not os.path.exists(p))
+        ]
+        if missing:
+            raise ClusterError(
+                "shard manifest references missing index file(s): "
+                + ", ".join(str(p) for p in missing)
+                + " — re-run `repro shard-build` or fix the manifest"
+            )
+        counts = [info.objects for info in manifest.shards]
+    else:
+        if shards_requested is None:
+            raise TypeError(
+                "sharding an in-memory source needs shards=N "
+                "(or connect to a `repro shard-build` manifest)"
+            )
+        if shards_requested < 1:
+            raise ValueError(
+                f"shards must be >= 1, got {shards_requested}"
+            )
+        inner = inner or "tree"
+        if inner == "disk":
+            raise TypeError(
+                "inner backend 'disk' needs shard index files; build them "
+                "with `repro shard-build` and connect to the manifest"
+            )
+        db = as_database(source)
+        parts = partition_database(db, shards_requested, policy or "hash")
+        sources = list(parts)
+        counts = [len(p) for p in parts]
+
+    # Tighten the Gauss-tree's posterior tolerance below the merge's
+    # cross-shard agreement budget unless the caller chose their own.
+    if inner in ("tree", "disk"):
+        inner_options.setdefault("mliq_tolerance", 1e-12)
+
+    return ShardedBackend(
+        sources,
+        counts,
+        inner=inner,
+        pool_kind=pool_kind,
+        workers=workers,
+        inner_options=inner_options,
+        manifest=manifest,
+    )
+
+
+register_backend(
+    "sharded",
+    _make_sharded,
+    "fan-out over N shard sessions (manifest or shards=N) with exact "
+    "global posterior renormalisation; serial or process pool",
+)

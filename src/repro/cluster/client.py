@@ -1,0 +1,124 @@
+"""Tiny stdlib client for the ``repro serve`` JSON endpoint.
+
+Speaks the wire format of :mod:`repro.cluster.wire` over
+``urllib.request`` — no dependencies, usable from load generators and
+smoke tests::
+
+    client = ServeClient("http://127.0.0.1:8631")
+    client.healthz()
+    answers = client.query([MLIQ(q, 5), TIQ(q, 0.3)])
+    answers.results[0][0]["key"]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from repro.cluster.wire import spec_to_json
+from repro.engine.spec import Query
+
+__all__ = ["ServeClient", "RemoteAnswer", "RemoteError"]
+
+
+class RemoteError(RuntimeError):
+    """The server answered with an error (or could not be reached)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoteAnswer:
+    """A ``POST /query`` response, parsed.
+
+    ``results[i]`` is the i-th query's match list as wire dicts
+    (``key`` / ``probability`` / ``log_density``), ordered by descending
+    posterior — the serialised form of the server-side ResultSet.
+    """
+
+    backend: str
+    results: list[list[dict]]
+    stats: dict
+    execute_seconds: float
+    provenance: list[dict]
+
+    def keys(self) -> list[list]:
+        """Per-query matched keys, in rank order."""
+        return [[m["key"] for m in matches] for matches in self.results]
+
+
+class ServeClient:
+    """HTTP client bound to one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, path: str, body: dict | None = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get(
+                    "error", ""
+                )
+            except Exception:
+                detail = ""
+            raise RemoteError(
+                f"{url} answered HTTP {exc.code}"
+                + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise RemoteError(f"cannot reach {url}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RemoteError(f"{url} answered non-object JSON")
+        return payload
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` — raises :class:`RemoteError` if unhealthy."""
+        payload = self._request("/healthz")
+        if payload.get("status") != "ok":
+            raise RemoteError(f"server unhealthy: {payload}")
+        return payload
+
+    def stats(self) -> dict:
+        """``GET /stats`` — cumulative serving counters."""
+        return self._request("/stats")
+
+    def query(self, specs: Sequence[Query] | Query) -> RemoteAnswer:
+        """``POST /query`` with one spec or a batch of specs."""
+        if not isinstance(specs, (list, tuple)):
+            specs = [specs]
+        if not specs:
+            raise ValueError("query() needs at least one spec")
+        payload = self._request(
+            "/query",
+            {"queries": [spec_to_json(spec) for spec in specs]},
+        )
+        return RemoteAnswer(
+            backend=payload.get("backend", "?"),
+            results=payload.get("results", []),
+            stats=payload.get("stats", {}),
+            execute_seconds=float(payload.get("execute_seconds", 0.0)),
+            provenance=payload.get("provenance", []),
+        )

@@ -1,0 +1,285 @@
+"""Deterministic shard assignment and per-shard index construction.
+
+A sharded deployment splits one :class:`~repro.core.database.PFVDatabase`
+into ``n_shards`` disjoint shard databases, bulk-loads a Gauss-tree per
+shard and records the layout in a *manifest* file
+(``<name>.shards.json``). The manifest is the connect() source of the
+``"sharded"`` backend: it names the policy, the shard index files and
+their object counts, so a serving process (or a pool worker) can open
+exactly the shards it needs.
+
+Two placement policies:
+
+``"hash"``
+    Stable content hash of the object's key (BLAKE2, *never* Python's
+    randomised ``hash()``): the same object lands on the same shard in
+    every process, every run, regardless of ``PYTHONHASHSEED``.
+    Re-observations of one real-world object share a key and therefore a
+    shard.
+``"round-robin"``
+    Position modulo ``n_shards``: perfectly balanced shard sizes, at the
+    price of placement depending on insertion order.
+
+Both policies assign every object to exactly one shard — the global
+Bayes denominator is then the sum of the per-shard denominators, which
+is what makes the distributed posterior merge of
+:mod:`repro.cluster.backend` exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+from repro.core.database import PFVDatabase
+from repro.core.joint import SigmaRule
+from repro.core.pfv import PFV
+
+__all__ = [
+    "PARTITION_POLICIES",
+    "ShardInfo",
+    "ShardManifest",
+    "stable_shard_hash",
+    "shard_of",
+    "partition_database",
+    "build_shards",
+    "load_manifest",
+]
+
+PARTITION_POLICIES = ("hash", "round-robin")
+
+MANIFEST_SUFFIX = ".shards.json"
+_MANIFEST_VERSION = 1
+
+
+def stable_shard_hash(v: PFV) -> int:
+    """Process-stable 64-bit content hash of a pfv's identity.
+
+    Hashes the ``repr`` of the key (ints, strings, tuples — anything
+    with a stable repr) through BLAKE2b; anonymous vectors (``key is
+    None``) fall back to their mu/sigma bytes so they still place
+    deterministically.
+    """
+    if v.key is not None:
+        payload = repr(v.key).encode("utf-8", "backslashreplace")
+    else:
+        payload = v.mu.tobytes() + v.sigma.tobytes()
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big"
+    )
+
+
+def shard_of(v: PFV, position: int, n_shards: int, policy: str) -> int:
+    """The shard index (``0 .. n_shards-1``) an object belongs to."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if policy == "hash":
+        return stable_shard_hash(v) % n_shards
+    if policy == "round-robin":
+        return position % n_shards
+    raise ValueError(
+        f"unknown partition policy {policy!r}; "
+        f"choose from {PARTITION_POLICIES}"
+    )
+
+
+def partition_database(
+    db: PFVDatabase, n_shards: int, policy: str = "hash"
+) -> list[PFVDatabase]:
+    """Split ``db`` into ``n_shards`` disjoint shard databases.
+
+    Every object lands in exactly one shard; shard databases keep the
+    source's sigma rule so probabilities stay identical. Shards may be
+    empty (e.g. more shards than objects) — the sharded backend treats
+    an empty shard as contributing zero density mass.
+    """
+    shards: list[PFVDatabase] = [
+        PFVDatabase(sigma_rule=db.sigma_rule) for _ in range(n_shards)
+    ]
+    for position, v in enumerate(db):
+        shards[shard_of(v, position, n_shards, policy)].add(v)
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardInfo:
+    """One shard of a manifest: its index file and object count.
+
+    ``path`` is ``None`` for an empty shard (an empty Gauss-tree has no
+    dimensionality to serialize); the backend skips opening it but still
+    counts it in the layout.
+    """
+
+    path: str | None
+    objects: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardManifest:
+    """The on-disk description of a sharded index (``<name>.shards.json``).
+
+    Shard paths are stored relative to the manifest file and resolved on
+    load, so a manifest directory can be moved or mounted wholesale.
+    """
+
+    policy: str
+    n_shards: int
+    sigma_rule: str
+    shards: tuple[ShardInfo, ...]
+    source_path: str | None = None  # where the manifest was loaded from
+
+    @property
+    def total_objects(self) -> int:
+        return sum(s.objects for s in self.shards)
+
+    def shard_paths(self) -> list[str | None]:
+        """Absolute per-shard index paths (``None`` for empty shards)."""
+        base = (
+            os.path.dirname(os.path.abspath(self.source_path))
+            if self.source_path
+            else os.getcwd()
+        )
+        return [
+            None if s.path is None else os.path.join(base, s.path)
+            for s in self.shards
+        ]
+
+    def to_json(self) -> dict:
+        return {
+            "format": "gausstree-shards",
+            "version": _MANIFEST_VERSION,
+            "policy": self.policy,
+            "n_shards": self.n_shards,
+            "sigma_rule": self.sigma_rule,
+            "shards": [
+                {"path": s.path, "objects": s.objects} for s in self.shards
+            ],
+        }
+
+    def save(self, path) -> str:
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_json(), f, indent=2)
+            f.write("\n")
+        return path
+
+
+def load_manifest(path) -> ShardManifest:
+    """Parse and validate a ``.shards.json`` manifest.
+
+    Raises :class:`~repro.cluster.backend.ClusterError` on anything that
+    would otherwise surface later as a confusing failure: unparseable
+    JSON, a different file format, or a shard count that does not match
+    the shard list.
+    """
+    from repro.cluster.backend import ClusterError
+
+    path = os.fspath(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        raise ClusterError(f"shard manifest not found: {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ClusterError(
+            f"cannot parse shard manifest {path}: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or data.get("format") != "gausstree-shards":
+        raise ClusterError(
+            f"{path} is not a gauss-tree shard manifest "
+            "(missing format marker 'gausstree-shards')"
+        )
+    if data.get("version") != _MANIFEST_VERSION:
+        raise ClusterError(
+            f"unsupported manifest version {data.get('version')!r} in {path} "
+            f"(this build reads version {_MANIFEST_VERSION})"
+        )
+    try:
+        shards = tuple(
+            ShardInfo(path=s["path"], objects=int(s["objects"]))
+            for s in data["shards"]
+        )
+        manifest = ShardManifest(
+            policy=str(data["policy"]),
+            n_shards=int(data["n_shards"]),
+            sigma_rule=str(data["sigma_rule"]),
+            shards=shards,
+            source_path=path,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ClusterError(
+            f"malformed shard manifest {path}: {exc!r}"
+        ) from exc
+    if manifest.n_shards != len(manifest.shards):
+        raise ClusterError(
+            f"manifest {path} declares n_shards={manifest.n_shards} but "
+            f"lists {len(manifest.shards)} shards"
+        )
+    if manifest.policy not in PARTITION_POLICIES:
+        raise ClusterError(
+            f"manifest {path} uses unknown policy {manifest.policy!r}"
+        )
+    return manifest
+
+
+def build_shards(
+    db: PFVDatabase,
+    n_shards: int,
+    out_prefix,
+    *,
+    policy: str = "hash",
+    page_size: int = 8192,
+) -> ShardManifest:
+    """Partition ``db``, save one Gauss-tree index per shard and write
+    the manifest ``<out_prefix>.shards.json``.
+
+    Shard files are named ``<out_prefix>.shard-NN.gauss`` and live next
+    to the manifest (recorded relative, so the set relocates together).
+    Returns the saved manifest (``source_path`` set).
+    """
+    from repro.gausstree.bulkload import bulk_load
+    from repro.storage.layout import PageLayout
+
+    out_prefix = os.fspath(out_prefix)
+    if out_prefix.endswith(MANIFEST_SUFFIX):
+        out_prefix = out_prefix[: -len(MANIFEST_SUFFIX)]
+    directory = os.path.dirname(os.path.abspath(out_prefix)) or os.getcwd()
+    os.makedirs(directory, exist_ok=True)
+    parts = partition_database(db, n_shards, policy)
+    infos: list[ShardInfo] = []
+    for i, part in enumerate(parts):
+        if len(part) == 0:
+            infos.append(ShardInfo(path=None, objects=0))
+            continue
+        shard_path = f"{out_prefix}.shard-{i:02d}.gauss"
+        layout = PageLayout(dims=part.dims, page_size=page_size)
+        tree = bulk_load(
+            part.vectors, layout=layout, sigma_rule=part.sigma_rule
+        )
+        tree.save(shard_path)
+        infos.append(
+            ShardInfo(
+                path=os.path.basename(shard_path), objects=len(part)
+            )
+        )
+    manifest = ShardManifest(
+        policy=policy,
+        n_shards=n_shards,
+        sigma_rule=(
+            db.sigma_rule.value
+            if isinstance(db.sigma_rule, SigmaRule)
+            else str(db.sigma_rule)
+        ),
+        shards=tuple(infos),
+        source_path=None,
+    )
+    manifest_path = out_prefix + MANIFEST_SUFFIX
+    manifest.save(manifest_path)
+    return dataclasses.replace(manifest, source_path=manifest_path)

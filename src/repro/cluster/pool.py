@@ -1,0 +1,278 @@
+"""Worker pools that fan shard batches out for the sharded backend.
+
+The unit of work is a *shard task* ``(shard_id, payload)``: run one
+query payload against one shard. A pool is built from two picklable
+callables —
+
+``opener(shard_id) -> Session``
+    opens (and owns) the shard's session. Pools cache one session per
+    shard per worker, so a disk shard's page buffer lives and stays warm
+    inside the process that reads it;
+``runner(session, payload) -> result``
+    executes the payload on an open session.
+
+Two implementations share that contract:
+
+* :class:`SerialPool` — in-process, one shard after another. The
+  baseline fan-out (and the only choice when shards are in-memory
+  objects that cannot cross a process boundary).
+* :class:`ProcessPool` — a ``multiprocessing`` process pool. Workers
+  open disk shards *locally* (sessions never cross processes; only
+  specs and match lists are pickled), so page buffers are per-process
+  and shard batches genuinely overlap on multi-core hosts.
+
+Failures never hang the caller: a payload that raises, a worker that
+dies mid-batch (``BrokenProcessPool``) and a shard that cannot open all
+surface as :class:`ClusterError` naming the shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "ClusterError",
+    "SerialPool",
+    "ProcessPool",
+    "make_pool",
+    "POOL_KINDS",
+]
+
+POOL_KINDS = ("serial", "process")
+
+
+class ClusterError(RuntimeError):
+    """A sharded-serving failure: bad manifest, unopenable shard, or a
+    worker that raised/died mid-batch. Always carries enough context to
+    name the shard involved."""
+
+
+def default_workers(n_shards: int) -> int:
+    """Worker count when the caller does not choose: one per shard,
+    bounded by the visible cores (but never below 2 — overlap between a
+    blocked and a running shard batch helps even on small hosts)."""
+    return max(1, min(n_shards, max(2, os.cpu_count() or 1)))
+
+
+class SerialPool:
+    """In-process fan-out: shard tasks run one after another.
+
+    Exposes its per-shard session cache (:meth:`session`) so the owning
+    backend can reuse the same sessions for metadata (count, estimate,
+    database materialisation) without opening shards twice.
+    """
+
+    kind = "serial"
+    parallel = False
+
+    def __init__(
+        self,
+        opener: Callable[[int], Any],
+        runner: Callable[[Any, Any], Any],
+    ) -> None:
+        self._opener = opener
+        self._runner = runner
+        self._sessions: dict[int, Any] = {}
+        self._closed = False
+
+    def session(self, shard_id: int):
+        """The cached session of one shard (opened on first use)."""
+        session = self._sessions.get(shard_id)
+        if session is None:
+            try:
+                session = self._opener(shard_id)
+            except ClusterError:
+                raise
+            except Exception as exc:
+                raise ClusterError(
+                    f"cannot open shard {shard_id}: {exc}"
+                ) from exc
+            self._sessions[shard_id] = session
+        return session
+
+    def run(self, tasks: Sequence[tuple[int, Any]]) -> list[Any]:
+        if self._closed:
+            raise ClusterError("worker pool is closed")
+        results = []
+        for shard_id, payload in tasks:
+            session = self.session(shard_id)
+            try:
+                results.append(self._runner(session, payload))
+            except ClusterError:
+                raise
+            except Exception as exc:
+                raise ClusterError(
+                    f"shard {shard_id} failed executing its batch: {exc}"
+                ) from exc
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        sessions, self._sessions = self._sessions, {}
+        for session in sessions.values():
+            close = getattr(session, "close", None)
+            if close is not None:
+                close()
+
+
+# -- process-pool worker side (module-level: picklable by reference) --------
+
+_WORKER_OPENER: Callable[[int], Any] | None = None
+_WORKER_RUNNER: Callable[[Any, Any], Any] | None = None
+_WORKER_SESSIONS: dict[int, Any] = {}
+
+
+def _worker_init(opener, runner) -> None:
+    global _WORKER_OPENER, _WORKER_RUNNER
+    _WORKER_OPENER = opener
+    _WORKER_RUNNER = runner
+    _WORKER_SESSIONS.clear()
+
+
+def _worker_call(task):
+    shard_id, payload = task
+    session = _WORKER_SESSIONS.get(shard_id)
+    if session is None:
+        session = _WORKER_OPENER(shard_id)
+        _WORKER_SESSIONS[shard_id] = session
+    return _WORKER_RUNNER(session, payload)
+
+
+def _worker_warmup(seconds: float) -> int:
+    # Keeps a freshly spawned worker busy just long enough that the
+    # executor spawns a sibling for the next pending warmup task.
+    time.sleep(seconds)
+    return os.getpid()
+
+
+class ProcessPool:
+    """``multiprocessing`` fan-out: each worker opens shards locally.
+
+    Uses the ``fork`` start method where available (Linux) so worker
+    startup is cheap and test doubles pickle by reference; falls back to
+    the platform default elsewhere. Because forking from a
+    multi-threaded process is hazardous (a lock held by any other
+    thread at fork time is inherited locked), callers that will go
+    multi-threaded — the HTTP server — should :meth:`warm` the pool
+    first, from their still-single-threaded setup phase; the sharded
+    backend does this at construction. A broken executor (dead worker)
+    is dropped and replaced on the next batch, so one crash fails its
+    batch loudly instead of poisoning the pool forever.
+    """
+
+    kind = "process"
+    parallel = True
+
+    def __init__(
+        self,
+        opener: Callable[[int], Any],
+        runner: Callable[[Any, Any], Any],
+        workers: int,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._opener = opener
+        self._runner = runner
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(self._opener, self._runner),
+            )
+        return self._executor
+
+    def warm(self) -> None:
+        """Spawn the worker processes now (from the calling thread).
+
+        ProcessPoolExecutor forks workers lazily on submit; submitting
+        one short sleep per worker slot forces the full complement to
+        spawn while the caller is still single-threaded.
+        """
+        executor = self._ensure_executor()
+        warmups = [
+            executor.submit(_worker_warmup, 0.05)
+            for _ in range(self.workers)
+        ]
+        for future in warmups:
+            try:
+                future.result(timeout=60)
+            except BrokenProcessPool:
+                self._executor = None
+                raise ClusterError(
+                    "worker process died during pool warm-up"
+                ) from None
+
+    def run(self, tasks: Sequence[tuple[int, Any]]) -> list[Any]:
+        if self._closed:
+            raise ClusterError("worker pool is closed")
+        executor = self._ensure_executor()
+        futures = [
+            (shard_id, executor.submit(_worker_call, (shard_id, payload)))
+            for shard_id, payload in tasks
+        ]
+        results = []
+        first_error: ClusterError | None = None
+        for shard_id, future in futures:
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                # A worker died (killed, OOM, segfault): the executor is
+                # unusable. Drop it so the next batch gets a fresh pool,
+                # and fail this batch with the shard that surfaced it.
+                self._executor = None
+                first_error = first_error or ClusterError(
+                    f"worker process died while serving shard {shard_id} "
+                    "(pool restarted; re-submit the batch)"
+                )
+                first_error.__cause__ = exc
+            except ClusterError as exc:
+                first_error = first_error or exc
+            except Exception as exc:
+                first_error = first_error or ClusterError(
+                    f"shard {shard_id} failed in a pool worker: {exc}"
+                )
+                first_error.__cause__ = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+def make_pool(
+    kind: str,
+    opener: Callable[[int], Any],
+    runner: Callable[[Any, Any], Any],
+    *,
+    n_shards: int,
+    workers: int | None = None,
+):
+    """Build the pool named by ``kind`` (``"serial"`` or ``"process"``)."""
+    if kind == "serial":
+        return SerialPool(opener, runner)
+    if kind == "process":
+        return ProcessPool(
+            opener, runner, workers or default_workers(n_shards)
+        )
+    raise ValueError(
+        f"unknown pool kind {kind!r}; choose from {POOL_KINDS}"
+    )

@@ -1,0 +1,300 @@
+"""``repro serve`` — a concurrent JSON query server over any Session.
+
+A stdlib-only :class:`http.server.ThreadingHTTPServer` exposing one
+session (single-backend or sharded) to network clients:
+
+``POST /query``
+    Body ``{"queries": [spec, ...]}`` (or one bare spec object) in the
+    wire format of :mod:`repro.cluster.wire`; answers with per-query
+    match lists, the merged stats and — for sharded sessions — the
+    per-shard provenance breakdown.
+``GET /healthz``
+    Liveness: backend name, object count, uptime.
+``GET /stats``
+    Cumulative serving counters (batches, queries per kind, pages,
+    refinements) since startup.
+
+Handler threads give concurrent clients overlapped network IO; query
+*execution* is serialised through one lock because backends share
+mutable page-buffer state. That lock is held only around
+``execute_many``, and a sharded session spends its time fanned out in
+pool workers — so with a process pool, shard work from one request
+overlaps the HTTP plumbing of the next. True multi-request execution
+concurrency is the async/group-commit work the ROADMAP tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.cluster.wire import (
+    WireError,
+    result_to_json,
+    spec_from_json,
+)
+from repro.engine.session import Session
+
+__all__ = ["QueryServer", "serve"]
+
+#: Refuse request bodies above this size (64 MiB) — a malformed client
+#: should get a 413, not an allocation storm.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _ServingStats:
+    """Cumulative counters behind ``GET /stats`` (lock-protected)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.batches = 0
+        self.queries = 0
+        self.by_kind: dict[str, int] = {}
+        self.errors = 0
+        self.pages_accessed = 0
+        self.objects_refined = 0
+        self.execute_seconds = 0.0
+
+    def record(self, specs, stats, elapsed: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.queries += len(specs)
+            for spec in specs:
+                self.by_kind[spec.kind] = self.by_kind.get(spec.kind, 0) + 1
+            self.pages_accessed += stats.pages_accessed
+            self.objects_refined += stats.objects_refined
+            self.execute_seconds += elapsed
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "batches": self.batches,
+                "queries": self.queries,
+                "queries_by_kind": dict(self.by_kind),
+                "errors": self.errors,
+                "pages_accessed": self.pages_accessed,
+                "objects_refined": self.objects_refined,
+                "execute_seconds": round(self.execute_seconds, 4),
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # Populated per server class in QueryServer.start().
+    query_server: "QueryServer"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.query_server.verbose:
+            super().log_message(format, *args)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self.query_server.stats.record_error()
+        self._send_json(status, {"error": message})
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        qs = self.query_server
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "backend": qs.session.backend_name,
+                    "objects": len(qs.session),
+                    "uptime_seconds": round(
+                        time.time() - qs.stats.started_at, 3
+                    ),
+                },
+            )
+        elif self.path == "/stats":
+            payload = qs.stats.snapshot()
+            payload["backend"] = qs.session.backend_name
+            payload["objects"] = len(qs.session)
+            self._send_json(200, payload)
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/query":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            # Rejecting without reading the declared body would leave it
+            # on the keep-alive connection, where it would be parsed as
+            # the *next* request line — so drop the connection instead.
+            self.close_connection = True
+            self._send_error_json(400, "bad Content-Length")
+            return
+        if length <= 0:
+            self.close_connection = True
+            self._send_error_json(400, "empty request body")
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send_error_json(
+                413, f"request body over {MAX_BODY_BYTES} bytes"
+            )
+            return
+        try:
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, f"request body is not JSON: {exc}")
+            return
+        try:
+            if isinstance(data, dict) and "queries" in data:
+                raw = data["queries"]
+                if not isinstance(raw, list):
+                    raise WireError('"queries" must be a list of specs')
+                specs = [spec_from_json(item) for item in raw]
+            else:
+                specs = [spec_from_json(data)]
+        except WireError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if not specs:
+            self._send_error_json(400, "no queries in request")
+            return
+        qs = self.query_server
+        try:
+            started = time.perf_counter()
+            with qs.execute_lock:
+                rs = qs.session.execute_many(specs)
+            elapsed = time.perf_counter() - started
+        except Exception as exc:  # surface, don't kill the handler thread
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        qs.stats.record(specs, rs.stats, elapsed)
+        payload = result_to_json(rs)
+        payload["execute_seconds"] = round(elapsed, 6)
+        self._send_json(200, payload)
+
+
+class QueryServer:
+    """A running (or startable) HTTP serving endpoint over one session.
+
+    ``port=0`` binds an ephemeral port (tests, examples); the bound
+    address is available as :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 8631,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.verbose = verbose
+        self.stats = _ServingStats()
+        self.execute_lock = threading.Lock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (call :meth:`start` first)."""
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "QueryServer":
+        """Bind the listening socket (daemon threads serve requests)."""
+        if self._httpd is not None:
+            raise RuntimeError("server is already started")
+        handler = type(
+            "_BoundHandler", (_Handler,), {"query_server": self}
+        )
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.port), handler
+        )
+        self._httpd.daemon_threads = True
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; `repro serve` mode)."""
+        if self._httpd is None:
+            self.start()
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def serve_in_background(self) -> "QueryServer":
+        """Serve from a daemon thread (tests, examples, embedding)."""
+        if self._httpd is None:
+            self.start()
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket (session stays open)."""
+        if self._httpd is not None:
+            # BaseServer.shutdown() waits for a serve_forever() loop to
+            # acknowledge; if none ever ran, it would wait forever —
+            # just close the listening socket in that case.
+            if self._serving:
+                self._httpd.shutdown()
+            self._serving = False
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "QueryServer":
+        if self._httpd is None:
+            self.serve_in_background()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+def serve(
+    session: Session,
+    host: str = "127.0.0.1",
+    port: int = 8631,
+    *,
+    verbose: bool = False,
+) -> QueryServer:
+    """Start serving ``session`` in background threads; returns the
+    running :class:`QueryServer` (use as a context manager to stop)."""
+    return QueryServer(
+        session, host, port, verbose=verbose
+    ).serve_in_background()

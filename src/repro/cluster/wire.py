@@ -1,0 +1,174 @@
+"""JSON wire format for query specs and results.
+
+One workload format shared by every serving surface: ``repro query
+--input queries.jsonl``, the ``repro serve`` HTTP endpoint, the Python
+client and ``benchmarks/bench_cluster.py`` all speak these shapes, so a
+load file generated once drives any of them.
+
+A spec is one JSON object::
+
+    {"kind": "mliq", "mu": [..], "sigma": [..], "k": 5}
+    {"kind": "tiq",  "mu": [..], "sigma": [..], "tau": 0.3, "eps": 0.0}
+    {"kind": "rank", "mu": [..], "sigma": [..], "k": 5, "min_mass": 0.95}
+
+A JSONL workload file holds one spec per line (blank lines ignored). A
+match serializes as ``{"key": .., "probability": .., "log_density": ..}``
+— the identification answer, not the stored vector (keys that are not
+JSON types are stringified, flagged by ``"key_repr": true``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.core.pfv import PFV
+from repro.core.queries import Match
+from repro.engine.result import ResultSet
+from repro.engine.spec import MLIQ, TIQ, Query, RankQuery
+
+__all__ = [
+    "WireError",
+    "spec_to_json",
+    "spec_from_json",
+    "match_to_json",
+    "result_to_json",
+    "load_jsonl",
+    "dump_jsonl",
+]
+
+
+class WireError(ValueError):
+    """A payload that does not parse as the documented wire format."""
+
+
+def spec_to_json(spec: Query) -> dict:
+    """Serialize one engine spec to its wire dict."""
+    base = {
+        "kind": spec.kind,
+        "mu": [float(x) for x in spec.q.mu],
+        "sigma": [float(x) for x in spec.q.sigma],
+    }
+    if isinstance(spec, MLIQ):
+        base["k"] = spec.k
+    elif isinstance(spec, TIQ):
+        base["tau"] = spec.tau
+        if spec.eps:
+            base["eps"] = spec.eps
+    elif isinstance(spec, RankQuery):
+        base["k"] = spec.k
+        if spec.min_mass is not None:
+            base["min_mass"] = spec.min_mass
+    else:  # pragma: no cover - spec union is closed today
+        raise WireError(f"cannot serialize spec {spec!r}")
+    return base
+
+
+def spec_from_json(data: object) -> Query:
+    """Parse one wire dict back into an engine spec (validating)."""
+    if not isinstance(data, dict):
+        raise WireError(f"query spec must be a JSON object, got {data!r}")
+    kind = data.get("kind")
+    try:
+        q = PFV(data["mu"], data["sigma"])
+    except KeyError as exc:
+        raise WireError(f"query spec is missing field {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"bad query pfv: {exc}") from exc
+    try:
+        if kind == "mliq":
+            return MLIQ(q, int(data.get("k", 1)))
+        if kind == "tiq":
+            return TIQ(
+                q, float(data.get("tau", 0.5)), float(data.get("eps", 0.0))
+            )
+        if kind == "rank":
+            min_mass = data.get("min_mass")
+            return RankQuery(
+                q,
+                int(data.get("k", 1)),
+                min_mass=None if min_mass is None else float(min_mass),
+            )
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"bad {kind} parameters: {exc}") from exc
+    raise WireError(
+        f"unknown query kind {kind!r} (expected mliq, tiq or rank)"
+    )
+
+
+def match_to_json(match: Match) -> dict:
+    """Serialize one answer match (key + posterior + log density)."""
+    key = match.key
+    try:
+        json.dumps(key)
+    except (TypeError, ValueError):
+        return {
+            "key": repr(key),
+            "key_repr": True,
+            "probability": match.probability,
+            "log_density": match.log_density,
+        }
+    return {
+        "key": key,
+        "probability": match.probability,
+        "log_density": match.log_density,
+    }
+
+
+def result_to_json(rs: ResultSet) -> dict:
+    """Serialize a whole ResultSet (per-query matches + merged stats)."""
+    stats = rs.stats
+    payload = {
+        "backend": rs.backend,
+        "n_queries": len(rs),
+        "results": [
+            [match_to_json(m) for m in matches] for matches in rs
+        ],
+        "stats": {
+            "pages_accessed": stats.pages_accessed,
+            "page_faults": stats.page_faults,
+            "objects_refined": stats.objects_refined,
+            "nodes_expanded": stats.nodes_expanded,
+            "cpu_seconds": stats.cpu_seconds,
+            "io_seconds": stats.io_seconds,
+            "modeled_cpu_seconds": stats.modeled_cpu_seconds,
+        },
+    }
+    if rs.provenance:
+        payload["provenance"] = [
+            {
+                "shard": name,
+                "pages_accessed": s.pages_accessed,
+                "objects_refined": s.objects_refined,
+            }
+            for name, s in rs.provenance
+        ]
+    return payload
+
+
+def load_jsonl(f: IO[str]) -> list[Query]:
+    """Read a JSONL workload (one spec per line; blank lines skipped)."""
+    specs: list[Query] = []
+    for lineno, line in enumerate(f, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"line {lineno}: not JSON ({exc})") from exc
+        try:
+            specs.append(spec_from_json(data))
+        except WireError as exc:
+            raise WireError(f"line {lineno}: {exc}") from None
+    return specs
+
+
+def dump_jsonl(specs: Iterable[Query], f: IO[str]) -> int:
+    """Write specs as a JSONL workload; returns the number written."""
+    count = 0
+    for spec in specs:
+        f.write(json.dumps(spec_to_json(spec)))
+        f.write("\n")
+        count += 1
+    return count

@@ -96,6 +96,11 @@ def build_plan(backend: Backend, queries: Sequence[Query]) -> Plan:
         lowering.append("rank -> mliq(k) + cumulative-mass cut")
     if kind == "mixed":
         lowering.append("mixed batch split into one sub-batch per kind")
+    # Composite backends (the sharded fan-out) describe their own extra
+    # lowering steps — fan-out shape, merge strategy.
+    extra = getattr(backend, "plan_lowering", None)
+    if extra is not None:
+        lowering.extend(extra(set(kinds)))
     batched = "batch" in backend.capabilities
     strategy = "batched" if batched else "per-query"
 

@@ -26,7 +26,7 @@ class ResultSet:
     directly.
     """
 
-    __slots__ = ("queries", "backend", "stats", "_per_query")
+    __slots__ = ("queries", "backend", "stats", "provenance", "_per_query")
 
     def __init__(
         self,
@@ -34,6 +34,7 @@ class ResultSet:
         per_query: Sequence[list[Match]],
         stats: QueryStats,
         backend: str,
+        provenance: Sequence[tuple[str, QueryStats]] = (),
     ) -> None:
         if len(queries) != len(per_query):
             raise ValueError(
@@ -44,6 +45,12 @@ class ResultSet:
         self.stats = stats
         #: Name of the backend that executed the batch (provenance).
         self.backend = backend
+        #: Per-component (name, stats) breakdown for composite backends —
+        #: the sharded fan-out records one entry per shard it touched;
+        #: single backends leave it empty. ``stats`` stays the merged sum.
+        self.provenance: tuple[tuple[str, QueryStats], ...] = tuple(
+            provenance
+        )
 
     # -- per-query access ----------------------------------------------------
 

@@ -92,29 +92,39 @@ class Session:
         for i, spec in enumerate(specs):
             groups.setdefault(query_kind(spec), []).append(i)
 
-        for kind, indices in groups.items():
-            subset = [specs[i] for i in indices]
-            if kind == "mliq":
-                answered, stats = self._backend.run_mliq(subset)
-            elif kind == "tiq":
-                answered, stats = self._backend.run_tiq(subset)
-            else:  # rank: lower to mliq, then apply the mass cut
-                answered, stats = self._backend.run_mliq(
-                    [s.lower() for s in subset]
-                )
-                answered = [
-                    _mass_cut(matches, spec.min_mass)
-                    for matches, spec in zip(answered, subset)
-                ]
-            for i, matches in zip(indices, answered):
-                per_query[i] = matches
-            total.merge(stats)
-
+        # Composite backends (e.g. the sharded fan-out) expose a
+        # per-component stats breakdown; attach it as provenance.
+        take = getattr(self._backend, "take_provenance", None)
+        try:
+            for kind, indices in groups.items():
+                subset = [specs[i] for i in indices]
+                if kind == "mliq":
+                    answered, stats = self._backend.run_mliq(subset)
+                elif kind == "tiq":
+                    answered, stats = self._backend.run_tiq(subset)
+                else:  # rank: lower to mliq, then apply the mass cut
+                    answered, stats = self._backend.run_mliq(
+                        [s.lower() for s in subset]
+                    )
+                    answered = [
+                        _mass_cut(matches, spec.min_mass)
+                        for matches, spec in zip(answered, subset)
+                    ]
+                for i, matches in zip(indices, answered):
+                    per_query[i] = matches
+                total.merge(stats)
+        except BaseException:
+            # A kind-group that failed after an earlier group succeeded
+            # must not leak the partial breakdown into the next result.
+            if take is not None:
+                take()
+            raise
         return ResultSet(
             specs,
             [m if m is not None else [] for m in per_query],
             total,
             self._backend.name,
+            provenance=take() if take is not None else (),
         )
 
     def explain(self, query: Query | Sequence[Query]) -> Plan:

@@ -29,6 +29,7 @@ All constants are plain dataclass fields, so experiments can sweep them
 from __future__ import annotations
 
 import dataclasses
+from typing import Sequence
 
 __all__ = ["DiskCostModel"]
 
@@ -54,6 +55,10 @@ class DiskCostModel:
     cpu_per_page_seconds:
         Modeled CPU of processing one visited page (entry tests, bound
         evaluations; default 100 us).
+    fanout_dispatch_seconds:
+        Modeled per-branch cost of fanning a batch out to one shard of a
+        sharded deployment (serialize the sub-batch, enqueue, collect —
+        default 500 us, roughly one small RPC).
     """
 
     seek_seconds: float = 0.008
@@ -62,6 +67,7 @@ class DiskCostModel:
     page_size: int = 8192
     cpu_per_refinement_seconds: float = 30e-6
     cpu_per_page_seconds: float = 100e-6
+    fanout_dispatch_seconds: float = 500e-6
 
     def __post_init__(self) -> None:
         if self.seek_seconds < 0 or self.rotational_seconds < 0:
@@ -72,6 +78,8 @@ class DiskCostModel:
             raise ValueError("page_size must be positive")
         if self.cpu_per_refinement_seconds < 0 or self.cpu_per_page_seconds < 0:
             raise ValueError("CPU costs must be non-negative")
+        if self.fanout_dispatch_seconds < 0:
+            raise ValueError("fan-out dispatch cost must be non-negative")
 
     def modeled_cpu_seconds(self, objects_refined: int, pages_accessed: int) -> float:
         """Modeled query CPU from the two work counters."""
@@ -95,6 +103,24 @@ class DiskCostModel:
             self.seek_seconds + self.rotational_seconds + self.page_transfer_seconds
         )
         return pages * per_page
+
+    def fan_out_seconds(
+        self, branch_seconds: "Sequence[float]", *, parallel: bool = True
+    ) -> float:
+        """Latency of fanning one batch out over shard branches.
+
+        A parallel fan-out (process pool, one worker per shard) finishes
+        with its slowest branch — the max; a serial fan-out pays every
+        branch in turn — the sum. Both pay one dispatch overhead per
+        branch. This is how sharded ``explain()`` plans are priced.
+        """
+        branch_seconds = list(branch_seconds)
+        if any(s < 0 for s in branch_seconds):
+            raise ValueError("branch latencies must be non-negative")
+        if not branch_seconds:
+            return 0.0
+        base = max(branch_seconds) if parallel else sum(branch_seconds)
+        return base + self.fanout_dispatch_seconds * len(branch_seconds)
 
     def sequential_read_seconds(self, pages: int) -> float:
         """Cost of one sequential run over ``pages`` contiguous pages.

@@ -1,0 +1,344 @@
+"""ShardedBackend: global merge correctness, fan-out stats, hardening.
+
+The parity property in ``tests/engine/test_parity.py`` already proves
+sharded answers equal the single-backend ones on random workloads; this
+file pins the *mechanisms* — the cross-shard Bayes denominator (a shard
+with no threshold answers still shifts everyone's posterior), the
+per-shard stats/provenance accounting, the fan-out cost pricing — and
+the failure modes: a manifest pointing at missing shard files, a pool
+worker that raises, and a worker process that dies mid-batch must all
+surface as a prompt :class:`ClusterError`, never a hang.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.cluster import ClusterError, ProcessPool, SerialPool, make_pool
+from repro.cluster.partition import build_shards
+from repro.core.database import PFVDatabase
+from repro.core.pfv import PFV
+from repro.engine import MLIQ, TIQ, RankQuery, CapabilityError, connect
+
+from tests.conftest import make_random_db, make_random_query
+
+
+# ---------------------------------------------------------------------------
+# Merge correctness mechanisms
+# ---------------------------------------------------------------------------
+
+
+def test_tiq_counts_mass_of_shards_with_empty_answer_sets():
+    """The global Bayes denominator spans shards that return *nothing*.
+
+    Two identical-density objects answer a centred query; round-robin
+    over two shards isolates them, so each shard alone would report its
+    object at local posterior ~1.0 — naive merging would answer both at
+    tau=0.9. Correct renormalisation halves the posteriors to ~0.5 and
+    rejects both.
+    """
+    db = PFVDatabase(
+        [
+            PFV([0.0], [0.5], key="left"),
+            PFV([1.0], [0.5], key="right"),
+        ]
+    )
+    q = PFV([0.5], [0.5])  # equidistant: posteriors are exactly 1/2
+    spec = TIQ(q, tau=0.9)
+    with connect(db, backend="sharded", shards=2, policy="round-robin") as s:
+        rs = s.execute(spec)
+        assert rs.matches == []
+        # At tau=0.4 both come back, each with the *global* posterior.
+        both = s.execute(TIQ(q, tau=0.4)).matches
+    assert sorted(m.key for m in both) == ["left", "right"]
+    for m in both:
+        assert m.probability == pytest.approx(0.5, abs=1e-12)
+
+
+def test_mliq_posteriors_renormalise_across_shards():
+    db = make_random_db(n=40, seed=8)
+    q = make_random_query(seed=9)
+    with connect(db, backend="tree") as ref:
+        expected = {
+            m.key: m.probability for m in ref.execute(MLIQ(q, 10)).matches
+        }
+    with connect(db, backend="sharded", shards=3) as s:
+        got = {m.key: m.probability for m in s.execute(MLIQ(q, 10)).matches}
+    assert set(got) == set(expected)
+    for key, p in got.items():
+        assert p == pytest.approx(expected[key], abs=1e-9)
+    # Posterior mass over ALL stored objects sums to 1, so a k=n answer
+    # carries the full mass — only true if Z spans every shard.
+    with connect(db, backend="sharded", shards=3) as s:
+        full = s.execute(MLIQ(q, len(db))).matches
+    assert sum(m.probability for m in full) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_rank_min_mass_cut_applies_to_global_posteriors():
+    db = make_random_db(n=30, seed=12)
+    q = make_random_query(seed=13)
+    with connect(db, backend="tree") as ref:
+        expected = ref.execute(RankQuery(q, 20, min_mass=0.95)).matches
+    with connect(db, backend="sharded", shards=3) as s:
+        got = s.execute(RankQuery(q, 20, min_mass=0.95)).matches
+    assert [m.key for m in got] == [m.key for m in expected]
+
+
+def test_edge_cases_match_engine_semantics():
+    db = make_random_db(n=5, seed=2)
+    q = make_random_query(seed=3)
+    with connect(db, backend="sharded", shards=3) as s:
+        assert s.execute(MLIQ(q, 0)).matches == []
+        assert len(s.execute(MLIQ(q, 99)).matches) == 5
+    empty = PFVDatabase()
+    with connect(empty, backend="sharded", shards=2) as s:
+        assert len(s) == 0
+        assert s.execute(MLIQ(q, 3)).matches == []
+        assert s.execute(TIQ(q, 0.5)).matches == []
+
+
+def test_merged_stats_sum_shards_and_provenance_breaks_them_down():
+    db = make_random_db(n=60, seed=5)
+    q = make_random_query(seed=6)
+    with connect(db, backend="sharded", shards=3) as s:
+        rs = s.execute_many([MLIQ(q, 4), TIQ(q, 0.2)])
+    # One provenance entry per active shard per executed kind-batch.
+    assert len(rs.provenance) == 6
+    assert all(name.startswith("shard-") for name, _ in rs.provenance)
+    assert rs.stats.pages_accessed == sum(
+        st.pages_accessed for _, st in rs.provenance
+    )
+    assert rs.stats.objects_refined == sum(
+        st.objects_refined for _, st in rs.provenance
+    )
+    # Single-backend sessions attach no provenance.
+    with connect(db, backend="tree") as plain:
+        assert plain.execute(MLIQ(q, 2)).provenance == ()
+
+
+def test_failed_batch_does_not_leak_provenance_into_the_next():
+    """A kind-group that fails after an earlier group succeeded must
+    discard the partial per-shard breakdown (regression: stale entries
+    double-counted shards in the next ResultSet)."""
+    db = make_random_db(n=20, seed=61)
+    q = make_random_query(seed=62)
+    with connect(db, backend="sharded", shards=2) as s:
+        backend = s._backend
+        real_run_tiq = backend.run_tiq
+
+        def failing_run_tiq(specs):
+            raise ClusterError("injected tiq failure")
+
+        backend.run_tiq = failing_run_tiq
+        with pytest.raises(ClusterError, match="injected"):
+            # mliq group executes (and records provenance) first.
+            s.execute_many([MLIQ(q, 2), TIQ(q, 0.2)])
+        backend.run_tiq = real_run_tiq
+        rs = s.execute(MLIQ(q, 2))
+    # Exactly one entry per shard for this batch, none from the failure.
+    assert len(rs.provenance) == 2
+
+
+def test_manifest_source_rejects_repartition_options(tmp_path):
+    db = make_random_db(n=12, seed=63)
+    manifest = build_shards(db, 2, tmp_path / "fixed")
+    with pytest.raises(TypeError, match="conflict with a manifest"):
+        connect(manifest.source_path, backend="sharded", shards=4)
+    with pytest.raises(TypeError, match="conflict with a manifest"):
+        connect(
+            manifest.source_path, backend="sharded", policy="round-robin"
+        )
+
+
+def test_sharded_declares_capabilities_and_rejects_writes():
+    db = make_random_db(n=12)
+    with connect(db, backend="sharded", shards=2) as s:
+        assert {"mliq", "tiq", "batch", "exact"} <= s.capabilities
+        assert not s.writable
+        with pytest.raises(CapabilityError):
+            s.insert(PFV([0.1, 0.1, 0.1], [0.1, 0.1, 0.1], key="new"))
+    with pytest.raises(CapabilityError):
+        connect(db, backend="sharded", shards=2, writable=True)
+
+
+def test_sharded_over_xtree_inner_is_not_exact():
+    db = make_random_db(n=25)
+    with connect(db, backend="sharded", shards=2, inner="xtree") as s:
+        assert "exact" not in s.capabilities
+
+
+def test_parallel_pool_estimate_prices_max_not_sum(tmp_path):
+    db = make_random_db(n=80, seed=21)
+    manifest = build_shards(db, 4, tmp_path / "est")
+    specs = [MLIQ(make_random_query(seed=22), 5)] * 8
+    with connect(manifest.source_path, backend="sharded") as serial:
+        serial_plan = serial.explain(specs)
+    with connect(
+        manifest.source_path, backend="sharded", pool="process", workers=2
+    ) as parallel:
+        parallel_plan = parallel.explain(specs)
+    assert serial_plan.estimated_pages == parallel_plan.estimated_pages
+    assert (
+        parallel_plan.estimated_io_seconds
+        < serial_plan.estimated_io_seconds
+    )
+    assert any("fan-out" in step for step in serial_plan.lowering)
+
+
+# ---------------------------------------------------------------------------
+# Option validation
+# ---------------------------------------------------------------------------
+
+
+def test_in_memory_source_requires_shard_count():
+    db = make_random_db(n=6)
+    with pytest.raises(TypeError, match="shards=N"):
+        connect(db, backend="sharded")
+
+
+def test_unknown_options_rejected():
+    db = make_random_db(n=6)
+    with pytest.raises(TypeError, match="replicas"):
+        connect(db, backend="sharded", shards=2, replicas=3)
+
+
+def test_disk_inner_requires_manifest():
+    db = make_random_db(n=6)
+    with pytest.raises(TypeError, match="shard-build"):
+        connect(db, backend="sharded", shards=2, inner="disk")
+
+
+# ---------------------------------------------------------------------------
+# Hardening: broken manifests and dying workers
+# ---------------------------------------------------------------------------
+
+
+def test_manifest_with_missing_shard_file_fails_loudly(tmp_path):
+    db = make_random_db(n=30, seed=7)
+    manifest = build_shards(db, 3, tmp_path / "broken")
+    victim = [p for p in manifest.shard_paths() if p is not None][1]
+    os.remove(victim)
+    with pytest.raises(ClusterError, match="missing index file"):
+        connect(manifest.source_path, backend="sharded")
+    # The error names the exact file so operators can fix it.
+    with pytest.raises(ClusterError, match=os.path.basename(victim)):
+        connect(manifest.source_path, backend="sharded")
+
+
+def test_shard_unopenable_at_query_time_fails_loudly(tmp_path):
+    """A shard that passes the existence check but cannot be *opened*
+    (truncated/corrupt file) surfaces as ClusterError, not a hang."""
+    db = make_random_db(n=30, seed=17)
+    manifest = build_shards(db, 2, tmp_path / "corrupt")
+    victim = [p for p in manifest.shard_paths() if p is not None][0]
+    with open(victim, "wb") as f:
+        f.write(b"\x00" * 64)
+    session = connect(manifest.source_path, backend="sharded")
+    with pytest.raises(ClusterError, match="cannot open shard"):
+        session.execute(MLIQ(make_random_query(), 3))
+    session.close()
+
+
+# Pool doubles must live at module level so fork workers resolve them by
+# reference.
+class _Boom:
+    def __call__(self, shard_id):
+        raise RuntimeError("shard backend exploded")
+
+
+def _echo_runner(session, payload):
+    return (session, payload)
+
+
+class _IdentityOpener:
+    def __call__(self, shard_id):
+        return f"session-{shard_id}"
+
+
+def _crashing_runner(session, payload):
+    if payload == "die":
+        os._exit(17)  # simulated worker crash (segfault/OOM-kill stand-in)
+    return (session, payload)
+
+
+def test_serial_pool_wraps_worker_exceptions():
+    pool = make_pool("serial", _Boom(), _echo_runner, n_shards=2)
+    with pytest.raises(ClusterError, match="cannot open shard 0"):
+        pool.run([(0, "payload")])
+    pool.close()
+    with pytest.raises(ClusterError, match="closed"):
+        pool.run([(0, "payload")])
+
+
+@pytest.mark.skipif(
+    os.name != "posix", reason="fork start method required"
+)
+def test_process_pool_surfaces_raising_worker():
+    pool = ProcessPool(_Boom(), _echo_runner, workers=1)
+    try:
+        with pytest.raises(ClusterError, match="shard backend exploded"):
+            pool.run([(0, "payload")])
+    finally:
+        pool.close()
+
+
+@pytest.mark.skipif(
+    os.name != "posix", reason="fork start method required"
+)
+def test_process_pool_surfaces_dead_worker_and_recovers():
+    pool = ProcessPool(_IdentityOpener(), _crashing_runner, workers=1)
+    try:
+        with pytest.raises(ClusterError, match="worker process died"):
+            pool.run([(0, "die")])
+        # The broken executor was dropped: the next batch gets a fresh
+        # pool and works.
+        assert pool.run([(1, "ok")]) == [("session-1", "ok")]
+    finally:
+        pool.close()
+
+
+def test_make_pool_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown pool kind"):
+        make_pool("threads", _IdentityOpener(), _echo_runner, n_shards=1)
+
+
+@pytest.mark.skipif(
+    os.name != "posix", reason="fork start method required"
+)
+def test_process_pool_parity_with_serial(tmp_path):
+    db = make_random_db(n=50, seed=31)
+    manifest = build_shards(db, 3, tmp_path / "pp")
+    q = make_random_query(seed=32)
+    specs = [MLIQ(q, 5), TIQ(q, 0.1), RankQuery(q, 8, min_mass=0.9)]
+    with connect(manifest.source_path, backend="sharded") as serial:
+        expected = [list(m) for m in serial.execute_many(specs)]
+    with connect(
+        manifest.source_path, backend="sharded", pool="process", workers=2
+    ) as parallel:
+        got = [list(m) for m in parallel.execute_many(specs)]
+        # Warm workers answer a second batch identically.
+        again = [list(m) for m in parallel.execute_many(specs)]
+    for exp, g1, g2 in zip(expected, got, again):
+        assert [m.key for m in exp] == [m.key for m in g1]
+        assert [m.key for m in exp] == [m.key for m in g2]
+        for a, b in zip(exp, g1):
+            assert b.probability == pytest.approx(
+                a.probability, abs=1e-12
+            )
+
+
+def test_serial_pool_shares_sessions_with_metadata():
+    db = make_random_db(n=20, seed=41)
+    session = connect(db, backend="sharded", shards=2)
+    backend = session._backend
+    assert isinstance(backend._pool, SerialPool)
+    session.execute(MLIQ(make_random_query(seed=42), 3))
+    materialised = session.database()
+    assert len(materialised) == len(db)
+    assert math.isclose(
+        sum(1 for _ in materialised), len(db)
+    )
+    session.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.execute(MLIQ(make_random_query(), 1))

@@ -1,0 +1,223 @@
+"""The ``repro serve`` HTTP endpoint and its stdlib client.
+
+A real ThreadingHTTPServer on an ephemeral port per test module: the
+wire answers must match a direct ``Session.execute_many`` bit for bit,
+malformed requests must come back as structured JSON errors (never a
+hung connection or a dead handler thread), and concurrent clients must
+all be answered.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cluster import QueryServer, RemoteError, ServeClient, serve
+from repro.engine import MLIQ, TIQ, RankQuery, connect
+
+from tests.conftest import make_random_db, make_random_query
+
+
+@pytest.fixture(scope="module")
+def served():
+    db = make_random_db(n=40, seed=50)
+    session = connect(db, backend="sharded", shards=2)
+    with serve(session, port=0) as server:
+        yield server, session, db
+    session.close()
+
+
+@pytest.fixture
+def client(served):
+    server, _, _ = served
+    return ServeClient(server.url, timeout=30)
+
+
+def test_healthz_reports_backend_and_size(served, client):
+    _, session, db = served
+    payload = client.healthz()
+    assert payload["status"] == "ok"
+    assert payload["backend"] == session.backend_name
+    assert payload["objects"] == len(db)
+
+
+def test_query_answers_match_direct_session(served, client):
+    _, session, _ = served
+    q = make_random_query(seed=51)
+    specs = [MLIQ(q, 5), TIQ(q, 0.2), RankQuery(q, 9, min_mass=0.9)]
+    answer = client.query(specs)
+    direct = session.execute_many(specs)
+    assert answer.backend == session.backend_name
+    assert answer.keys() == [
+        [m.key for m in matches] for matches in direct
+    ]
+    for remote_matches, local_matches in zip(answer.results, direct):
+        for r, m in zip(remote_matches, local_matches):
+            assert r["probability"] == pytest.approx(
+                m.probability, abs=1e-12
+            )
+            assert r["log_density"] == pytest.approx(
+                m.log_density, rel=1e-12
+            )
+    # Sharded sessions expose the per-shard breakdown over the wire.
+    assert len(answer.provenance) > 0
+    assert answer.stats["pages_accessed"] >= 0
+
+
+def test_single_bare_spec_body_is_accepted(served):
+    server, _, _ = served
+    q = make_random_query(seed=52)
+    body = json.dumps(
+        {
+            "kind": "mliq",
+            "mu": [float(x) for x in q.mu],
+            "sigma": [float(x) for x in q.sigma],
+            "k": 3,
+        }
+    ).encode()
+    request = urllib.request.Request(
+        server.url + "/query",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        payload = json.loads(response.read())
+    assert payload["n_queries"] == 1
+    assert len(payload["results"][0]) == 3
+
+
+def test_stats_accumulate(served, client):
+    before = client.stats()
+    client.query(MLIQ(make_random_query(seed=53), 2))
+    after = client.stats()
+    assert after["queries"] >= before["queries"] + 1
+    assert after["batches"] >= before["batches"] + 1
+    assert after["queries_by_kind"].get("mliq", 0) >= 1
+
+
+@pytest.mark.parametrize(
+    "path,body,status,fragment",
+    [
+        ("/nope", None, 404, "unknown path"),
+        ("/query", b"{malformed", 400, "not JSON"),
+        ("/query", b'{"queries": []}', 400, "no queries"),
+        ("/query", b'{"queries": {"kind": "mliq"}}', 400, "must be a list"),
+        (
+            "/query",
+            b'{"queries": [{"kind": "knn", "mu": [0.1], "sigma": [0.1]}]}',
+            400,
+            "unknown query kind",
+        ),
+        (
+            "/query",
+            b'{"queries": [{"kind": "mliq", "mu": [0.1]}]}',
+            400,
+            "missing field",
+        ),
+    ],
+)
+def test_bad_requests_answer_structured_errors(
+    served, path, body, status, fragment
+):
+    server, _, _ = served
+    request = urllib.request.Request(
+        server.url + path,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST" if body is not None else "GET",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == status
+    detail = json.loads(excinfo.value.read())
+    assert fragment in detail["error"]
+
+
+def test_execution_error_is_500_not_a_dead_connection(served, client):
+    # Dimension mismatch only surfaces inside execution.
+    bad = MLIQ(make_random_query(d=7, seed=54), 2)
+    with pytest.raises(RemoteError) as excinfo:
+        client.query(bad)
+    assert excinfo.value.status == 500
+    # The handler thread survived: the server still answers.
+    assert client.healthz()["status"] == "ok"
+
+
+def test_oversized_body_rejection_does_not_corrupt_the_connection(served):
+    """Early rejects (body never read) must drop the keep-alive
+    connection — otherwise the unread body bytes would be parsed as the
+    next request line on that connection."""
+    import socket
+
+    server, _, _ = served
+    host, port = server.address
+    with socket.create_connection((host, port), timeout=30) as sock:
+        declared = 128 * 1024 * 1024  # over MAX_BODY_BYTES
+        sock.sendall(
+            (
+                "POST /query HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Length: {declared}\r\n"
+                "Content-Type: application/json\r\n"
+                "\r\n"
+            ).encode()
+            + b'{"queries": []}'  # a fragment of the never-sent body
+        )
+        sock.settimeout(30)
+        response = sock.recv(65536)
+        assert b"413" in response.split(b"\r\n", 1)[0]
+        # The server closes the connection instead of serving the
+        # leftover bytes as a bogus second request.
+        trailing = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            trailing += chunk
+        assert b"unsupported method" not in trailing.lower()
+        assert b"501" not in trailing
+
+
+def test_client_surfaces_unreachable_server():
+    dead = ServeClient("http://127.0.0.1:1", timeout=2)
+    with pytest.raises(RemoteError, match="cannot reach"):
+        dead.healthz()
+
+
+def test_concurrent_clients_are_all_answered(served, client):
+    _, session, _ = served
+    q = make_random_query(seed=55)
+    expected = [m.key for m in session.execute(MLIQ(q, 4)).matches]
+    results: list = [None] * 8
+    errors: list = []
+
+    def hit(i):
+        try:
+            results[i] = client.query(MLIQ(q, 4)).keys()[0]
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hit, args=(i,)) for i in range(len(results))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert all(r == expected for r in results)
+
+
+def test_double_start_and_address_before_start_raise():
+    db = make_random_db(n=5, seed=56)
+    with connect(db, backend="tree") as session:
+        server = QueryServer(session, port=0)
+        with pytest.raises(RuntimeError, match="not started"):
+            server.address
+        server.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+        finally:
+            server.shutdown()

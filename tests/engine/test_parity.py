@@ -78,8 +78,20 @@ def test_every_exact_backend_returns_the_same_matches(case, tmp_path_factory):
         bulk_load(db.vectors, sigma_rule=db.sigma_rule).save(path)
         with connect(path, backend="disk") as session:
             answers["disk"] = _answer(session, spec)
+    # The sharded fan-out must merge per-shard candidates into the same
+    # global answer the single tree gives — including N=1 (degenerate
+    # fan-out), shards left empty by the hash (n small vs N=3), and the
+    # k==0 / k>n / empty-database edge cases normalised in the spec
+    # table. Its posteriors renormalise against the cross-shard Bayes
+    # denominator, so equality here is the distributed-merge proof.
+    for n_shards in (1, 2, 3):
+        with connect(
+            db, backend="sharded", shards=n_shards, inner="tree"
+        ) as session:
+            answers[f"sharded-{n_shards}"] = _answer(session, spec)
 
     reference = answers.pop("seqscan")
+    tree_reference = answers["tree"]
     for backend, got in answers.items():
         assert set(got) == set(reference), (
             f"{backend} answered keys {sorted(got)}, "
@@ -89,6 +101,16 @@ def test_every_exact_backend_returns_the_same_matches(case, tmp_path_factory):
             assert math.isclose(
                 p, reference[key], rel_tol=1e-6, abs_tol=1e-9
             ), f"{backend} posterior for {key}: {p} != {reference[key]}"
+        if backend.startswith("sharded"):
+            # The issue's acceptance bar: sharded(tree, N) within 1e-9
+            # of the single tree backend, match sets identical.
+            for key, p in got.items():
+                assert math.isclose(
+                    p, tree_reference[key], rel_tol=0.0, abs_tol=1e-9
+                ), (
+                    f"{backend} posterior for {key}: {p} != "
+                    f"{tree_reference[key]} (tree)"
+                )
 
 
 def test_registry_documents_exactness_split():

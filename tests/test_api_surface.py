@@ -11,6 +11,7 @@ deprecation policy) in the same commit.
 import inspect
 
 import repro
+import repro.cluster as cluster
 import repro.engine as engine
 
 
@@ -117,4 +118,78 @@ def test_builtin_backends_registered():
         "disk",
         "seqscan",
         "xtree",
+        "sharded",
     }
+
+
+# ---------------------------------------------------------------------------
+# repro.cluster: the sharded serving surface
+# ---------------------------------------------------------------------------
+
+EXPECTED_CLUSTER_EXPORTS = {
+    "ClusterError",
+    "ShardedBackend",
+    "PARTITION_POLICIES",
+    "ShardInfo",
+    "ShardManifest",
+    "build_shards",
+    "load_manifest",
+    "partition_database",
+    "shard_of",
+    "stable_shard_hash",
+    "POOL_KINDS",
+    "SerialPool",
+    "ProcessPool",
+    "make_pool",
+    "QueryServer",
+    "serve",
+    "ServeClient",
+    "RemoteAnswer",
+    "RemoteError",
+    "WireError",
+    "spec_to_json",
+    "spec_from_json",
+    "load_jsonl",
+    "dump_jsonl",
+}
+
+EXPECTED_CLUSTER_SIGNATURES = {
+    "build_shards": "(db: 'PFVDatabase', n_shards: 'int', out_prefix, *, "
+    "policy: 'str' = 'hash', page_size: 'int' = 8192) -> 'ShardManifest'",
+    "load_manifest": "(path) -> 'ShardManifest'",
+    "partition_database": "(db: 'PFVDatabase', n_shards: 'int', "
+    "policy: 'str' = 'hash') -> 'list[PFVDatabase]'",
+    "shard_of": "(v: 'PFV', position: 'int', n_shards: 'int', "
+    "policy: 'str') -> 'int'",
+    "serve": "(session: 'Session', host: 'str' = '127.0.0.1', "
+    "port: 'int' = 8631, *, verbose: 'bool' = False) -> 'QueryServer'",
+    "make_pool": "(kind: 'str', opener: 'Callable[[int], Any]', "
+    "runner: 'Callable[[Any, Any], Any]', *, n_shards: 'int', "
+    "workers: 'int | None' = None)",
+}
+
+
+def test_cluster_export_names_are_pinned():
+    assert set(cluster.__all__) == EXPECTED_CLUSTER_EXPORTS
+    for name in cluster.__all__:
+        assert hasattr(cluster, name), f"__all__ names missing export {name}"
+
+
+def test_cluster_callable_signatures_are_pinned():
+    for name, expected in EXPECTED_CLUSTER_SIGNATURES.items():
+        assert sig(getattr(cluster, name)) == expected, (
+            f"signature drift in repro.cluster.{name}: "
+            f"{sig(getattr(cluster, name))!r}"
+        )
+
+
+def test_importing_repro_registers_the_sharded_backend():
+    # `import repro` alone must be enough for connect(backend="sharded").
+    assert "sharded" in engine.available_backends()
+    assert cluster.ShardedBackend is not None
+
+
+def test_resultset_provenance_is_part_of_the_surface():
+    # Composite backends attach per-shard (name, stats) pairs; the
+    # attribute exists (empty) on every ResultSet.
+    assert "provenance" in engine.ResultSet.__slots__
