@@ -61,6 +61,8 @@ from repro.core import (
 from repro.engine import (
     MLIQ,
     TIQ,
+    Delete,
+    Insert,
     RankQuery,
     ResultSet,
     Session,
@@ -74,7 +76,7 @@ from repro.gausstree import GaussTree, bulk_load
 # box (the subsystem itself is stdlib-only on top of the engine).
 import repro.cluster  # noqa: E402,F401  (registration side effect)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PFV",
@@ -95,6 +97,8 @@ __all__ = [
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "Insert",
+    "Delete",
     "ResultSet",
     "__version__",
 ]

@@ -290,28 +290,42 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         backend = (
             "sharded" if args.index.endswith(".json") else "disk"
         )
+    if args.sessions < 1:
+        raise SystemExit("--sessions must be at least 1")
+    options = _backend_options(
+        args,
+        backend,
+        "sharded serving (a .shards.json manifest or "
+        "--backend sharded)",
+    )
     started = time.perf_counter()
     session = connect(
-        args.index,
-        backend=backend,
-        **_backend_options(
-            args,
-            backend,
-            "sharded serving (a .shards.json manifest or "
-            "--backend sharded)",
-        ),
+        args.index, backend=backend, writable=args.writable, **options
     )
     print(
         f"connected {session!r} to {args.index} "
         f"in {time.perf_counter() - started:.2f}s"
     )
+    # Replica sessions open the same source read-only; they serve
+    # queries concurrently while writes serialize on the primary.
+    factory = (
+        (lambda: connect(args.index, backend=backend, **options))
+        if args.sessions > 1
+        else None
+    )
     server = QueryServer(
-        session, args.host, args.port, verbose=args.verbose
+        session,
+        args.host,
+        args.port,
+        verbose=args.verbose,
+        session_factory=factory,
+        pool_size=args.sessions,
     ).start()
     host, port = server.address
     print(
-        f"serving http://{host}:{port} "
-        "(POST /query, GET /healthz, GET /stats) — Ctrl-C to stop",
+        f"serving http://{host}:{port} with {args.sessions} session(s) "
+        f"(POST /query{', POST /insert' if args.writable else ''}, "
+        "GET /healthz, GET /stats) — Ctrl-C to stop",
         flush=True,
     )
     try:
@@ -354,19 +368,35 @@ def _cmd_insert(args: argparse.Namespace) -> None:
     else:  # empty index: fall back to the unit box
         mu_lo, mu_hi = np.zeros(tree.dims), np.ones(tree.dims)
         sigma_lo, sigma_hi = np.full(tree.dims, 0.05), np.full(tree.dims, 0.4)
+    if args.batch is not None and args.batch < 1:
+        raise SystemExit("--batch must be at least 1")
     inserted = 0
     insert_started = time.perf_counter()
     # Number keys from the current object count so repeated runs (and
     # runs resumed after a crash) never mint duplicate identities.
     key_base = len(tree)
-    for i in range(args.count):
-        v = PFV(
-            rng.uniform(mu_lo, mu_hi),
-            rng.uniform(sigma_lo, sigma_hi),
-            key=("ins", key_base + i),
-        )
-        tree.insert(v)
-        inserted += 1
+    step = args.batch or 1
+    for start in range(0, args.count, step):
+        # Generate lazily, one chunk at a time: a kill -9 demo passes
+        # --count 100000 and must be inserting within milliseconds, not
+        # materializing the whole workload first.
+        size = min(step, args.count - start)
+        if args.exit_after is not None:
+            size = min(size, args.exit_after - inserted)
+        chunk = [
+            PFV(
+                rng.uniform(mu_lo, mu_hi),
+                rng.uniform(sigma_lo, sigma_hi),
+                key=("ins", key_base + start + i),
+            )
+            for i in range(size)
+        ]
+        if args.batch is None:
+            for v in chunk:  # per-op commits: one fsync each
+                tree.insert(v)
+        elif chunk:
+            tree.insert_many(chunk)  # group commit: one fsync per batch
+        inserted += len(chunk)
         if args.exit_after is not None and inserted >= args.exit_after:
             # Simulated kill -9: no checkpoint, no close, no cleanup.
             # The WAL alone carries everything committed so far.
@@ -380,8 +410,9 @@ def _cmd_insert(args: argparse.Namespace) -> None:
     print(
         f"{inserted} inserts in {elapsed:.2f}s "
         f"({inserted / elapsed:.0f} inserts/s, "
-        f"fsync={'off' if args.no_fsync else 'per-commit'}), "
-        f"index now holds {len(tree)} objects"
+        f"fsync={'off' if args.no_fsync else 'per-commit'}, "
+        f"commit={'per-op' if args.batch is None else f'group/{args.batch}'}"
+        f"), index now holds {len(tree)} objects"
     )
     if args.no_flush:
         tree.close(checkpoint=False)
@@ -445,6 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("index", help="index file written by `build` (format v2)")
     p.add_argument("--count", type=int, default=100)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="group-commit N inserts per WAL transaction (one fsync per "
+        "batch, all-or-nothing recovery; default: one commit per insert)",
+    )
     p.add_argument(
         "--no-fsync",
         action="store_true",
@@ -613,6 +652,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=None,
         help="sharded only: process-pool worker count",
+    )
+    p.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="session-pool size: concurrent POST /query handlers "
+        "execute on this many sessions over the same index "
+        "(default 1; replicas serve the last-checkpoint state of a "
+        "writable index)",
+    )
+    p.add_argument(
+        "--writable",
+        action="store_true",
+        help="open the primary session writable and accept "
+        "POST /insert (writes serialize on the primary session)",
     )
     p.add_argument(
         "--verbose",

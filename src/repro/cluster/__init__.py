@@ -17,12 +17,17 @@ The lifecycle:
    a session that fans batches out through a
    :mod:`~repro.cluster.pool` worker pool (serial, or a
    ``multiprocessing`` pool whose workers open disk shards locally so
-   page buffers stay per-process);
+   page buffers stay per-process); ``writable=True`` additionally arms
+   the **write router** — inserts/deletes route to the owning shard by
+   the placement policy, batches group-commit per shard, and the
+   manifest's counts + placement epoch refresh on every commit;
 3. :func:`serve` (CLI: ``repro serve``) exposes any session — sharded
-   or not — as a JSON HTTP endpoint, with :class:`ServeClient` as the
-   matching stdlib client and :mod:`~repro.cluster.wire` as the shared
-   workload format (``repro query --input queries.jsonl`` speaks it
-   too).
+   or not — as a JSON HTTP endpoint over a :class:`SessionPool`
+   (``--sessions N`` executes concurrent queries on N pooled sessions;
+   ``--writable`` accepts ``POST /insert`` serialized on the primary),
+   with :class:`ServeClient` as the matching stdlib client and
+   :mod:`~repro.cluster.wire` as the shared workload format
+   (``repro query --input queries.jsonl`` speaks it too).
 
 Importing this package registers the ``"sharded"`` backend with the
 engine registry (``repro`` imports it eagerly, so ``connect(...,
@@ -42,11 +47,13 @@ from repro.cluster.partition import (
     stable_shard_hash,
 )
 from repro.cluster.pool import POOL_KINDS, ProcessPool, SerialPool, make_pool
-from repro.cluster.server import QueryServer, serve
+from repro.cluster.server import QueryServer, SessionPool, serve
 from repro.cluster.wire import (
     WireError,
     dump_jsonl,
     load_jsonl,
+    pfv_from_json,
+    pfv_to_json,
     spec_from_json,
     spec_to_json,
 )
@@ -67,6 +74,7 @@ __all__ = [
     "ProcessPool",
     "make_pool",
     "QueryServer",
+    "SessionPool",
     "serve",
     "ServeClient",
     "RemoteAnswer",
@@ -74,6 +82,8 @@ __all__ = [
     "WireError",
     "spec_to_json",
     "spec_from_json",
+    "pfv_to_json",
+    "pfv_from_json",
     "load_jsonl",
     "dump_jsonl",
 ]

@@ -35,16 +35,35 @@ Correctness of the candidate sets:
   applies the exact global filter ``p(q|v)/Z >= tau``.
 * **RankQuery** — lowered to MLIQ by the session, which applies the
   ``min_mass`` cut *after* this merge, i.e. against global posteriors.
+
+**Writable sharded sessions (the write router).** Opened with
+``connect(..., backend="sharded", writable=True)``, the fan-out also
+accepts ``insert``/``insert_many``/``delete`` (and the engine's
+``Insert``/``Delete`` specs through ``execute_many``): every write
+routes to its **owning shard** under the deployment's placement policy
+— the stable key hash directly, round-robin by the manifest's recorded
+*placement epoch*, which keeps counting positions where the original
+partitioning stopped. Writes land on per-shard *writable* child
+sessions held behind the (serial) pool — the same sessions queries fan
+out to, so an interleaved write+query workload is read-your-writes
+consistent and the parity property holds against a single writable
+tree. Batches group-commit per shard (one WAL fsync per touched shard),
+and every commit refreshes the manifest's per-shard object counts and
+epoch. The process pool is refused for writable sessions: its workers
+open shards in other processes read-only, where they could not see
+uncheckpointed writes.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 import os
 
 from repro.core.database import PFVDatabase
 from repro.core.gaussian import logsumexp
+from repro.core.pfv import PFV
 from repro.core.queries import Match, MLIQuery, QueryStats
 from repro.engine.backends import (
     BackendAdapter,
@@ -57,9 +76,11 @@ from repro.engine.session import Session
 from repro.engine.spec import MLIQ, TIQ
 from repro.cluster.partition import (
     MANIFEST_SUFFIX,
+    ShardInfo,
     ShardManifest,
     load_manifest,
     partition_database,
+    shard_of,
 )
 from repro.cluster.pool import ClusterError, SerialPool, make_pool
 
@@ -100,13 +121,20 @@ class _ShardOpener:
     """
 
     def __init__(
-        self, sources: list, inner: str, inner_options: dict
+        self,
+        sources: list,
+        inner: str,
+        inner_options: dict,
+        writable: bool = False,
     ) -> None:
         self.sources = sources
         self.inner = inner
         self.inner_options = dict(inner_options)
+        self.writable = writable
 
     def __call__(self, shard_id: int) -> Session:
+        """Open shard ``shard_id``'s session (writable when the owning
+        deployment is)."""
         source = self.sources[shard_id]
         if source is None:
             raise ClusterError(
@@ -116,7 +144,7 @@ class _ShardOpener:
             backend = create_backend(
                 self.inner,
                 source,
-                writable=False,
+                writable=self.writable,
                 options=dict(self.inner_options),
             )
         except ClusterError:
@@ -197,6 +225,14 @@ class ShardedBackend(BackendAdapter):
     or ``"process"``), ``workers``, ``shards`` + ``policy`` (in-memory
     partitioning), ``inner_options`` (dict forwarded to every shard's
     backend factory).
+
+    With ``connect(..., writable=True)`` the deployment also routes
+    writes: inserts land on the shard the placement policy owns them to
+    (round-robin continues from the manifest's recorded placement
+    epoch), batches group-commit per shard, and every commit refreshes
+    the manifest counts. Writable sessions hold writable child sessions
+    behind a *serial* pool so queries read their own writes; the
+    process pool is refused.
     """
 
     def __init__(
@@ -209,14 +245,34 @@ class ShardedBackend(BackendAdapter):
         workers: int | None,
         inner_options: dict,
         manifest: ShardManifest | None = None,
+        writable: bool = False,
+        policy: str | None = None,
+        placement_epoch: int | None = None,
     ) -> None:
         if len(sources) != len(counts):
             raise ValueError("one object count per shard source required")
+        if writable and pool_kind != "serial":
+            raise TypeError(
+                "writable sharded sessions require pool='serial': process "
+                "pool workers open shards read-only in other processes and "
+                "would not see uncheckpointed writes"
+            )
         self.inner = inner
         self.manifest = manifest
+        self._writable = writable
+        #: Placement policy writes route by (from the manifest, or the
+        #: in-memory partitioning choice; None on read-only sessions
+        #: over pre-sharded sources whose policy is unknown).
+        self.policy = policy
+        #: Positions ever placed; round-robin routing continues here.
+        self._placement_epoch = (
+            placement_epoch if placement_epoch is not None else sum(counts)
+        )
         self._counts = list(counts)
         self._sources = list(sources)
-        self._opener = _ShardOpener(self._sources, inner, inner_options)
+        self._opener = _ShardOpener(
+            self._sources, inner, inner_options, writable=writable
+        )
         self._pool = make_pool(
             pool_kind,
             self._opener,
@@ -230,15 +286,30 @@ class ShardedBackend(BackendAdapter):
         warm = getattr(self._pool, "warm", None)
         if warm is not None:
             warm()
+        if writable:
+            # Open every shard eagerly and trust the *indexes*, not the
+            # manifest: a crashed writer leaves manifest counts stale
+            # while the shard WALs replay the truth on open. The epoch
+            # can be stale the same way; it never goes backwards (it
+            # only balances round-robin placement, it cannot affect
+            # answer correctness).
+            for i, source in enumerate(self._sources):
+                if source is not None:
+                    self._counts[i] = len(self._pool.session(i))
+            self._placement_epoch = max(
+                self._placement_epoch, sum(self._counts)
+            )
         #: Shards that hold at least one object; empty shards never get
         #: tasks (an empty shard's denominator contribution is zero).
-        self._active = [i for i, c in enumerate(counts) if c > 0]
+        self._active = [i for i, c in enumerate(self._counts) if c > 0]
         self._meta_sessions: dict[int, Session] = {}
         self._pending_provenance: list[tuple[str, QueryStats]] = []
         self.name = f"sharded({inner}x{len(sources)})"
         caps = {"mliq", "tiq", "batch"}
         if self._inner_is_exact():
             caps.add("exact")
+        if writable:
+            caps.add("writable")
         self.capabilities = frozenset(caps)
         self._closed = False
 
@@ -246,6 +317,7 @@ class ShardedBackend(BackendAdapter):
 
     @property
     def n_shards(self) -> int:
+        """Shards in the deployment layout (empty ones included)."""
         return len(self._sources)
 
     def _inner_is_exact(self) -> bool:
@@ -351,12 +423,147 @@ class ShardedBackend(BackendAdapter):
             merged.append(Match(m.vector, ld, probability))
         return merged
 
+    # -- the write router ----------------------------------------------------
+
+    def _writable_session(self, shard_id: int) -> Session:
+        """The writable child session owning one shard (serial pool)."""
+        if self._sources[shard_id] is None:
+            raise ClusterError(
+                f"cannot route a write to shard {shard_id}: the manifest "
+                "records no index file for it (the shard was empty at "
+                "build time); re-run `repro shard-build` over the grown "
+                "dataset to give every shard an index"
+            )
+        session = self._pool.session(shard_id)  # serial pool, enforced
+        if not session.writable:
+            raise ClusterError(
+                f"shard {shard_id}'s inner backend {self.inner!r} is not "
+                "writable; writable sharded sessions need inner='tree' "
+                "or inner='disk'"
+            )
+        return session
+
+    def _note_count_change(self, shard_id: int, delta: int) -> None:
+        """Track a shard's object count and its active/empty status."""
+        before = self._counts[shard_id]
+        self._counts[shard_id] = before + delta
+        if before == 0 and self._counts[shard_id] > 0:
+            bisect.insort(self._active, shard_id)
+        elif before > 0 and self._counts[shard_id] == 0:
+            self._active.remove(shard_id)
+
+    def insert(self, v: PFV) -> None:
+        """Insert one pfv on its owning shard (placement-routed)."""
+        self.insert_many([v])
+
+    def insert_many(self, vectors) -> int:
+        """Route a batch to its owning shards; each shard's slice is one
+        group-commit transaction on disk-backed shards.
+
+        Placement follows the deployment's policy: the stable key hash
+        directly, round-robin by the persisted placement epoch (each
+        insert consumes one position, continuing the sequence the
+        original partitioning started). The manifest's counts and epoch
+        refresh after the batch commits.
+        """
+        self._require("writable")
+        batch = list(vectors)
+        by_shard: dict[int, list[PFV]] = {}
+        position = self._placement_epoch
+        for v in batch:
+            shard_id = shard_of(v, position, self.n_shards, self.policy)
+            position += 1
+            by_shard.setdefault(shard_id, []).append(v)
+        # Open (and vet) every target shard *before* committing any
+        # slice: routing failures — a pathless shard, a non-writable
+        # inner — must reject the batch whole, not after an earlier
+        # shard already committed part of it. The epoch advances only
+        # once routing is validated.
+        sessions = {
+            shard_id: self._writable_session(shard_id)
+            for shard_id in sorted(by_shard)
+        }
+        self._placement_epoch = position
+        committed = 0
+        try:
+            for shard_id, session in sessions.items():
+                session.insert_many(by_shard[shard_id])
+                self._note_count_change(shard_id, len(by_shard[shard_id]))
+                committed += len(by_shard[shard_id])
+        except Exception as exc:
+            # A mid-batch IO failure is partial by nature (per-shard
+            # WALs are independent); persist what landed and say so.
+            self._refresh_manifest()
+            raise ClusterError(
+                f"insert batch failed after {committed} of {len(batch)} "
+                f"vectors committed (per-shard transactions are "
+                f"independent): {exc}"
+            ) from exc
+        self._refresh_manifest()
+        return len(batch)
+
+    def delete(self, v: PFV) -> bool:
+        """Delete one pfv; returns whether it was found on any shard.
+
+        Hash placement names the owning shard outright (re-observations
+        share the key, the key fixes the shard); round-robin placement
+        depends on historical insert order, so the delete probes every
+        non-empty shard until one reports a hit.
+        """
+        self._require("writable")
+        if self.policy == "hash":
+            shard_id = shard_of(v, 0, self.n_shards, "hash")
+            candidates = [shard_id] if self._counts[shard_id] > 0 else []
+        else:
+            candidates = list(self._active)
+        for shard_id in candidates:
+            if self._writable_session(shard_id).delete(v):
+                self._note_count_change(shard_id, -1)
+                self._refresh_manifest()
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Checkpoint every writable shard session and refresh the
+        manifest (no-op on read-only sessions)."""
+        if not self._writable:
+            return
+        for shard_id, source in enumerate(self._sources):
+            if source is not None:
+                self._pool.session(shard_id).flush()
+        self._refresh_manifest()
+
+    def _refresh_manifest(self) -> None:
+        """Persist the current per-shard counts and placement epoch back
+        into the ``.shards.json`` manifest (manifest-backed deployments
+        only; in-memory partitionings have nothing to refresh)."""
+        if (
+            not self._writable
+            or self.manifest is None
+            or self.manifest.source_path is None
+        ):
+            return
+        shards = tuple(
+            ShardInfo(path=info.path, objects=self._counts[i])
+            for i, info in enumerate(self.manifest.shards)
+        )
+        manifest = dataclasses.replace(
+            self.manifest,
+            shards=shards,
+            placement_epoch=self._placement_epoch,
+        )
+        manifest.save(self.manifest.source_path)
+        self.manifest = manifest
+
     # -- metadata ------------------------------------------------------------
 
     def count(self) -> int:
+        """Objects across all shards."""
         return sum(self._counts)
 
     def estimate(self, kind: str, specs) -> PlanEstimate:
+        """Sum shard page estimates; price latency via the pool's
+        fan-out rule (max-over-shards parallel, sum serial)."""
         if not self._active or not specs:
             return PlanEstimate(0, 0.0, "empty deployment: no shards hit")
         pages = 0
@@ -405,6 +612,7 @@ class ShardedBackend(BackendAdapter):
         return tuple(steps)
 
     def database(self) -> PFVDatabase:
+        """Materialise every shard's objects as one database."""
         merged: PFVDatabase | None = None
         for shard_id in self._active:
             shard_db = self._meta_session(shard_id).database()
@@ -414,6 +622,7 @@ class ShardedBackend(BackendAdapter):
         return merged if merged is not None else PFVDatabase()
 
     def cold_start(self) -> None:
+        """Drop every open shard session's page cache."""
         if isinstance(self._pool, SerialPool):
             for shard_id in self._active:
                 self._pool.session(shard_id).cold_start()
@@ -421,9 +630,12 @@ class ShardedBackend(BackendAdapter):
             session.cold_start()
 
     def close(self) -> None:
+        """Release every shard session (writable ones checkpoint) and
+        persist the final manifest counts."""
         if self._closed:
             return
         self._closed = True
+        self._refresh_manifest()
         self._pool.close()
         sessions, self._meta_sessions = self._meta_sessions, {}
         for session in sessions.values():
@@ -448,6 +660,9 @@ def _looks_like_manifest(source) -> bool:
 
 
 def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
+    """Factory behind ``connect(..., backend="sharded")``: resolves the
+    manifest / in-memory partitioning, the inner backend and the pool,
+    and (``writable=True``) arms the write router."""
     inner = options.pop("inner", None)
     policy = options.pop("policy", None)
     pool_kind = options.pop("pool", "serial")
@@ -458,6 +673,12 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
         raise TypeError(
             f"the 'sharded' backend does not understand options "
             f"{sorted(options)}"
+        )
+    if writable and pool_kind == "process":
+        raise TypeError(
+            "writable sharded sessions require pool='serial' (process "
+            "pool workers open shards read-only in other processes and "
+            "cannot see uncheckpointed writes)"
         )
 
     manifest: ShardManifest | None = None
@@ -491,6 +712,8 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
                 + " — re-run `repro shard-build` or fix the manifest"
             )
         counts = [info.objects for info in manifest.shards]
+        route_policy = manifest.policy
+        placement_epoch = manifest.effective_placement_epoch
     else:
         if shards_requested is None:
             raise TypeError(
@@ -508,9 +731,11 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
                 "with `repro shard-build` and connect to the manifest"
             )
         db = as_database(source)
-        parts = partition_database(db, shards_requested, policy or "hash")
+        route_policy = policy or "hash"
+        parts = partition_database(db, shards_requested, route_policy)
         sources = list(parts)
         counts = [len(p) for p in parts]
+        placement_epoch = len(db)
 
     # Tighten the Gauss-tree's posterior tolerance below the merge's
     # cross-shard agreement budget unless the caller chose their own.
@@ -525,6 +750,9 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
         workers=workers,
         inner_options=inner_options,
         manifest=manifest,
+        writable=writable,
+        policy=route_policy,
+        placement_epoch=placement_epoch,
     )
 
 
@@ -532,5 +760,6 @@ register_backend(
     "sharded",
     _make_sharded,
     "fan-out over N shard sessions (manifest or shards=N) with exact "
-    "global posterior renormalisation; serial or process pool",
+    "global posterior renormalisation; serial or process pool; "
+    "writable=True adds placement-routed writes",
 )

@@ -18,7 +18,8 @@ import urllib.error
 import urllib.request
 from typing import Sequence
 
-from repro.cluster.wire import spec_to_json
+from repro.cluster.wire import pfv_to_json, spec_to_json
+from repro.core.pfv import PFV
 from repro.engine.spec import Query
 
 __all__ = ["ServeClient", "RemoteAnswer", "RemoteError"]
@@ -121,4 +122,22 @@ class ServeClient:
             stats=payload.get("stats", {}),
             execute_seconds=float(payload.get("execute_seconds", 0.0)),
             provenance=payload.get("provenance", []),
+        )
+
+    def insert(self, vectors: Sequence[PFV] | PFV) -> dict:
+        """``POST /insert`` with one pfv or a batch of pfv.
+
+        The server applies the batch through its writable primary
+        session (group commit / placement routing) and answers
+        ``{"inserted": n, "objects": total, "execute_seconds": s}``;
+        a read-only server answers HTTP 403, raised here as
+        :class:`RemoteError`.
+        """
+        if isinstance(vectors, PFV):
+            vectors = [vectors]
+        if not vectors:
+            raise ValueError("insert() needs at least one pfv")
+        return self._request(
+            "/insert",
+            {"vectors": [pfv_to_json(v) for v in vectors]},
         )

@@ -18,7 +18,11 @@ Two placement policies:
     shard.
 ``"round-robin"``
     Position modulo ``n_shards``: perfectly balanced shard sizes, at the
-    price of placement depending on insertion order.
+    price of placement depending on insertion order. So that *later*
+    writes keep routing deterministically, the manifest records a
+    **placement epoch** — the number of objects ever placed — and a
+    writable sharded session continues the sequence from there
+    (persisting the advanced epoch on every commit).
 
 Both policies assign every object to exactly one shard — the global
 Bayes denominator is then the sum of the per-shard denominators, which
@@ -134,10 +138,27 @@ class ShardManifest:
     sigma_rule: str
     shards: tuple[ShardInfo, ...]
     source_path: str | None = None  # where the manifest was loaded from
+    #: Objects ever placed through this deployment (``None`` in
+    #: manifests predating writable sharding; resolved via
+    #: :attr:`effective_placement_epoch`). Round-robin write routing
+    #: continues the position sequence from here.
+    placement_epoch: int | None = None
 
     @property
     def total_objects(self) -> int:
+        """Objects across all shards (sum of the recorded counts)."""
         return sum(s.objects for s in self.shards)
+
+    @property
+    def effective_placement_epoch(self) -> int:
+        """The recorded placement epoch, defaulting to the object count
+        for manifests written before writable sharding existed (correct
+        for any manifest that never served deletes)."""
+        return (
+            self.placement_epoch
+            if self.placement_epoch is not None
+            else self.total_objects
+        )
 
     def shard_paths(self) -> list[str | None]:
         """Absolute per-shard index paths (``None`` for empty shards)."""
@@ -152,22 +173,41 @@ class ShardManifest:
         ]
 
     def to_json(self) -> dict:
+        """The manifest's JSON document (what :meth:`save` writes)."""
         return {
             "format": "gausstree-shards",
             "version": _MANIFEST_VERSION,
             "policy": self.policy,
             "n_shards": self.n_shards,
             "sigma_rule": self.sigma_rule,
+            "placement_epoch": self.effective_placement_epoch,
             "shards": [
                 {"path": s.path, "objects": s.objects} for s in self.shards
             ],
         }
 
     def save(self, path) -> str:
+        """Write the manifest JSON to ``path``; returns the path.
+
+        Atomic (write-to-sibling + rename): writable sharded sessions
+        rewrite the manifest on *every* commit, so a crash mid-rewrite
+        must never leave a torn manifest behind — the shard indexes
+        would be intact but the deployment unopenable.
+        """
         path = os.fspath(path)
-        with open(path, "w", encoding="utf-8") as f:
-            json.dump(self.to_json(), f, indent=2)
-            f.write("\n")
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        tmp_path = os.path.join(
+            directory, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+        )
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as f:
+                json.dump(self.to_json(), f, indent=2)
+                f.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
         return path
 
 
@@ -206,12 +246,14 @@ def load_manifest(path) -> ShardManifest:
             ShardInfo(path=s["path"], objects=int(s["objects"]))
             for s in data["shards"]
         )
+        raw_epoch = data.get("placement_epoch")
         manifest = ShardManifest(
             policy=str(data["policy"]),
             n_shards=int(data["n_shards"]),
             sigma_rule=str(data["sigma_rule"]),
             shards=shards,
             source_path=path,
+            placement_epoch=None if raw_epoch is None else int(raw_epoch),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ClusterError(
@@ -279,6 +321,7 @@ def build_shards(
         ),
         shards=tuple(infos),
         source_path=None,
+        placement_epoch=len(db),
     )
     manifest_path = out_prefix + MANIFEST_SUFFIX
     manifest.save(manifest_path)

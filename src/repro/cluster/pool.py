@@ -96,6 +96,7 @@ class SerialPool:
         return session
 
     def run(self, tasks: Sequence[tuple[int, Any]]) -> list[Any]:
+        """Run shard tasks one after another; results in task order."""
         if self._closed:
             raise ClusterError("worker pool is closed")
         results = []
@@ -112,6 +113,7 @@ class SerialPool:
         return results
 
     def close(self) -> None:
+        """Close every cached shard session (writable ones checkpoint)."""
         self._closed = True
         sessions, self._sessions = self._sessions, {}
         for session in sessions.values():
@@ -218,6 +220,8 @@ class ProcessPool:
                 ) from None
 
     def run(self, tasks: Sequence[tuple[int, Any]]) -> list[Any]:
+        """Submit shard tasks to the worker processes; results in task
+        order. Worker failures surface as :class:`ClusterError`."""
         if self._closed:
             raise ClusterError("worker pool is closed")
         executor = self._ensure_executor()
@@ -252,6 +256,7 @@ class ProcessPool:
         return results
 
     def close(self) -> None:
+        """Shut the worker processes down (cancelling queued tasks)."""
         self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)

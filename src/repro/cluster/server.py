@@ -1,26 +1,40 @@
-"""``repro serve`` — a concurrent JSON query server over any Session.
+"""``repro serve`` — a concurrent JSON query server over a session pool.
 
 A stdlib-only :class:`http.server.ThreadingHTTPServer` exposing one
-session (single-backend or sharded) to network clients:
+*primary* session — plus optional interchangeable replicas — to network
+clients:
 
 ``POST /query``
     Body ``{"queries": [spec, ...]}`` (or one bare spec object) in the
     wire format of :mod:`repro.cluster.wire`; answers with per-query
     match lists, the merged stats and — for sharded sessions — the
-    per-shard provenance breakdown.
+    per-shard provenance breakdown. Read specs only (write specs are
+    routed through ``POST /insert`` so they serialize on the writer).
+``POST /insert``
+    Body ``{"vectors": [{"mu": .., "sigma": .., "key": ..}, ...]}``;
+    applies the batch through the primary session's ``insert_many``
+    (group commit / placement routing) and answers ``{"inserted": n,
+    "objects": total}``. Requires the primary session to be writable
+    (403 otherwise). Writes always serialize on the primary slot.
 ``GET /healthz``
     Liveness: backend name, object count, uptime.
 ``GET /stats``
-    Cumulative serving counters (batches, queries per kind, pages,
-    refinements) since startup.
+    Cumulative serving counters (batches, queries per kind, inserts,
+    pages, refinements) plus the per-session-pool utilisation snapshot
+    (see :class:`SessionPool`) since startup.
 
-Handler threads give concurrent clients overlapped network IO; query
-*execution* is serialised through one lock because backends share
-mutable page-buffer state. That lock is held only around
-``execute_many``, and a sharded session spends its time fanned out in
-pool workers — so with a process pool, shard work from one request
-overlaps the HTTP plumbing of the next. True multi-request execution
-concurrency is the async/group-commit work the ROADMAP tracks.
+Concurrency model: handler threads always overlapped on network IO;
+since the session pool replaced the old single execution lock, query
+*execution* overlaps too — each request checks a free session out of
+the pool and runs on it without any global lock. Sessions of a pool
+must be interchangeable views of the same data (``repro serve
+--sessions N`` opens N sessions over the same index/manifest).  With a
+writable primary, replica sessions serve the last *checkpointed* state
+of the index (the single-writer WAL is private to the writer), so
+reads may trail writes until a flush — and because reader snapshot
+isolation does not exist yet, the writer must not *checkpoint* while
+replicas serve live (flush with the server stopped, or use one
+session). Both trade-offs are documented in ``docs/wire-protocol.md``.
 """
 
 from __future__ import annotations
@@ -29,19 +43,105 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.cluster.wire import (
     WireError,
+    pfv_from_json,
     result_to_json,
     spec_from_json,
 )
 from repro.engine.session import Session
+from repro.engine.spec import is_write_spec
 
-__all__ = ["QueryServer", "serve"]
+__all__ = ["QueryServer", "SessionPool", "serve"]
 
 #: Refuse request bodies above this size (64 MiB) — a malformed client
 #: should get a 413, not an allocation storm.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class SessionPool:
+    """A fixed set of interchangeable sessions handlers check out.
+
+    Slot 0 is the **primary** (the session the server was built with);
+    writes always acquire it, so the single-writer discipline of the
+    underlying index holds no matter how many read replicas serve
+    queries concurrently. Reads acquire any free slot (lowest free slot
+    first, keeping the primary's caches hot), blocking while all slots
+    are busy.
+
+    The pool keeps its own utilisation counters — acquires, waits
+    (acquires that had to block), in-use high-water mark and per-slot
+    batch counts — surfaced by ``GET /stats`` under
+    ``"session_pool"``.
+    """
+
+    def __init__(self, sessions: list[Session]) -> None:
+        if not sessions:
+            raise ValueError("a session pool needs at least one session")
+        self._sessions = list(sessions)
+        self._free = set(range(len(self._sessions)))
+        self._cond = threading.Condition()
+        self.acquires = 0
+        self.waits = 0
+        self.peak_in_use = 0
+        self._per_slot_batches = [0] * len(self._sessions)
+
+    def __len__(self) -> int:
+        """Number of sessions in the pool."""
+        return len(self._sessions)
+
+    @property
+    def primary(self) -> Session:
+        """Slot 0 — the session writes serialize on."""
+        return self._sessions[0]
+
+    def acquire(self, slot: int | None = None) -> tuple[int, Session]:
+        """Check out a free session (a specific slot if given), blocking
+        until one frees up; returns ``(slot, session)``."""
+        with self._cond:
+            self.acquires += 1
+
+            def available() -> bool:
+                return (slot in self._free) if slot is not None else bool(
+                    self._free
+                )
+
+            if not available():
+                self.waits += 1
+                while not available():
+                    self._cond.wait()
+            taken = slot if slot is not None else min(self._free)
+            self._free.discard(taken)
+            in_use = len(self._sessions) - len(self._free)
+            self.peak_in_use = max(self.peak_in_use, in_use)
+            self._per_slot_batches[taken] += 1
+            return taken, self._sessions[taken]
+
+    def release(self, slot: int) -> None:
+        """Return a checked-out session to the pool."""
+        with self._cond:
+            self._free.add(slot)
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict:
+        """Utilisation counters for ``GET /stats``."""
+        with self._cond:
+            return {
+                "size": len(self._sessions),
+                "in_use": len(self._sessions) - len(self._free),
+                "peak_in_use": self.peak_in_use,
+                "acquires": self.acquires,
+                "waits": self.waits,
+                "batches_per_session": list(self._per_slot_batches),
+            }
+
+    def close_replicas(self) -> None:
+        """Close every pooled session except the primary (which the
+        caller owns and closes itself)."""
+        for session in self._sessions[1:]:
+            session.close()
 
 
 class _ServingStats:
@@ -54,6 +154,8 @@ class _ServingStats:
         self.queries = 0
         self.by_kind: dict[str, int] = {}
         self.errors = 0
+        self.inserts = 0
+        self.insert_batches = 0
         self.pages_accessed = 0
         self.objects_refined = 0
         self.execute_seconds = 0.0
@@ -68,6 +170,12 @@ class _ServingStats:
             self.objects_refined += stats.objects_refined
             self.execute_seconds += elapsed
 
+    def record_inserts(self, count: int, elapsed: float) -> None:
+        with self._lock:
+            self.insert_batches += 1
+            self.inserts += count
+            self.execute_seconds += elapsed
+
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
@@ -80,6 +188,8 @@ class _ServingStats:
                 "queries": self.queries,
                 "queries_by_kind": dict(self.by_kind),
                 "errors": self.errors,
+                "inserts": self.inserts,
+                "insert_batches": self.insert_batches,
                 "pages_accessed": self.pages_accessed,
                 "objects_refined": self.objects_refined,
                 "execute_seconds": round(self.execute_seconds, 4),
@@ -131,14 +241,14 @@ class _Handler(BaseHTTPRequestHandler):
             payload = qs.stats.snapshot()
             payload["backend"] = qs.session.backend_name
             payload["objects"] = len(qs.session)
+            payload["session_pool"] = qs.pool.snapshot()
             self._send_json(200, payload)
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/query":
-            self._send_error_json(404, f"unknown path {self.path!r}")
-            return
+    def _read_json_body(self):
+        """Read and parse the request body; sends the error response and
+        returns ``None`` on anything malformed."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -147,21 +257,34 @@ class _Handler(BaseHTTPRequestHandler):
             # the *next* request line — so drop the connection instead.
             self.close_connection = True
             self._send_error_json(400, "bad Content-Length")
-            return
+            return None
         if length <= 0:
             self.close_connection = True
             self._send_error_json(400, "empty request body")
-            return
+            return None
         if length > MAX_BODY_BYTES:
             self.close_connection = True
             self._send_error_json(
                 413, f"request body over {MAX_BODY_BYTES} bytes"
             )
-            return
+            return None
         try:
-            data = json.loads(self.rfile.read(length).decode("utf-8"))
+            return json.loads(self.rfile.read(length).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, f"request body is not JSON: {exc}")
+            return None
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/query":
+            self._do_query()
+        elif self.path == "/insert":
+            self._do_insert()
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def _do_query(self) -> None:
+        data = self._read_json_body()
+        if data is None:
             return
         try:
             if isinstance(data, dict) and "queries" in data:
@@ -177,26 +300,102 @@ class _Handler(BaseHTTPRequestHandler):
         if not specs:
             self._send_error_json(400, "no queries in request")
             return
+        if any(is_write_spec(spec) for spec in specs):
+            self._send_error_json(
+                400,
+                "write specs are not served by /query; POST the vectors "
+                "to /insert (writes serialize on the primary session)",
+            )
+            return
         qs = self.query_server
+        slot = None
         try:
             started = time.perf_counter()
-            with qs.execute_lock:
-                rs = qs.session.execute_many(specs)
+            slot, session = qs.pool.acquire()
+            rs = session.execute_many(specs)
             elapsed = time.perf_counter() - started
         except Exception as exc:  # surface, don't kill the handler thread
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
             return
+        finally:
+            if slot is not None:
+                qs.pool.release(slot)
         qs.stats.record(specs, rs.stats, elapsed)
         payload = result_to_json(rs)
         payload["execute_seconds"] = round(elapsed, 6)
         self._send_json(200, payload)
 
+    def _do_insert(self) -> None:
+        data = self._read_json_body()
+        if data is None:
+            return
+        try:
+            if not isinstance(data, dict) or "vectors" not in data:
+                raise WireError(
+                    'insert body must be {"vectors": [pfv, ...]}'
+                )
+            raw = data["vectors"]
+            if not isinstance(raw, list):
+                raise WireError('"vectors" must be a list of pfv objects')
+            vectors = [pfv_from_json(item) for item in raw]
+        except WireError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if not vectors:
+            self._send_error_json(400, "no vectors in request")
+            return
+        qs = self.query_server
+        # Writes always serialize on the primary slot: single-writer
+        # discipline, whatever the pool size.
+        slot = None
+        try:
+            started = time.perf_counter()
+            slot, session = qs.pool.acquire(slot=0)
+            if not session.writable:
+                self._send_error_json(
+                    403,
+                    "server session is read-only; restart `repro serve` "
+                    "with --writable to accept inserts",
+                )
+                return
+            inserted = session.insert_many(vectors)
+            objects = len(session)
+            elapsed = time.perf_counter() - started
+        except Exception as exc:  # surface, don't kill the handler thread
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        finally:
+            if slot is not None:
+                qs.pool.release(slot)
+        qs.stats.record_inserts(inserted, elapsed)
+        self._send_json(
+            200,
+            {
+                "inserted": inserted,
+                "objects": objects,
+                "execute_seconds": round(elapsed, 6),
+            },
+        )
+
 
 class QueryServer:
-    """A running (or startable) HTTP serving endpoint over one session.
+    """A running (or startable) HTTP serving endpoint over a session pool.
 
     ``port=0`` binds an ephemeral port (tests, examples); the bound
     address is available as :attr:`address` after :meth:`start`.
+
+    Parameters
+    ----------
+    session:
+        The primary session (pool slot 0). Writes — ``POST /insert`` —
+        always serialize on it.
+    session_factory:
+        Zero-argument callable returning one more session over the same
+        data; called ``pool_size - 1`` times at :meth:`start` to fill
+        the pool with read replicas. Required when ``pool_size > 1``.
+    pool_size:
+        Total sessions serving queries concurrently (default 1 — the
+        primary alone, equivalent to the old single-lock behaviour).
     """
 
     def __init__(
@@ -206,13 +405,26 @@ class QueryServer:
         port: int = 8631,
         *,
         verbose: bool = False,
+        session_factory: Callable[[], Session] | None = None,
+        pool_size: int = 1,
     ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if pool_size > 1 and session_factory is None:
+            raise ValueError(
+                "pool_size > 1 needs a session_factory to open the "
+                "replica sessions"
+            )
         self.session = session
         self.host = host
         self.port = port
         self.verbose = verbose
+        self.session_factory = session_factory
+        self.pool_size = pool_size
         self.stats = _ServingStats()
-        self.execute_lock = threading.Lock()
+        #: Filled at :meth:`start` (replicas are opened there, not in
+        #: the constructor, so a never-started server opens nothing).
+        self.pool = SessionPool([session])
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._serving = False
@@ -226,13 +438,20 @@ class QueryServer:
 
     @property
     def url(self) -> str:
+        """The endpoint's base URL (call :meth:`start` first)."""
         host, port = self.address
         return f"http://{host}:{port}"
 
     def start(self) -> "QueryServer":
-        """Bind the listening socket (daemon threads serve requests)."""
+        """Bind the listening socket and fill the session pool (daemon
+        threads serve requests)."""
         if self._httpd is not None:
             raise RuntimeError("server is already started")
+        if len(self.pool) < self.pool_size:
+            sessions = [self.session] + [
+                self.session_factory() for _ in range(self.pool_size - 1)
+            ]
+            self.pool = SessionPool(sessions)
         handler = type(
             "_BoundHandler", (_Handler,), {"query_server": self}
         )
@@ -263,7 +482,8 @@ class QueryServer:
         return self
 
     def shutdown(self) -> None:
-        """Stop serving and release the socket (session stays open)."""
+        """Stop serving and release the socket. Replica sessions the
+        server opened are closed; the caller's primary stays open."""
         if self._httpd is not None:
             # BaseServer.shutdown() waits for a serve_forever() loop to
             # acknowledge; if none ever ran, it would wait forever —
@@ -276,6 +496,11 @@ class QueryServer:
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
+        self.pool.close_replicas()
+        # A restarted server must not hand queries to the replicas just
+        # closed: shrink the pool back to the primary so the next
+        # start() opens fresh replicas through the factory.
+        self.pool = SessionPool([self.session])
 
     def __enter__(self) -> "QueryServer":
         if self._httpd is None:
@@ -292,9 +517,18 @@ def serve(
     port: int = 8631,
     *,
     verbose: bool = False,
+    session_factory: Callable[[], Session] | None = None,
+    pool_size: int = 1,
 ) -> QueryServer:
     """Start serving ``session`` in background threads; returns the
-    running :class:`QueryServer` (use as a context manager to stop)."""
+    running :class:`QueryServer` (use as a context manager to stop).
+    ``session_factory`` + ``pool_size`` open extra read-replica
+    sessions so concurrent requests execute in parallel."""
     return QueryServer(
-        session, host, port, verbose=verbose
+        session,
+        host,
+        port,
+        verbose=verbose,
+        session_factory=session_factory,
+        pool_size=pool_size,
     ).serve_in_background()

@@ -11,10 +11,20 @@ A spec is one JSON object::
     {"kind": "tiq",  "mu": [..], "sigma": [..], "tau": 0.3, "eps": 0.0}
     {"kind": "rank", "mu": [..], "sigma": [..], "k": 5, "min_mass": 0.95}
 
+Write specs (served by ``POST /insert`` and writable sessions)::
+
+    {"kind": "insert", "mu": [..], "sigma": [..], "key": "O7"}
+    {"kind": "delete", "mu": [..], "sigma": [..], "key": "O7"}
+
+Keys may be null, booleans, numbers or strings directly; tuple keys —
+the only other persistable kind — encode as ``{"tuple": [..]}`` (JSON
+has no tuple type, and a bare list would decode as an unhashable key).
+
 A JSONL workload file holds one spec per line (blank lines ignored). A
 match serializes as ``{"key": .., "probability": .., "log_density": ..}``
 — the identification answer, not the stored vector (keys that are not
-JSON types are stringified, flagged by ``"key_repr": true``).
+JSON types are stringified, flagged by ``"key_repr": true``). The full
+endpoint/error contract is documented in ``docs/wire-protocol.md``.
 """
 
 from __future__ import annotations
@@ -25,12 +35,14 @@ from typing import IO, Iterable
 from repro.core.pfv import PFV
 from repro.core.queries import Match
 from repro.engine.result import ResultSet
-from repro.engine.spec import MLIQ, TIQ, Query, RankQuery
+from repro.engine.spec import MLIQ, TIQ, Delete, Insert, Query, RankQuery, Spec
 
 __all__ = [
     "WireError",
     "spec_to_json",
     "spec_from_json",
+    "pfv_to_json",
+    "pfv_from_json",
     "match_to_json",
     "result_to_json",
     "load_jsonl",
@@ -42,12 +54,67 @@ class WireError(ValueError):
     """A payload that does not parse as the documented wire format."""
 
 
-def spec_to_json(spec: Query) -> dict:
-    """Serialize one engine spec to its wire dict."""
+def _key_to_json(key):
+    """Wire encoding of an application key (tuples become
+    ``{"tuple": [..]}`` — JSON has no tuple type)."""
+    if key is None or isinstance(key, (bool, int, float, str)):
+        return key
+    if isinstance(key, tuple):
+        return {"tuple": [_key_to_json(k) for k in key]}
+    raise WireError(
+        f"cannot serialize key {key!r} of type {type(key).__name__}; "
+        "supported: None, bool, int, float, str and tuples thereof"
+    )
+
+
+def _key_from_json(data):
+    """Inverse of :func:`_key_to_json` (validating)."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, dict) and set(data) == {"tuple"}:
+        items = data["tuple"]
+        if not isinstance(items, list):
+            raise WireError('"tuple" key encoding must hold a list')
+        return tuple(_key_from_json(k) for k in items)
+    raise WireError(
+        f"bad wire key {data!r} (expected a JSON scalar or "
+        '{"tuple": [..]})'
+    )
+
+
+def pfv_to_json(v: PFV) -> dict:
+    """Serialize one stored pfv (mu, sigma and its application key)."""
+    payload = {
+        "mu": [float(x) for x in v.mu],
+        "sigma": [float(x) for x in v.sigma],
+    }
+    if v.key is not None:
+        payload["key"] = _key_to_json(v.key)
+    return payload
+
+
+def pfv_from_json(data: object) -> PFV:
+    """Parse one wire pfv dict (mu/sigma required, key optional)."""
+    if not isinstance(data, dict):
+        raise WireError(f"a pfv must be a JSON object, got {data!r}")
+    try:
+        return PFV(
+            data["mu"], data["sigma"], key=_key_from_json(data.get("key"))
+        )
+    except KeyError as exc:
+        raise WireError(f"pfv is missing field {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"bad pfv: {exc}") from exc
+
+
+def spec_to_json(spec: Spec) -> dict:
+    """Serialize one engine spec (read or write) to its wire dict."""
     base = {
         "kind": spec.kind,
-        "mu": [float(x) for x in spec.q.mu],
-        "sigma": [float(x) for x in spec.q.sigma],
+        "mu": [float(x) for x in (spec.q if hasattr(spec, "q") else spec.v).mu],
+        "sigma": [
+            float(x) for x in (spec.q if hasattr(spec, "q") else spec.v).sigma
+        ],
     }
     if isinstance(spec, MLIQ):
         base["k"] = spec.k
@@ -59,16 +126,24 @@ def spec_to_json(spec: Query) -> dict:
         base["k"] = spec.k
         if spec.min_mass is not None:
             base["min_mass"] = spec.min_mass
+    elif isinstance(spec, (Insert, Delete)):
+        if spec.v.key is not None:
+            base["key"] = _key_to_json(spec.v.key)
     else:  # pragma: no cover - spec union is closed today
         raise WireError(f"cannot serialize spec {spec!r}")
     return base
 
 
-def spec_from_json(data: object) -> Query:
+def spec_from_json(data: object) -> Spec:
     """Parse one wire dict back into an engine spec (validating)."""
     if not isinstance(data, dict):
         raise WireError(f"query spec must be a JSON object, got {data!r}")
     kind = data.get("kind")
+    if kind in ("insert", "delete"):
+        v = pfv_from_json(
+            {k: data[k] for k in ("mu", "sigma", "key") if k in data}
+        )
+        return Insert(v) if kind == "insert" else Delete(v)
     try:
         q = PFV(data["mu"], data["sigma"])
     except KeyError as exc:
@@ -92,7 +167,8 @@ def spec_from_json(data: object) -> Query:
     except (TypeError, ValueError) as exc:
         raise WireError(f"bad {kind} parameters: {exc}") from exc
     raise WireError(
-        f"unknown query kind {kind!r} (expected mliq, tiq or rank)"
+        f"unknown query kind {kind!r} "
+        "(expected mliq, tiq, rank, insert or delete)"
     )
 
 

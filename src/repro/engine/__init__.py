@@ -8,9 +8,11 @@ This package makes that a literal API:
   pfv, or a saved index file, through any registered backend
   (``tree``, ``disk``, ``seqscan``, ``xtree`` built in);
 * sessions execute the declarative specs :class:`MLIQ`, :class:`TIQ`
-  and :class:`RankQuery` via ``execute`` / ``execute_many``, always
-  returning a :class:`ResultSet` (matches + merged stats + backend
-  provenance), and ``explain`` describes the plan without running it;
+  and :class:`RankQuery` — plus the write specs :class:`Insert` and
+  :class:`Delete` on ``writable`` backends — via ``execute`` /
+  ``execute_many``, always returning a :class:`ResultSet` (matches +
+  merged stats + backend provenance), and ``explain`` describes the
+  plan without running it;
 * new access methods join by implementing the capability-declaring
   :class:`Backend` protocol and calling :func:`register_backend`.
 
@@ -30,7 +32,16 @@ from repro.engine.backends import (
 from repro.engine.planner import Plan
 from repro.engine.result import ResultSet
 from repro.engine.session import Session, connect, session_for
-from repro.engine.spec import MLIQ, TIQ, Query, RankQuery
+from repro.engine.spec import (
+    MLIQ,
+    TIQ,
+    Delete,
+    Insert,
+    Query,
+    RankQuery,
+    Spec,
+    WriteSpec,
+)
 
 __all__ = [
     "connect",
@@ -39,7 +50,11 @@ __all__ = [
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "Insert",
+    "Delete",
     "Query",
+    "WriteSpec",
+    "Spec",
     "ResultSet",
     "Plan",
     "Backend",

@@ -83,15 +83,23 @@ class Backend(Protocol):
 
     def run_mliq(
         self, specs: Sequence[MLIQ]
-    ) -> tuple[list[list[Match]], QueryStats]: ...
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of MLIQ specs: per-spec match lists + stats."""
+        ...
 
     def run_tiq(
         self, specs: Sequence[TIQ]
-    ) -> tuple[list[list[Match]], QueryStats]: ...
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of TIQ specs: per-spec match lists + stats."""
+        ...
 
-    def count(self) -> int: ...
+    def count(self) -> int:
+        """Number of objects the backend serves."""
+        ...
 
-    def estimate(self, kind: str, specs: Sequence) -> PlanEstimate: ...
+    def estimate(self, kind: str, specs: Sequence) -> PlanEstimate:
+        """Planner cost guess for one kind's sub-batch."""
+        ...
 
 
 class BackendAdapter:
@@ -111,6 +119,8 @@ class BackendAdapter:
     def run_mliq(
         self, specs: Sequence[MLIQ]
     ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of MLIQ specs (normalised edge cases applied
+        here; well-posed queries delegate to ``_mliq_batch``)."""
         self._require("mliq")
         results: list[list[Match]] = [[] for _ in specs]
         if self.count() == 0:
@@ -126,6 +136,8 @@ class BackendAdapter:
     def run_tiq(
         self, specs: Sequence[TIQ]
     ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of TIQ specs (normalised edge cases applied
+        here; well-posed queries delegate to ``_tiq_batch``)."""
         self._require("tiq")
         if self.count() == 0 or not specs:
             return [[] for _ in specs], QueryStats()
@@ -151,26 +163,42 @@ class BackendAdapter:
         raise NotImplementedError
 
     def count(self) -> int:
+        """Number of objects the backend serves."""
         raise NotImplementedError
 
     def estimate(self, kind: str, specs: Sequence) -> PlanEstimate:
+        """Planner cost guess for one kind's sub-batch."""
         raise NotImplementedError
 
     # -- optional write surface ----------------------------------------------
 
     def insert(self, v: PFV) -> None:
+        """Insert one pfv (writable backends override)."""
         raise CapabilityError(f"backend {self.name!r} is not writable")
+
+    def insert_many(self, vectors: Iterable[PFV]) -> int:
+        """Insert a batch; default loops :meth:`insert` (backends with a
+        native group-commit path override). Returns the number
+        inserted."""
+        count = 0
+        for v in vectors:
+            self.insert(v)
+            count += 1
+        return count
 
     def delete(self, v: PFV) -> bool:
+        """Delete one pfv, reporting whether it was found (writable
+        backends override)."""
         raise CapabilityError(f"backend {self.name!r} is not writable")
 
-    def flush(self) -> None:  # durability checkpoint; default no-op
-        pass
+    def flush(self) -> None:
+        """Durability checkpoint (default: no-op)."""
 
-    def close(self) -> None:  # release file handles; default no-op
-        pass
+    def close(self) -> None:
+        """Release file handles / worker pools (default: no-op)."""
 
     def cold_start(self) -> None:
+        """Drop the page cache (evaluation protocol hook)."""
         store = getattr(self, "store", None)
         if store is not None:
             store.cold_start()
@@ -282,14 +310,24 @@ class GaussTreeBackend(BackendAdapter):
     # -- writes --------------------------------------------------------------
 
     def insert(self, v: PFV) -> None:
+        """Insert one pfv (durable per operation on WAL-backed trees)."""
         self._require("writable")
         self.tree.insert(v)
 
+    def insert_many(self, vectors: Iterable[PFV]) -> int:
+        """Insert a batch as one group-commit WAL transaction (single
+        fsync, page images deduplicated; all-or-nothing recovery)."""
+        self._require("writable")
+        return self.tree.insert_many(vectors)
+
     def delete(self, v: PFV) -> bool:
+        """Delete one pfv, reporting whether it was found."""
         self._require("writable")
         return self.tree.delete(v)
 
     def flush(self) -> None:
+        """Checkpoint the tree's WAL into the main file (no-op for
+        in-memory trees)."""
         self.tree.flush()
 
     def close(self) -> None:
@@ -338,6 +376,8 @@ class _EmptyTreeBackend(BackendAdapter):
         return PlanEstimate(0, 0.0, "empty index: no pages touched")
 
     def insert(self, v: PFV) -> None:
+        """First insert builds the real tree (fixing ``d``); later ones
+        delegate to it."""
         if self._promoted is None:
             self._promoted = _tree_backend_from_db(
                 PFVDatabase([v], sigma_rule=self._sigma_rule),
@@ -347,7 +387,23 @@ class _EmptyTreeBackend(BackendAdapter):
         else:
             self._promoted.insert(v)
 
+    def insert_many(self, vectors: Iterable[PFV]) -> int:
+        """Promote on the whole batch at once (bulk load), or delegate
+        to the promoted tree's group-commit batch insert."""
+        batch = list(vectors)
+        if not batch:
+            return 0
+        if self._promoted is None:
+            self._promoted = _tree_backend_from_db(
+                PFVDatabase(batch, sigma_rule=self._sigma_rule),
+                self.name,
+                self._options,
+            )
+            return len(batch)
+        return self._promoted.insert_many(batch)
+
     def delete(self, v: PFV) -> bool:
+        """Delete from the promoted tree (always False while empty)."""
         return False if self._promoted is None else self._promoted.delete(v)
 
     def database(self) -> PFVDatabase:

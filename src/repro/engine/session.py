@@ -32,7 +32,7 @@ from repro.engine.backends import (
 )
 from repro.engine.planner import Plan, build_plan
 from repro.engine.result import ResultSet
-from repro.engine.spec import Query, query_kind
+from repro.engine.spec import Query, Spec, is_write_spec, spec_kind
 
 __all__ = ["Session", "connect", "session_for"]
 
@@ -58,64 +58,63 @@ class Session:
 
     @property
     def capabilities(self) -> frozenset[str]:
+        """The connected backend's declared capability strings."""
         return self._backend.capabilities
 
     @property
     def writable(self) -> bool:
+        """Whether the session accepts ``insert``/``delete`` (the
+        backend declares the ``"writable"`` capability)."""
         return "writable" in self._backend.capabilities
 
     def __len__(self) -> int:
+        """Number of objects in the connected database/index."""
         return self._backend.count()
 
     # -- query execution -----------------------------------------------------
 
-    def execute(self, query: Query) -> ResultSet:
-        """Execute one spec; ``ResultSet.matches`` is the answer."""
+    def execute(self, query: Spec) -> ResultSet:
+        """Execute one spec; ``ResultSet.matches`` is the answer (the
+        empty list for the write specs ``Insert``/``Delete``)."""
         return self.execute_many([query])
 
-    def execute_many(self, queries: Iterable[Query]) -> ResultSet:
-        """Execute a batch (mixed kinds allowed) in one call.
+    def execute_many(self, queries: Iterable[Spec]) -> ResultSet:
+        """Execute a batch (mixed kinds allowed, writes included).
 
         Queries of the same kind share the backend's native batch entry
         point when it declares the ``"batch"`` capability (one
         buffer-warm pass); results come back in input order with one
         merged :class:`~repro.core.queries.QueryStats`.
+
+        Write specs (:class:`~repro.engine.spec.Insert` /
+        :class:`~repro.engine.spec.Delete`; ``"writable"`` capability
+        required) may interleave with queries. The batch executes as
+        ordered *runs*: every query observes the writes that precede it
+        in the batch and none that follow, and each maximal run of
+        consecutive ``Insert`` specs is applied through the backend's
+        ``insert_many`` — one group-commit WAL transaction on durable
+        trees. Write specs occupy their result slot with the empty
+        match list.
         """
         self._check_open()
         specs = list(queries)
         for spec in specs:
-            query_kind(spec)  # fail fast on non-spec inputs
+            spec_kind(spec)  # fail fast on non-spec inputs
         per_query: list[list[Match] | None] = [None] * len(specs)
         total = QueryStats()
-
-        groups: dict[str, list[int]] = {}
-        for i, spec in enumerate(specs):
-            groups.setdefault(query_kind(spec), []).append(i)
 
         # Composite backends (e.g. the sharded fan-out) expose a
         # per-component stats breakdown; attach it as provenance.
         take = getattr(self._backend, "take_provenance", None)
         try:
-            for kind, indices in groups.items():
-                subset = [specs[i] for i in indices]
-                if kind == "mliq":
-                    answered, stats = self._backend.run_mliq(subset)
-                elif kind == "tiq":
-                    answered, stats = self._backend.run_tiq(subset)
-                else:  # rank: lower to mliq, then apply the mass cut
-                    answered, stats = self._backend.run_mliq(
-                        [s.lower() for s in subset]
-                    )
-                    answered = [
-                        _mass_cut(matches, spec.min_mass)
-                        for matches, spec in zip(answered, subset)
-                    ]
-                for i, matches in zip(indices, answered):
-                    per_query[i] = matches
-                total.merge(stats)
+            for write_run, indices in _ordered_runs(specs):
+                if write_run:
+                    self._apply_write_run(specs, indices, per_query)
+                else:
+                    self._run_queries(specs, indices, per_query, total)
         except BaseException:
-            # A kind-group that failed after an earlier group succeeded
-            # must not leak the partial breakdown into the next result.
+            # A run that failed after an earlier run succeeded must not
+            # leak the partial breakdown into the next result.
             if take is not None:
                 take()
             raise
@@ -127,17 +126,76 @@ class Session:
             provenance=take() if take is not None else (),
         )
 
+    def _run_queries(
+        self,
+        specs: list,
+        indices: list[int],
+        per_query: list,
+        total: QueryStats,
+    ) -> None:
+        """Execute one read run, grouping same-kind specs into shared
+        backend batches."""
+        groups: dict[str, list[int]] = {}
+        for i in indices:
+            groups.setdefault(spec_kind(specs[i]), []).append(i)
+        for kind, group in groups.items():
+            subset = [specs[i] for i in group]
+            if kind == "mliq":
+                answered, stats = self._backend.run_mliq(subset)
+            elif kind == "tiq":
+                answered, stats = self._backend.run_tiq(subset)
+            else:  # rank: lower to mliq, then apply the mass cut
+                answered, stats = self._backend.run_mliq(
+                    [s.lower() for s in subset]
+                )
+                answered = [
+                    _mass_cut(matches, spec.min_mass)
+                    for matches, spec in zip(answered, subset)
+                ]
+            for i, matches in zip(group, answered):
+                per_query[i] = matches
+            total.merge(stats)
+
+    def _apply_write_run(
+        self, specs: list, indices: list[int], per_query: list
+    ) -> None:
+        """Apply one write run in order; consecutive inserts batch into
+        the backend's ``insert_many`` (group commit where supported)."""
+        pending_inserts: list[PFV] = []
+
+        def flush_inserts() -> None:
+            if pending_inserts:
+                self._backend.insert_many(list(pending_inserts))
+                pending_inserts.clear()
+
+        for i in indices:
+            spec = specs[i]
+            if spec.kind == "insert":
+                pending_inserts.append(spec.v)
+            else:  # delete
+                flush_inserts()
+                self._backend.delete(spec.v)
+            per_query[i] = []
+        flush_inserts()
+
     def explain(self, query: Query | Sequence[Query]) -> Plan:
         """Describe the execution of a spec (or batch) without running it.
 
         Accepts the same input shapes as :meth:`execute` /
         :meth:`execute_many`: one spec, or any iterable of specs.
+        Read specs only — write specs execute as direct routed
+        mutations and have no query plan.
         """
         self._check_open()
         if hasattr(query, "kind"):  # a single spec (specs are not iterable)
             queries = [query]
         else:
             queries = list(query)
+        if any(is_write_spec(q) for q in queries if hasattr(q, "kind")):
+            raise TypeError(
+                "explain() describes read queries; Insert/Delete specs "
+                "execute as direct routed mutations and have no plan"
+            )
         return build_plan(self._backend, queries)
 
     # -- data access ---------------------------------------------------------
@@ -155,6 +213,19 @@ class Session:
         per operation on WAL-backed disk sessions)."""
         self._check_open()
         self._backend.insert(v)
+
+    def insert_many(self, vectors: Iterable[PFV]) -> int:
+        """Insert a batch of pfv; returns how many were inserted.
+
+        On WAL-backed disk sessions the batch is one **group-commit**
+        transaction (single fsync, page images deduplicated across the
+        batch, recovery all-or-nothing); on a writable sharded session
+        each vector routes to its owning shard by the placement policy
+        and each shard's slice group-commits. Requires the
+        ``"writable"`` capability.
+        """
+        self._check_open()
+        return self._backend.insert_many(list(vectors))
 
     def delete(self, v: PFV) -> bool:
         """Delete one pfv; returns whether it was found."""
@@ -196,6 +267,20 @@ class Session:
             f"Session(backend={self._backend.name!r}, {state}, "
             f"capabilities={sorted(self._backend.capabilities)})"
         )
+
+
+def _ordered_runs(specs: list) -> list[tuple[bool, list[int]]]:
+    """Split a batch into maximal runs of (write specs | read specs),
+    preserving input order — the unit ``execute_many`` processes so that
+    each query sees exactly the writes that precede it."""
+    runs: list[tuple[bool, list[int]]] = []
+    for i, spec in enumerate(specs):
+        write = is_write_spec(spec)
+        if runs and runs[-1][0] == write:
+            runs[-1][1].append(i)
+        else:
+            runs.append((write, [i]))
+    return runs
 
 
 def _mass_cut(matches: list[Match], min_mass: float | None) -> list[Match]:

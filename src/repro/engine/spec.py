@@ -2,7 +2,7 @@
 
 One probabilistic query model is served by interchangeable access
 methods (the point of the paper), so the query *specification* must not
-know anything about execution. The three specs here are plain frozen
+know anything about execution. The specs here are plain frozen
 dataclasses; a :class:`~repro.engine.session.Session` routes them to
 whichever backend it was connected with, and
 :mod:`repro.engine.planner` describes how they will run.
@@ -20,6 +20,18 @@ whichever backend it was connected with, and
   ranking carries at least ``min_mass`` cumulative posterior mass — a
   "stop when the answer is probably complete" cut that MLIQ's fixed
   ``k`` cannot express.
+
+Write specs (capability-gated: the backend must declare ``"writable"``):
+
+* :class:`Insert` — add one pfv to the connected database/index.
+* :class:`Delete` — remove one pfv equal to the given one.
+
+A ``Session.execute_many`` batch may interleave write and read specs;
+it executes them **in input order** (a query sees every write earlier in
+the batch, none later), grouping consecutive inserts into one
+group-commit transaction on backends that support it. Write specs
+answer with the empty match list in the :class:`ResultSet` slot —
+they are acknowledged by position, not by matches.
 
 Normalised edge-case semantics (every backend conforms; the
 cross-backend parity property test enforces it):
@@ -48,7 +60,19 @@ from typing import Union
 from repro.core.pfv import PFV
 from repro.core.queries import MLIQuery, ThresholdQuery
 
-__all__ = ["MLIQ", "TIQ", "RankQuery", "Query", "query_kind"]
+__all__ = [
+    "MLIQ",
+    "TIQ",
+    "RankQuery",
+    "Insert",
+    "Delete",
+    "Query",
+    "WriteSpec",
+    "Spec",
+    "query_kind",
+    "spec_kind",
+    "is_write_spec",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +96,7 @@ class MLIQ:
 
     @property
     def kind(self) -> str:
+        """Dispatch kind of this spec (``"mliq"``)."""
         return "mliq"
 
     def lower(self) -> MLIQuery:
@@ -114,9 +139,11 @@ class TIQ:
 
     @property
     def kind(self) -> str:
+        """Dispatch kind of this spec (``"tiq"``)."""
         return "tiq"
 
     def lower(self) -> ThresholdQuery:
+        """The legacy spec this executes as on pre-engine backends."""
         return ThresholdQuery(self.q, self.tau)
 
 
@@ -146,6 +173,7 @@ class RankQuery:
 
     @property
     def kind(self) -> str:
+        """Dispatch kind of this spec (``"rank"``)."""
         return "rank"
 
     def lower(self) -> "MLIQ":
@@ -154,15 +182,76 @@ class RankQuery:
         return MLIQ(self.q, self.k)
 
 
+@dataclasses.dataclass(frozen=True)
+class Insert:
+    """Write spec: add one pfv to the connected database/index.
+
+    Requires the ``"writable"`` capability. Consecutive :class:`Insert`
+    specs in one ``execute_many`` batch are applied through the
+    backend's ``insert_many`` — on the WAL-backed disk tree that is a
+    single group-commit transaction (one fsync for the run), and on a
+    writable sharded session each insert routes to its owning shard by
+    the deployment's placement policy.
+    """
+
+    v: PFV
+
+    @property
+    def kind(self) -> str:
+        """Dispatch kind of this spec (``"insert"``)."""
+        return "insert"
+
+
+@dataclasses.dataclass(frozen=True)
+class Delete:
+    """Write spec: remove one pfv equal to ``v`` (no-op if absent).
+
+    Requires the ``"writable"`` capability. ``Session.delete`` is the
+    entry point that reports whether the object was found; inside an
+    ``execute_many`` batch the spec answers with the empty match list
+    either way.
+    """
+
+    v: PFV
+
+    @property
+    def kind(self) -> str:
+        """Dispatch kind of this spec (``"delete"``)."""
+        return "delete"
+
+
 Query = Union[MLIQ, TIQ, RankQuery]
+WriteSpec = Union[Insert, Delete]
+Spec = Union[Query, WriteSpec]
+
+_READ_KINDS = ("mliq", "tiq", "rank")
+_WRITE_KINDS = ("insert", "delete")
 
 
 def query_kind(query: Query) -> str:
-    """The dispatch kind of a spec; raises TypeError for non-specs."""
+    """The dispatch kind of a read spec; raises TypeError for non-specs
+    (including write specs — use :func:`spec_kind` to accept those)."""
     kind = getattr(query, "kind", None)
-    if kind not in ("mliq", "tiq", "rank"):
+    if kind not in _READ_KINDS:
         raise TypeError(
             f"not an engine query spec: {query!r} (expected MLIQ, TIQ or "
             "RankQuery; legacy MLIQuery/ThresholdQuery must be wrapped)"
         )
     return kind
+
+
+def spec_kind(spec: Spec) -> str:
+    """The dispatch kind of any spec, read or write; raises TypeError
+    for objects that are not engine specs."""
+    kind = getattr(spec, "kind", None)
+    if kind not in _READ_KINDS and kind not in _WRITE_KINDS:
+        raise TypeError(
+            f"not an engine spec: {spec!r} (expected MLIQ, TIQ, "
+            "RankQuery, Insert or Delete)"
+        )
+    return kind
+
+
+def is_write_spec(spec: Spec) -> bool:
+    """Whether ``spec`` mutates the database (Insert/Delete)."""
+    return spec_kind(spec) in _WRITE_KINDS

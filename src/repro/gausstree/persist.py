@@ -41,7 +41,10 @@ open, read-only. Keys may be ``None``, bools, ints, floats, strings or
 :mod:`repro.storage.wal` for the fsync ordering and
 :func:`recover_index` for the replay): every ``insert``/``delete``
 commits one WAL transaction holding the dirtied page images, appended
-keys and the new header; the main file is rewritten only at a checkpoint
+keys and the new header — and ``GaussTree.insert_many`` coalesces a
+whole batch into *one* such transaction (group commit: one fsync,
+page images deduplicated, recovery all-or-nothing per batch); the main
+file is rewritten only at a checkpoint
 (``tree.flush()`` / ``tree.close()``). Opening a file whose WAL holds
 committed transactions — a crashed writer — replays them first, so
 readers and writers always see the last committed state. Free pages from
@@ -77,6 +80,7 @@ from repro.storage.wal import (
     REC_KEYS,
     REC_META,
     REC_PAGE,
+    WALGroup,
     WriteAheadLog,
 )
 
@@ -786,9 +790,13 @@ class TreeWriter:
     # -- commit --------------------------------------------------------------
 
     def commit(self, dirty: set[Node]) -> None:
-        """Make one completed tree operation durable: a WAL transaction
-        of page images + appended keys + header meta, then install the
-        images into the store (buffer-dirty, write-back tracked)."""
+        """Make one completed tree operation — or a whole batch of them
+        sharing one dirty set — durable: a single WAL transaction of
+        page images + appended keys + header meta (built through
+        :class:`~repro.storage.wal.WALGroup`, so a batch pays one
+        ``COMMIT`` and one fsync and each dirtied page is logged once),
+        then install the images into the store (buffer-dirty,
+        write-back tracked)."""
         live = [n for n in dirty if self._attached(n)]
         live_leaf = next((n for n in live if n.is_leaf), None)
         if live_leaf is not None:
@@ -800,20 +808,16 @@ class TreeWriter:
             level = 0 if node.is_leaf else self.height - 1 - self._depth(node)
             images.append((node.page_id, self._encode(node, level)))
         new_keys = self.key_table.keys[self._logged_keys :]
+        group = WALGroup()
+        for pid, image in images:
+            group.add_page(pid, image)
+        if new_keys:
+            group.add_keys([_encode_key(k) for k in new_keys])
+        group.set_meta(self.header_page_image())
         self._ensure_clean_tail()
         start = self.wal.tell()
         try:
-            for pid, image in images:
-                self.wal.append_page(pid, image)
-            if new_keys:
-                self.wal.append(
-                    REC_KEYS,
-                    json.dumps([_encode_key(k) for k in new_keys]).encode(
-                        "utf-8"
-                    ),
-                )
-            self.wal.append(REC_META, self.header_page_image())
-            self.wal.commit()
+            group.commit_to(self.wal)
         except BaseException:
             # A torn transaction must not be sealed by the *next* commit:
             # roll the WAL back to the transaction start. If the rollback

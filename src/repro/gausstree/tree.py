@@ -222,8 +222,42 @@ class GaussTree:
             self._handle_overflow(leaf)
 
     def extend(self, vectors: Iterable[PFV]) -> None:
+        """Insert vectors one by one (each durable per operation on a
+        writable disk tree; use :meth:`insert_many` for group commit)."""
         for v in vectors:
             self.insert(v)
+
+    def insert_many(self, vectors: Iterable[PFV]) -> int:
+        """Insert a batch of pfv as **one group-commit transaction**.
+
+        On a writable disk-opened tree the whole batch is sealed by a
+        single WAL ``COMMIT`` and a single fsync, and every page the
+        batch dirtied is logged once (latest image) instead of once per
+        insert — amortising the full-page-image cost that makes per-op
+        :meth:`insert` ~30 KB of WAL per call. Durability is
+        all-or-nothing: after a crash either every insert of the batch
+        is recovered or none is (never a partial batch), which the
+        crash-injection harness asserts. On an in-memory tree this is
+        simply a loop. Returns the number of vectors inserted.
+        """
+        self._check_writable()
+        batch = list(vectors)
+        for v in batch:  # fail fast *before* mutating anything
+            if v.dims != self.dims:
+                raise ValueError(
+                    f"vector is {v.dims}-d, tree is {self.dims}-d"
+                )
+        if self._writer is not None:
+            from repro.gausstree.persist import _encode_key
+
+            for v in batch:
+                _encode_key(v.key)
+        for v in batch:
+            self._insert_impl(v)
+        # One commit for the whole batch: the dirty-node union reaches
+        # the WAL as a single transaction (see TreeWriter.commit).
+        self._commit_mutation()
+        return len(batch)
 
     def _choose_leaf(self, v: PFV) -> LeafNode:
         leaf, _fits, _cost = self._descend(self.root, v)

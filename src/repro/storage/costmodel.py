@@ -122,6 +122,25 @@ class DiskCostModel:
         base = max(branch_seconds) if parallel else sum(branch_seconds)
         return base + self.fanout_dispatch_seconds * len(branch_seconds)
 
+    def commit_seconds(self, wal_bytes: int, fsyncs: int) -> float:
+        """Modeled cost of durable write-ahead-log commits.
+
+        A WAL append is sequential IO — the bytes stream at the media
+        transfer rate — but every fsync barrier forces the platter and
+        pays one positioning delay (seek + rotational latency). This is
+        the ruler ``benchmarks/bench_writes.py`` prices group commit
+        with: batching N operations into one transaction divides the
+        barrier count by N and deduplicates page images, which is
+        invisible on hosts whose fsync is absorbed by a write cache but
+        dominates on the modeled 2006 disk (and any real durable disk).
+        """
+        if wal_bytes < 0 or fsyncs < 0:
+            raise ValueError("wal_bytes and fsyncs must be non-negative")
+        return (
+            fsyncs * (self.seek_seconds + self.rotational_seconds)
+            + wal_bytes / self.transfer_bytes_per_second
+        )
+
     def sequential_read_seconds(self, pages: int) -> float:
         """Cost of one sequential run over ``pages`` contiguous pages.
 

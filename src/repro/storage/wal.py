@@ -8,6 +8,15 @@ Durability protocol (redo-only, physical logging):
   appended to the key table, a ``META`` record carrying the complete
   header-page image, and finally a ``COMMIT`` record — then the WAL is
   flushed (and fsynced, unless the caller opted out).
+* **Group commit** batches N logical operations into *one* transaction:
+  a :class:`WALGroup` buffers the page images, key appends and header
+  meta of every operation in the batch, deduplicating page images (the
+  latest image per page id wins — a leaf dirtied by 30 inserts is
+  logged once, not 30 times) and seals everything with a single
+  ``COMMIT`` record and a single fsync. Because only the final
+  ``COMMIT`` makes any of it durable, recovery replays a batch
+  all-or-nothing: a crash anywhere inside the group's append tears the
+  whole batch away, never a partial one.
 * A checkpoint first logs a ``CKPT_BASE`` record holding the *entire*
   key table (making replay independent of the main file's soon-to-be
   overwritten tail), then transfers the dirty pages, key table and
@@ -29,6 +38,7 @@ an empty log (the writable open then re-initializes it).
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 import zlib
@@ -36,6 +46,7 @@ from typing import Callable
 
 __all__ = [
     "WriteAheadLog",
+    "WALGroup",
     "WAL_MAGIC",
     "REC_PAGE",
     "REC_KEYS",
@@ -249,3 +260,83 @@ class WriteAheadLog:
             committed.append(records)
             committed_end = end
         return committed, committed_end
+
+
+class WALGroup:
+    """One batched transaction under construction (group commit).
+
+    Buffers the effects of 1..N logical operations in memory and writes
+    them to a :class:`WriteAheadLog` as a *single* transaction — one run
+    of ``PAGE``/``KEYS``/``META`` records sealed by one ``COMMIT`` and
+    made durable by one fsync. Page images deduplicate as they are
+    added: :meth:`add_page` keeps only the **latest** image per page id,
+    so a page dirtied by every operation of the batch is logged once
+    (this is what collapses the ~30 KB-per-insert full-page-image cost
+    of per-operation commits).
+
+    Durability is all-or-nothing by construction: nothing reaches the
+    log until :meth:`commit_to`, and recovery only replays record runs
+    that end in a ``COMMIT`` — a crash anywhere inside the group's
+    append discards the entire batch, never a prefix of it.
+    """
+
+    def __init__(self) -> None:
+        #: Latest image per page id, in first-touch order (dict
+        #: preserves insertion order; re-adding only swaps the image).
+        self._pages: dict[int, bytes] = {}
+        #: Tagged-JSON key-table entries appended by the batch.
+        self._keys: list = []
+        #: The final header-page image (META); last set wins.
+        self._meta: bytes | None = None
+
+    def add_page(self, page_id: int, image: bytes) -> None:
+        """Record the latest image of one page (dedup: replaces any
+        image a previous operation of this batch logged for it)."""
+        self._pages[page_id] = image
+
+    def add_keys(self, entries: list) -> None:
+        """Append tagged key-table entries (already JSON-safe encoded)."""
+        self._keys.extend(entries)
+
+    def set_meta(self, image: bytes) -> None:
+        """Set the header-page image the transaction commits under."""
+        self._meta = image
+
+    @property
+    def n_pages(self) -> int:
+        """Distinct page images currently buffered (after dedup)."""
+        return len(self._pages)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the group holds nothing worth committing."""
+        return not self._pages and not self._keys and self._meta is None
+
+    def commit_to(self, wal: WriteAheadLog) -> None:
+        """Append the buffered batch to ``wal`` as one sealed transaction.
+
+        Writes the deduplicated page images (first-touch order), one
+        ``KEYS`` record if any keys were appended, the ``META`` header
+        image, then ``COMMIT`` — flushed and fsynced once (under the
+        log's fsync setting). The caller owns rollback on failure (see
+        :meth:`repro.gausstree.persist.TreeWriter.commit`): record the
+        log's offset before calling and truncate back to it if this
+        raises.
+        """
+        if self._meta is None:
+            raise ValueError(
+                "a WAL group needs its META header image before commit"
+            )
+        for page_id, image in self._pages.items():
+            wal.append_page(page_id, image)
+        if self._keys:
+            wal.append(
+                REC_KEYS, json.dumps(self._keys).encode("utf-8")
+            )
+        wal.append(REC_META, self._meta)
+        wal.commit()
+
+    def __repr__(self) -> str:
+        return (
+            f"WALGroup(pages={len(self._pages)}, keys={len(self._keys)})"
+        )

@@ -151,15 +151,19 @@ def test_manifest_source_rejects_repartition_options(tmp_path):
         )
 
 
-def test_sharded_declares_capabilities_and_rejects_writes():
+def test_sharded_declares_capabilities_and_gates_writes():
     db = make_random_db(n=12)
+    # Read-only (the default) still refuses writes...
     with connect(db, backend="sharded", shards=2) as s:
         assert {"mliq", "tiq", "batch", "exact"} <= s.capabilities
         assert not s.writable
         with pytest.raises(CapabilityError):
             s.insert(PFV([0.1, 0.1, 0.1], [0.1, 0.1, 0.1], key="new"))
-    with pytest.raises(CapabilityError):
-        connect(db, backend="sharded", shards=2, writable=True)
+    # ...while writable=True arms the placement-routed write surface.
+    with connect(db, backend="sharded", shards=2, writable=True) as s:
+        assert "writable" in s.capabilities
+        s.insert(PFV([0.1, 0.1, 0.1], [0.1, 0.1, 0.1], key="new"))
+        assert len(s) == 13
 
 
 def test_sharded_over_xtree_inner_is_not_exact():
@@ -342,3 +346,156 @@ def test_serial_pool_shares_sessions_with_metadata():
     session.close()
     with pytest.raises(RuntimeError, match="closed"):
         session.execute(MLIQ(make_random_query(), 1))
+
+
+# ---------------------------------------------------------------------------
+# The write router (writable sharded sessions)
+# ---------------------------------------------------------------------------
+
+
+def _count_map(manifest_path):
+    from repro.cluster import load_manifest
+
+    m = load_manifest(manifest_path)
+    return [s.objects for s in m.shards], m.effective_placement_epoch
+
+
+def test_hash_routed_insert_lands_on_its_owning_shard(tmp_path):
+    from repro.cluster import load_manifest, shard_of
+
+    db = make_random_db(n=24, seed=60)
+    manifest = build_shards(db, 3, str(tmp_path / "w"), policy="hash")
+    new = PFV([0.4, 0.4, 0.4], [0.1, 0.1, 0.1], key="routed")
+    owner = shard_of(new, 0, 3, "hash")
+    before = [s.objects for s in manifest.shards]
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        s.insert(new)
+        after, _ = _count_map(manifest.source_path)
+        assert after[owner] == before[owner] + 1
+        assert sum(after) == sum(before) + 1
+        # The hash names the shard for the delete too: one probe.
+        assert s.delete(new)
+        assert not s.delete(new)
+    final, _ = _count_map(manifest.source_path)
+    assert final == before
+
+
+def test_round_robin_routing_continues_from_the_recorded_epoch(tmp_path):
+    db = make_random_db(n=10, seed=61)
+    manifest = build_shards(
+        db, 3, str(tmp_path / "rr"), policy="round-robin"
+    )
+    assert manifest.effective_placement_epoch == 10
+    fresh = [
+        PFV([0.2 * i, 0.3, 0.4], [0.1, 0.1, 0.1], key=("rr", i))
+        for i in range(6)
+    ]
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        s.insert_many(fresh)  # positions 10..15 -> shards 1,2,0,1,2,0
+    counts, epoch = _count_map(manifest.source_path)
+    assert epoch == 16
+    # 10 objects round-robined over 3 shards gave [4, 3, 3]; positions
+    # 10..15 add exactly two per shard.
+    assert counts == [6, 5, 5]
+    # A second writable session keeps counting where the first stopped.
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        s.insert(PFV([0.5, 0.5, 0.5], [0.1, 0.1, 0.1], key="pos16"))
+    counts, epoch = _count_map(manifest.source_path)
+    assert epoch == 17
+    assert counts == [6, 6, 5]  # position 16 -> shard 1
+
+
+def test_round_robin_delete_probes_until_found(tmp_path):
+    db = make_random_db(n=12, seed=62)
+    manifest = build_shards(
+        db, 3, str(tmp_path / "rd"), policy="round-robin"
+    )
+    victim = list(db)[7]
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        assert s.delete(victim)
+        assert not s.delete(victim)
+        assert len(s) == 11
+
+
+def test_writable_writes_survive_crashless_close_and_reopen(tmp_path):
+    db = make_random_db(n=18, seed=63)
+    manifest = build_shards(db, 2, str(tmp_path / "dur"))
+    fresh = [
+        PFV([0.3, 0.3, 0.3 + 0.01 * i], [0.1, 0.1, 0.1], key=("d", i))
+        for i in range(5)
+    ]
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        s.insert_many(fresh)
+        live = {m.key for m in s.execute(MLIQ(fresh[0], 23)).matches}
+        assert {("d", i) for i in range(5)} <= live
+    # Close checkpointed every shard; a read-only reopen serves them.
+    with connect(manifest.source_path, backend="sharded") as s:
+        assert len(s) == 23
+        again = {m.key for m in s.execute(MLIQ(fresh[0], 23)).matches}
+    assert again == live
+
+
+def test_insert_into_hash_empty_shard_activates_it():
+    # 2 objects over 3 shards leaves at least one shard empty; inserts
+    # that the hash owns to an empty in-memory shard must activate it.
+    db = PFVDatabase(
+        [PFV([0.1 * i, 0.2], [0.1, 0.1], key=i) for i in range(2)]
+    )
+    with connect(
+        db, backend="sharded", shards=3, inner="tree", writable=True
+    ) as s:
+        for i in range(12):
+            s.insert(PFV([0.05 * i, 0.4], [0.1, 0.1], key=("fill", i)))
+        assert len(s) == 14
+        rs = s.execute(MLIQ(PFV([0.2, 0.3], [0.1, 0.1]), 14))
+        assert len(rs.matches) == 14
+
+
+def test_writable_process_pool_is_refused(tmp_path):
+    db = make_random_db(n=10, seed=64)
+    manifest = build_shards(db, 2, str(tmp_path / "pp"))
+    with pytest.raises(TypeError, match="serial"):
+        connect(
+            manifest.source_path,
+            backend="sharded",
+            pool="process",
+            writable=True,
+        )
+
+
+def test_writable_seqscan_inner_fails_loudly():
+    db = make_random_db(n=10, seed=65)
+    with connect(
+        db, backend="sharded", shards=2, inner="seqscan", writable=True
+    ) as s:
+        with pytest.raises(ClusterError, match="not .*writable|writable"):
+            s.insert(PFV([0.1, 0.1, 0.1], [0.1, 0.1, 0.1], key="x"))
+
+
+def test_writable_open_trusts_shard_indexes_over_stale_manifest(tmp_path):
+    """A crashed writer leaves manifest counts stale; the writable open
+    must re-count from the recovered shard indexes."""
+    import json
+
+    db = make_random_db(n=12, seed=66)
+    manifest = build_shards(db, 2, str(tmp_path / "stale"))
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        s.insert_many(
+            [
+                PFV([0.3, 0.3, 0.3], [0.1, 0.1, 0.1], key=("s", i))
+                for i in range(4)
+            ]
+        )
+    # Sabotage: rewrite the manifest with the pre-insert counts.
+    with open(manifest.source_path) as f:
+        doc = json.load(f)
+    doc["shards"] = [
+        {"path": s["path"], "objects": max(0, s["objects"] - 2)}
+        for s in doc["shards"]
+    ]
+    with open(manifest.source_path, "w") as f:
+        json.dump(doc, f)
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        assert len(s) == 16  # the indexes know better
+    _, epoch = _count_map(manifest.source_path)
+    assert epoch >= 16

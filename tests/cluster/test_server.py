@@ -221,3 +221,193 @@ def test_double_start_and_address_before_start_raise():
                 server.start()
         finally:
             server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Session pool + the write endpoint
+# ---------------------------------------------------------------------------
+
+
+def test_stats_expose_session_pool_utilisation(served, client):
+    payload = client.stats()
+    pool = payload["session_pool"]
+    assert pool["size"] == 1
+    assert pool["in_use"] >= 0
+    assert pool["peak_in_use"] >= 1
+    assert pool["acquires"] >= 1
+    assert pool["waits"] >= 0
+    assert len(pool["batches_per_session"]) == pool["size"]
+    assert sum(pool["batches_per_session"]) >= pool["acquires"] - pool["size"]
+
+
+def test_pooled_sessions_serve_concurrent_queries(served):
+    """pool_size=3: concurrent clients spread over the replicas (no
+    single execution lock) and all answer identically."""
+    _, session, db = served
+    factory = lambda: connect(db, backend="sharded", shards=2)  # noqa: E731
+    q = make_random_query(seed=57)
+    primary = connect(db, backend="sharded", shards=2)
+    with serve(
+        primary, port=0, session_factory=factory, pool_size=3
+    ) as server:
+        client = ServeClient(server.url, timeout=30)
+        expected = client.query(MLIQ(q, 4)).keys()[0]
+        results: list = [None] * 9
+        errors: list = []
+
+        def hit(i):
+            try:
+                results[i] = client.query(MLIQ(q, 4)).keys()[0]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(i,))
+            for i in range(len(results))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert all(r == expected for r in results)
+        pool = client.stats()["session_pool"]
+        assert pool["size"] == 3
+        assert sum(pool["batches_per_session"]) >= 10
+    primary.close()
+
+
+def test_pool_size_above_one_requires_a_factory():
+    db = make_random_db(n=5, seed=58)
+    with connect(db, backend="tree") as session:
+        with pytest.raises(ValueError, match="session_factory"):
+            QueryServer(session, port=0, pool_size=2)
+        with pytest.raises(ValueError, match="pool_size"):
+            QueryServer(session, port=0, pool_size=0)
+
+
+def test_insert_endpoint_round_trip_and_stats():
+    from repro.core.pfv import PFV
+
+    db = make_random_db(n=20, seed=59)
+    session = connect(db, backend="sharded", shards=2, inner="tree",
+                      writable=True)
+    with serve(session, port=0) as server:
+        client = ServeClient(server.url, timeout=30)
+        fresh = [
+            PFV([0.4, 0.4, 0.4 + 0.01 * i], [0.1, 0.1, 0.1], key=("srv", i))
+            for i in range(6)
+        ]
+        reply = client.insert(fresh)
+        assert reply["inserted"] == 6
+        assert reply["objects"] == 26
+        # The writes are queryable through the same primary session
+        # (tuple keys serialize as JSON lists on the wire).
+        answer = client.query(MLIQ(fresh[0], 26))
+        assert ["srv", 0] in answer.keys()[0]
+        stats = client.stats()
+        assert stats["inserts"] == 6
+        assert stats["insert_batches"] == 1
+        # One pfv (not a list) also works.
+        single = client.insert(PFV([0.5, 0.5, 0.5], [0.1, 0.1, 0.1],
+                                   key="solo"))
+        assert single["objects"] == 27
+    session.close()
+
+
+def test_insert_rejected_on_read_only_server(served, client):
+    from repro.core.pfv import PFV
+
+    with pytest.raises(RemoteError) as excinfo:
+        client.insert(PFV([0.1, 0.1, 0.1], [0.1, 0.1, 0.1], key="ro"))
+    assert excinfo.value.status == 403
+    assert "read-only" in str(excinfo.value)
+
+
+def test_query_endpoint_refuses_write_specs(served):
+    server, _, _ = served
+    body = json.dumps(
+        {
+            "queries": [
+                {"kind": "insert", "mu": [0.1, 0.1, 0.1],
+                 "sigma": [0.1, 0.1, 0.1], "key": "w"}
+            ]
+        }
+    ).encode()
+    request = urllib.request.Request(
+        server.url + "/query",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    assert "/insert" in json.loads(excinfo.value.read())["error"]
+
+
+def test_insert_endpoint_validates_bodies():
+    db = make_random_db(n=5, seed=70)
+    session = connect(db, backend="tree")
+    with serve(session, port=0) as server:
+        for body, fragment in (
+            (b'{"nope": []}', "vectors"),
+            (b'{"vectors": {}}', "must be a list"),
+            (b'{"vectors": []}', "no vectors"),
+            (b'{"vectors": [{"mu": [0.1]}]}', "missing field"),
+        ):
+            request = urllib.request.Request(
+                server.url + "/insert",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400
+            assert fragment in json.loads(excinfo.value.read())["error"]
+    session.close()
+
+
+def test_write_spec_wire_round_trip():
+    """Insert/Delete specs (and tuple keys) survive the JSON wire."""
+    from repro.cluster import spec_from_json, spec_to_json
+    from repro.core.pfv import PFV
+    from repro.engine import Delete, Insert
+
+    for spec in (
+        Insert(PFV([0.1, 0.2], [0.1, 0.1], key=("a", 1))),
+        Insert(PFV([0.1, 0.2], [0.1, 0.1])),  # anonymous
+        Delete(PFV([0.3, 0.4], [0.2, 0.2], key="plain")),
+    ):
+        wire = spec_to_json(spec)
+        back = spec_from_json(json.loads(json.dumps(wire)))
+        assert type(back) is type(spec)
+        assert back.v.key == spec.v.key
+        assert list(back.v.mu) == list(spec.v.mu)
+        assert list(back.v.sigma) == list(spec.v.sigma)
+
+
+def test_restarted_server_reopens_fresh_replicas():
+    """shutdown() closes the replica sessions; a restarted server must
+    not hand queries to those closed sessions (regression)."""
+    db = make_random_db(n=10, seed=71)
+    primary = connect(db, backend="tree")
+    server = QueryServer(
+        primary,
+        port=0,
+        session_factory=lambda: connect(db, backend="tree"),
+        pool_size=2,
+    )
+    try:
+        server.serve_in_background()
+        client = ServeClient(server.url, timeout=30)
+        client.query(MLIQ(make_random_query(seed=72), 2))
+        server.shutdown()
+        server.serve_in_background()
+        client = ServeClient(server.url, timeout=30)
+        for _ in range(6):  # enough batches to hit every pool slot
+            answer = client.query(MLIQ(make_random_query(seed=72), 2))
+            assert len(answer.results[0]) == 2
+        assert client.stats()["session_pool"]["size"] == 2
+    finally:
+        server.shutdown()
+        primary.close()

@@ -22,7 +22,15 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.database import PFVDatabase
 from repro.core.pfv import PFV
-from repro.engine import MLIQ, TIQ, RankQuery, available_backends, connect
+from repro.engine import (
+    MLIQ,
+    TIQ,
+    Delete,
+    Insert,
+    RankQuery,
+    available_backends,
+    connect,
+)
 from repro.gausstree.bulkload import bulk_load
 
 EXACT_DB_BACKENDS = ("tree", "seqscan")
@@ -111,6 +119,84 @@ def test_every_exact_backend_returns_the_same_matches(case, tmp_path_factory):
                     f"{backend} posterior for {key}: {p} != "
                     f"{tree_reference[key]} (tree)"
                 )
+
+
+@st.composite
+def interleaved_case(draw):
+    """A random db plus a random interleaved Insert/Delete/query batch
+    (queries sprinkled between write runs, including batched inserts)."""
+    d = draw(st.integers(1, 3))
+    n = draw(st.integers(0, 15))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    def fresh(tag, i):
+        return PFV(
+            rng.uniform(0.0, 1.0, d),
+            rng.uniform(0.05, 0.4, d),
+            key=(tag, i),
+        )
+
+    db = PFVDatabase([fresh("base", i) for i in range(n)])
+    alive = list(db)
+    specs = []
+    ops = draw(st.lists(st.integers(0, 3), min_size=2, max_size=14))
+    for i, op in enumerate(ops):
+        q = PFV(rng.uniform(0.0, 1.0, d), rng.uniform(0.05, 0.4, d))
+        if op == 0:  # insert (consecutive ones form a group-commit run)
+            v = fresh("new", i)
+            specs.append(Insert(v))
+            alive.append(v)
+        elif op == 1 and alive:  # delete something that exists
+            specs.append(Delete(alive.pop(int(rng.integers(len(alive))))))
+        elif op == 2:
+            specs.append(MLIQ(q, draw(st.integers(0, n + 3))))
+        else:
+            specs.append(
+                TIQ(q, tau=draw(st.sampled_from([0.0, 0.05, 0.2, 0.5])))
+            )
+    # Always end with a query so the final write run is observed.
+    q = PFV(rng.uniform(0.0, 1.0, d), rng.uniform(0.05, 0.4, d))
+    specs.append(MLIQ(q, n + 3))
+    return db, specs
+
+
+@given(case=interleaved_case())
+@settings(deadline=None)
+def test_interleaved_writes_and_queries_match_single_writable_tree(case):
+    """The issue's write-router acceptance bar: an interleaved
+    write+query batch through writable sharded(tree, N∈{1,2,3})
+    sessions answers every query exactly like one writable tree —
+    each query sees the writes that precede it in the batch, routed
+    writes land on their owning shards, and posteriors renormalise
+    against the cross-shard Bayes denominator (within 1e-9)."""
+    db, specs = case
+    with connect(db, backend="tree") as session:
+        reference = session.execute_many(specs)
+        reference_n = len(session)
+    for n_shards in (1, 2, 3):
+        for policy in ("hash", "round-robin"):
+            with connect(
+                db,
+                backend="sharded",
+                shards=n_shards,
+                inner="tree",
+                policy=policy,
+                writable=True,
+            ) as session:
+                sharded = session.execute_many(specs)
+                assert len(session) == reference_n
+            label = f"sharded-{n_shards}/{policy}"
+            for spec, ref_matches, got_matches in zip(
+                specs, reference, sharded
+            ):
+                ref = {m.key: m.probability for m in ref_matches}
+                got = {m.key: m.probability for m in got_matches}
+                assert set(got) == set(ref), (label, spec, got, ref)
+                for key, p in got.items():
+                    assert math.isclose(
+                        p, ref[key], rel_tol=0.0, abs_tol=1e-9
+                    ), (label, spec, key, p, ref[key])
 
 
 def test_registry_documents_exactness_split():

@@ -358,3 +358,103 @@ class TestEps:
             rs = s.execute_many([TIQ(q, 0.05, eps=0.0), TIQ(q, 0.05, eps=0.2)])
             exact = s.execute(TIQ(q, 0.05)).matches
         assert [m.key for m in rs[0]] == [m.key for m in exact]
+
+
+class TestWriteSpecs:
+    """Insert/Delete specs through execute_many: ordered runs, grouped
+    inserts, capability gating."""
+
+    def test_batch_order_is_read_your_writes(self, db, q):
+        new = PFV(np.asarray(q.mu), np.full(3, 0.01), key="bullseye")
+        with connect(db, backend="tree") as s:
+            rs = s.execute_many(
+                [
+                    MLIQ(q, 3),          # before the insert: no bullseye
+                    repro.Insert(new),
+                    MLIQ(q, 3),          # after: bullseye dominates
+                    repro.Delete(new),
+                    MLIQ(q, 3),          # gone again
+                ]
+            )
+            assert len(s) == len(db)
+        assert rs[1] == [] and rs[3] == []  # write slots answer empty
+        assert "bullseye" not in [m.key for m in rs[0]]
+        assert [m.key for m in rs[2]][0] == "bullseye"
+        assert [m.key for m in rs[4]] == [m.key for m in rs[0]]
+
+    def test_consecutive_inserts_group_through_insert_many(self, db):
+        calls = []
+
+        class Probe(repro.engine.BackendAdapter):
+            name = "probe"
+            capabilities = frozenset({"mliq", "writable"})
+
+            def run_mliq(self, specs):
+                calls.append(("mliq", len(specs)))
+                return [[] for _ in specs], repro.QueryStats()
+
+            def count(self):
+                return 5
+
+            def insert(self, v):
+                calls.append(("insert", 1))
+
+            def insert_many(self, vectors):
+                vectors = list(vectors)
+                calls.append(("insert_many", len(vectors)))
+                return len(vectors)
+
+            def delete(self, v):
+                calls.append(("delete", 1))
+                return True
+
+        q = make_random_query(d=3, seed=77)
+        vs = [make_random_query(d=3, seed=100 + i) for i in range(4)]
+        session = session_for(Probe())
+        session.execute_many(
+            [
+                repro.Insert(vs[0]),
+                repro.Insert(vs[1]),
+                repro.Insert(vs[2]),   # one grouped run of 3
+                MLIQ(q, 2),
+                repro.Delete(vs[0]),
+                repro.Insert(vs[3]),   # delete splits the runs
+            ]
+        )
+        assert calls == [
+            ("insert_many", 3),
+            ("mliq", 1),
+            ("delete", 1),
+            ("insert_many", 1),
+        ]
+
+    def test_write_specs_rejected_without_capability(self, db, q):
+        with connect(db, backend="seqscan") as s:
+            with pytest.raises(CapabilityError):
+                s.execute(repro.Insert(q))
+            with pytest.raises(CapabilityError):
+                s.execute_many([MLIQ(q, 1), repro.Delete(q)])
+
+    def test_explain_rejects_write_specs(self, db, q):
+        with connect(db, backend="tree") as s:
+            with pytest.raises(TypeError, match="no plan"):
+                s.explain(repro.Insert(q))
+
+    def test_session_insert_many_on_disk_is_group_committed(
+        self, tmp_path, db, q
+    ):
+        from repro.storage.wal import WriteAheadLog
+
+        path = str(tmp_path / "w.gauss")
+        bulk_load(db.vectors, sigma_rule=db.sigma_rule).save(path)
+        fresh = [
+            PFV(np.asarray(q.mu) + 0.01 * i, np.asarray(q.sigma), key=("f", i))
+            for i in range(10)
+        ]
+        with connect(path, backend="disk", writable=True) as s:
+            assert s.insert_many(fresh) == 10
+            # One transaction sealed the whole batch.
+            assert len(WriteAheadLog.scan(path + ".wal")) == 1
+            assert len(s) == len(db) + 10
+        with connect(path) as s:
+            assert len(s) == len(db) + 10

@@ -185,6 +185,64 @@ class TestCrashRecovery:
         finally:
             recovered.close()
 
+    @given(
+        d=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+        n_base=st.integers(0, 25),
+        batch_sizes=st.lists(st.integers(1, 12), min_size=1, max_size=6),
+        budget=st.integers(1, 300_000),
+    )
+    @settings(deadline=None)
+    def test_group_commit_batches_recover_all_or_nothing(
+        self, tmp_path_factory, d, seed, n_base, batch_sizes, budget
+    ):
+        """A torn write inside a batched WAL transaction must discard
+        the *whole* batch: recovery yields exactly the fully committed
+        batch prefix, never a partial batch (the group's single COMMIT
+        is the only thing that makes any of it durable)."""
+        path = str(tmp_path_factory.mktemp("group") / "t.gauss")
+        rng = np.random.default_rng(seed)
+        base = make_vectors(rng, n_base, d, "base")
+        build_saved(path, base, d)
+        batches = []
+        for b, size in enumerate(batch_sizes):
+            batches.append(make_vectors(rng, size, d, f"batch{b}"))
+
+        injector = FaultInjector(budget)
+        committed_batches = 0
+        writable = None
+        try:
+            writable = GaussTree.open(
+                path, writable=True, file_factory=injector.open
+            )
+            for batch in batches:
+                writable.insert_many(batch)
+                committed_batches += 1
+        except InjectedCrash:
+            pass  # the batch in flight is torn away whole
+        finally:
+            if writable is not None:
+                writable.close(checkpoint=False)
+
+        recovered = GaussTree.open(path)
+        try:
+            survivors = [
+                v for batch in batches[:committed_batches] for v in batch
+            ]
+            # All-or-nothing per batch: the recovered key set is the
+            # base plus exactly the complete committed batches — a
+            # partial batch would show up as a key-count mismatch here.
+            assert len(recovered) == n_base + len(survivors)
+            recovered.check_invariants()
+            assert sorted(v.key for v in recovered) == sorted(
+                v.key for v in base + survivors
+            )
+            replay = GaussTree(dims=d, degree=3)
+            replay.extend(base + survivors)
+            assert_same_answers(replay, recovered, d, seed + 3)
+        finally:
+            recovered.close()
+
     @given(seed=st.integers(0, 10_000), budget=st.integers(1, 120_000))
     @settings(deadline=None)
     def test_crash_during_checkpoint_loses_nothing(
@@ -941,3 +999,91 @@ class TestAutoCheckpoint:
             )
         finally:
             recovered.close()
+
+
+class TestGroupCommitMechanics:
+    """Deterministic shape checks on the batched WAL transaction."""
+
+    def test_insert_many_is_one_txn_with_deduped_pages(self, tmp_path):
+        from repro.storage.wal import REC_PAGE
+        import struct
+
+        path = str(tmp_path / "t.gauss")
+        rng = np.random.default_rng(0)
+        base = make_vectors(rng, 12, 2, "base")
+        build_saved(path, base, 2)
+        writable = GaussTree.open(path, writable=True)
+        writable.insert_many(make_vectors(rng, 16, 2, "grp"))
+        txns = WriteAheadLog.scan(path + ".wal")
+        writable.close(checkpoint=False)
+        # One COMMIT seals the whole 16-insert batch...
+        assert len(txns) == 1
+        # ...and within it every dirtied page is logged exactly once.
+        page_ids = [
+            struct.unpack_from("<I", payload, 0)[0]
+            for rtype, payload in txns[0]
+            if rtype == REC_PAGE
+        ]
+        assert len(page_ids) == len(set(page_ids))
+
+    def test_insert_many_logs_far_fewer_bytes_than_per_op(self, tmp_path):
+        rng = np.random.default_rng(1)
+        base = make_vectors(rng, 20, 2, "base")
+        extra = make_vectors(rng, 32, 2, "x")
+        sizes = {}
+        for mode in ("per_op", "grouped"):
+            path = str(tmp_path / f"{mode}.gauss")
+            build_saved(path, base, 2)
+            writable = GaussTree.open(path, writable=True)
+            if mode == "per_op":
+                for v in extra:
+                    writable.insert(v)
+            else:
+                writable.insert_many(extra)
+            sizes[mode] = os.path.getsize(path + ".wal")
+            writable.close(checkpoint=False)
+            recovered = GaussTree.open(path)
+            assert len(recovered) == len(base) + len(extra)
+            recovered.close()
+        # Page-image dedup: the grouped WAL must be several times
+        # smaller (each touched page logged once, not once per insert).
+        assert sizes["grouped"] * 3 < sizes["per_op"], sizes
+
+    def test_insert_many_answers_like_per_op_inserts(self, tmp_path):
+        rng = np.random.default_rng(2)
+        base = make_vectors(rng, 15, 2, "base")
+        extra = make_vectors(rng, 20, 2, "x")
+        path = str(tmp_path / "g.gauss")
+        build_saved(path, base, 2)
+        writable = GaussTree.open(path, writable=True)
+        writable.insert_many(extra)
+        writable.check_invariants()
+        reference = GaussTree(dims=2, degree=3)
+        reference.extend(base + extra)
+        assert_same_answers(reference, writable, 2, seed=9)
+        writable.close()
+
+    def test_insert_many_on_in_memory_tree_is_a_plain_loop(self):
+        rng = np.random.default_rng(3)
+        tree = GaussTree(dims=2, degree=3)
+        n = tree.insert_many(make_vectors(rng, 10, 2, "m"))
+        assert n == 10 and len(tree) == 10
+        tree.check_invariants()
+
+    def test_insert_many_validates_before_mutating(self, tmp_path):
+        path = str(tmp_path / "v.gauss")
+        rng = np.random.default_rng(4)
+        build_saved(path, make_vectors(rng, 8, 2, "base"), 2)
+        writable = GaussTree.open(path, writable=True)
+        good = make_vectors(rng, 3, 2, "ok")
+        with pytest.raises(ValueError, match="3-d"):
+            writable.insert_many(good + make_vectors(rng, 1, 3, "bad"))
+        with pytest.raises(TypeError, match="cannot persist key"):
+            writable.insert_many(
+                good + [PFV([0.1, 0.2], [0.1, 0.1], key=object())]
+            )
+        # Nothing of either failed batch landed.
+        assert len(writable) == 8
+        writable.insert_many(good)
+        assert len(writable) == 11
+        writable.close()

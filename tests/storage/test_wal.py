@@ -18,6 +18,7 @@ from repro.storage.wal import (
     REC_META,
     REC_PAGE,
     WAL_MAGIC,
+    WALGroup,
     WriteAheadLog,
 )
 
@@ -229,3 +230,71 @@ class TestFaultyFile:
             f.write(b"toolong")
         f.close()
         assert open(path, "rb").read() == b"too"
+
+
+class TestWALGroup:
+    def test_batch_is_one_transaction_with_deduped_pages(self, tmp_path):
+        wal = wal_at(tmp_path)
+        group = WALGroup()
+        group.add_page(3, b"v1")
+        group.add_page(5, b"other")
+        group.add_page(3, b"v2")  # re-dirtied: latest image wins
+        group.add_keys([["i", 1]])
+        group.add_keys([["i", 2]])
+        group.set_meta(b"header")
+        assert group.n_pages == 2
+        group.commit_to(wal)
+        wal.close()
+        txns = WriteAheadLog.scan(wal.path)
+        assert len(txns) == 1  # one COMMIT seals the whole batch
+        records = txns[0]
+        pages = {r[1][:4]: r[1][4:] for r in records if r[0] == REC_PAGE}
+        assert pages == {
+            b"\x03\x00\x00\x00": b"v2",
+            b"\x05\x00\x00\x00": b"other",
+        }
+        keys = [r for r in records if r[0] == REC_KEYS]
+        assert keys == [(REC_KEYS, b'[["i", 1], ["i", 2]]')]
+        assert records[-1] == (REC_META, b"header")
+
+    def test_commit_requires_meta(self, tmp_path):
+        wal = wal_at(tmp_path)
+        group = WALGroup()
+        group.add_page(1, b"x")
+        with pytest.raises(ValueError, match="META"):
+            group.commit_to(wal)
+        wal.close()
+        # Nothing reached the log, not even unsealed records.
+        assert os.path.getsize(wal.path) == len(WAL_MAGIC)
+
+    def test_emptiness_and_counters(self, tmp_path):
+        group = WALGroup()
+        assert group.is_empty
+        group.add_page(1, b"x")
+        assert not group.is_empty and group.n_pages == 1
+
+    def test_torn_group_commit_is_invisible_whole(self, tmp_path):
+        """A crash anywhere inside the batched append discards the
+        *entire* batch — recovery never sees a partial group."""
+        # Measure the full group's byte footprint first.
+        ref = wal_at(tmp_path, "ref.wal")
+        group = WALGroup()
+        for pid in range(4):
+            group.add_page(pid, bytes([pid]) * 50)
+        group.set_meta(b"m" * 30)
+        group.commit_to(ref)
+        footprint = ref.tell() - len(WAL_MAGIC)
+        ref.close()
+        # Now crash at every prefix of that footprint (minus the very
+        # end): scan must come back empty every time.
+        for budget in range(0, footprint, 7):
+            path = str(tmp_path / f"torn-{budget}.wal")
+            inj = FaultInjector(len(WAL_MAGIC) + budget)
+            wal = WriteAheadLog(path, file_factory=inj.open)
+            regroup = WALGroup()
+            for pid in range(4):
+                regroup.add_page(pid, bytes([pid]) * 50)
+            regroup.set_meta(b"m" * 30)
+            with pytest.raises(InjectedCrash):
+                regroup.commit_to(wal)
+            assert WriteAheadLog.scan(path) == []

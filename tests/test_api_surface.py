@@ -26,7 +26,11 @@ EXPECTED_ENGINE_EXPORTS = {
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "Insert",
+    "Delete",
     "Query",
+    "WriteSpec",
+    "Spec",
     "ResultSet",
     "Plan",
     "Backend",
@@ -51,13 +55,16 @@ EXPECTED_SIGNATURES = {
     "TIQ": "(q: 'PFV', tau: 'float' = 0.5, eps: 'float' = 0.0) -> None",
     "RankQuery": "(q: 'PFV', k: 'int' = 1, "
     "min_mass: 'float | None' = None) -> None",
+    "Insert": "(v: 'PFV') -> None",
+    "Delete": "(v: 'PFV') -> None",
 }
 
 EXPECTED_SESSION_METHODS = {
-    "execute": "(self, query: 'Query') -> 'ResultSet'",
-    "execute_many": "(self, queries: 'Iterable[Query]') -> 'ResultSet'",
+    "execute": "(self, query: 'Spec') -> 'ResultSet'",
+    "execute_many": "(self, queries: 'Iterable[Spec]') -> 'ResultSet'",
     "explain": "(self, query: 'Query | Sequence[Query]') -> 'Plan'",
     "insert": "(self, v: 'PFV') -> 'None'",
+    "insert_many": "(self, vectors: 'Iterable[PFV]') -> 'int'",
     "delete": "(self, v: 'PFV') -> 'bool'",
     "database": "(self) -> 'PFVDatabase'",
     "cold_start": "(self) -> 'None'",
@@ -106,6 +113,8 @@ def test_top_level_reexports():
         "MLIQ",
         "TIQ",
         "RankQuery",
+        "Insert",
+        "Delete",
         "ResultSet",
     ):
         assert getattr(repro, name) is getattr(engine, name)
@@ -142,6 +151,7 @@ EXPECTED_CLUSTER_EXPORTS = {
     "ProcessPool",
     "make_pool",
     "QueryServer",
+    "SessionPool",
     "serve",
     "ServeClient",
     "RemoteAnswer",
@@ -149,6 +159,8 @@ EXPECTED_CLUSTER_EXPORTS = {
     "WireError",
     "spec_to_json",
     "spec_from_json",
+    "pfv_to_json",
+    "pfv_from_json",
     "load_jsonl",
     "dump_jsonl",
 }
@@ -162,7 +174,9 @@ EXPECTED_CLUSTER_SIGNATURES = {
     "shard_of": "(v: 'PFV', position: 'int', n_shards: 'int', "
     "policy: 'str') -> 'int'",
     "serve": "(session: 'Session', host: 'str' = '127.0.0.1', "
-    "port: 'int' = 8631, *, verbose: 'bool' = False) -> 'QueryServer'",
+    "port: 'int' = 8631, *, verbose: 'bool' = False, "
+    "session_factory: 'Callable[[], Session] | None' = None, "
+    "pool_size: 'int' = 1) -> 'QueryServer'",
     "make_pool": "(kind: 'str', opener: 'Callable[[int], Any]', "
     "runner: 'Callable[[Any, Any], Any]', *, n_shards: 'int', "
     "workers: 'int | None' = None)",
