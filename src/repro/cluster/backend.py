@@ -425,15 +425,65 @@ class ShardedBackend(BackendAdapter):
 
     # -- the write router ----------------------------------------------------
 
-    def _writable_session(self, shard_id: int) -> Session:
-        """The writable child session owning one shard (serial pool)."""
+    def _create_shard_index(self, shard_id: int, dims: int) -> None:
+        """Materialize the index file of a shard that was empty at build
+        time, the moment the first write routes to it.
+
+        An empty shard has no dimensionality of its own (which is why
+        ``build_shards`` records ``path=None``); the first routed vector
+        supplies it. The file is named exactly as ``build_shards`` would
+        have named it (``<prefix>.shard-NN.gauss``, next to the
+        manifest, default page size) and the manifest entry gains the
+        path, so later sessions open the shard like any other.
+        """
+        from repro.cluster.partition import MANIFEST_SUFFIX, ShardInfo
+        from repro.core.joint import SigmaRule
+        from repro.gausstree.tree import GaussTree
+
+        manifest = self.manifest
+        assert manifest is not None and manifest.source_path is not None
+        base = os.path.abspath(manifest.source_path)
+        prefix = (
+            base[: -len(MANIFEST_SUFFIX)]
+            if base.endswith(MANIFEST_SUFFIX)
+            else os.path.splitext(base)[0]
+        )
+        shard_path = f"{prefix}.shard-{shard_id:02d}.gauss"
+        tree = GaussTree(
+            dims=dims, sigma_rule=SigmaRule(manifest.sigma_rule)
+        )
+        tree.save(shard_path)
+        # The opener shares this list, so its next call opens the file.
+        self._sources[shard_id] = shard_path
+        shards = list(manifest.shards)
+        shards[shard_id] = ShardInfo(
+            path=os.path.basename(shard_path), objects=0
+        )
+        self.manifest = dataclasses.replace(manifest, shards=tuple(shards))
+
+    def _writable_session(
+        self, shard_id: int, dims: int | None = None
+    ) -> Session:
+        """The writable child session owning one shard (serial pool).
+
+        ``dims`` is the dimensionality of the write being routed; a
+        manifest-backed shard with no index file yet (empty at build
+        time) lazily creates one from it instead of rejecting the write.
+        """
         if self._sources[shard_id] is None:
-            raise ClusterError(
-                f"cannot route a write to shard {shard_id}: the manifest "
-                "records no index file for it (the shard was empty at "
-                "build time); re-run `repro shard-build` over the grown "
-                "dataset to give every shard an index"
-            )
+            if (
+                dims is not None
+                and self.manifest is not None
+                and self.manifest.source_path is not None
+            ):
+                self._create_shard_index(shard_id, dims)
+            else:
+                raise ClusterError(
+                    f"cannot route a write to shard {shard_id}: the "
+                    "deployment records no index file for it (the shard "
+                    "was empty at build time) and no manifest path is "
+                    "available to create one next to"
+                )
         session = self._pool.session(shard_id)  # serial pool, enforced
         if not session.writable:
             raise ClusterError(
@@ -480,7 +530,9 @@ class ShardedBackend(BackendAdapter):
         # shard already committed part of it. The epoch advances only
         # once routing is validated.
         sessions = {
-            shard_id: self._writable_session(shard_id)
+            shard_id: self._writable_session(
+                shard_id, dims=by_shard[shard_id][0].dims
+            )
             for shard_id in sorted(by_shard)
         }
         self._placement_epoch = position
@@ -567,12 +619,14 @@ class ShardedBackend(BackendAdapter):
         if not self._active or not specs:
             return PlanEstimate(0, 0.0, "empty deployment: no shards hit")
         pages = 0
+        cpu_seconds = 0.0
         branch_seconds: list[float] = []
         cost_model = None
         for shard_id in self._active:
             session = self._meta_session(shard_id)
             est = session._backend.estimate(kind, specs)
             pages += est.pages
+            cpu_seconds += est.cpu_seconds
             branch_seconds.append(est.io_seconds)
             store = getattr(session._backend, "store", None)
             if cost_model is None and store is not None:
@@ -594,6 +648,7 @@ class ShardedBackend(BackendAdapter):
             io_seconds,
             f"fan-out to {len(self._active)} shard(s); latency priced as "
             f"{how} plus per-shard dispatch",
+            cpu_seconds,
         )
 
     def plan_lowering(self, kinds) -> tuple[str, ...]:

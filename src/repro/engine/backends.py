@@ -58,20 +58,29 @@ class CapabilityError(RuntimeError):
 
 
 class PlanEstimate:
-    """Planner-facing cost guess: pages, modeled IO seconds, one note.
+    """Planner-facing cost guess: pages, modeled IO/CPU seconds, one note.
 
     Estimates are order-of-magnitude planning hints derived from the
     storage cost model (:mod:`repro.storage.costmodel`); the
     :class:`~repro.core.queries.QueryStats` of an actual execution are
-    the ground truth.
+    the ground truth. ``cpu_seconds`` prices the expected refinement work
+    — backends whose leaves are columnar use the cost model's vectorized
+    rate, so ``explain()`` reflects the format-v3 speedup.
     """
 
-    __slots__ = ("pages", "io_seconds", "note")
+    __slots__ = ("pages", "io_seconds", "note", "cpu_seconds")
 
-    def __init__(self, pages: int, io_seconds: float, note: str) -> None:
+    def __init__(
+        self,
+        pages: int,
+        io_seconds: float,
+        note: str,
+        cpu_seconds: float = 0.0,
+    ) -> None:
         self.pages = pages
         self.io_seconds = io_seconds
         self.note = note
+        self.cpu_seconds = cpu_seconds
 
 
 @runtime_checkable
@@ -305,7 +314,21 @@ class GaussTreeBackend(BackendAdapter):
         per_query = (height - 1) + leaf_reads
         pages = per_query * len(specs)
         cost = self.store.cost_model
-        return PlanEstimate(pages, cost.random_read_seconds(pages), note)
+        # Refinement CPU: every visited leaf refines its whole page. A
+        # columnar tree (bulk-loaded, or a format-v3 file) is priced at
+        # the vectorized per-object rate — the stale per-object scalar
+        # estimate would overstate v3 CPU by cpu_per_refinement_seconds /
+        # cpu_per_vectorized_refinement_seconds (30x at the defaults).
+        objects = leaf_reads * max(1, math.ceil(n / leaves)) * len(specs)
+        vectorized = getattr(tree, "vectorized_leaves", False)
+        if vectorized:
+            note += "; columnar leaves: refinement priced at vectorized rate"
+        return PlanEstimate(
+            pages,
+            cost.random_read_seconds(pages),
+            note,
+            cost.modeled_cpu_seconds(objects, pages, vectorized=vectorized),
+        )
 
     # -- writes --------------------------------------------------------------
 
@@ -452,6 +475,7 @@ class SeqScanBackend(BackendAdapter):
             passes * cost.sequential_read_seconds(pages),
             "full sequential pass(es) shared by the whole batch; "
             "streaming IO, one positioning delay per pass",
+            cost.modeled_cpu_seconds(self.count() * len(specs), total),
         )
 
     def database(self) -> PFVDatabase:
@@ -511,6 +535,9 @@ class XTreeBackend(BackendAdapter):
             cost.random_read_seconds(pages),
             "rectangle filter + random base-table refinement fetches; "
             "approximate answers (false dismissals possible)",
+            cost.modeled_cpu_seconds(
+                max(1, math.ceil(0.1 * n)) * len(specs), pages
+            ),
         )
 
     def database(self) -> PFVDatabase:

@@ -44,6 +44,10 @@ class Plan:
         Order-of-magnitude page-access guess for the whole batch.
     estimated_io_seconds:
         The estimate priced by the backend's disk cost model.
+    estimated_cpu_seconds:
+        Modeled refinement CPU for the batch. Columnar (format-v3)
+        Gauss-trees are priced at the cost model's vectorized
+        per-object rate, so plans reflect the columnar speedup.
     notes:
         Backend-provided caveats (accuracy, what drives the estimate).
     """
@@ -56,6 +60,7 @@ class Plan:
     estimated_pages: int
     estimated_io_seconds: float
     notes: tuple[str, ...]
+    estimated_cpu_seconds: float = 0.0
 
     def describe(self) -> str:
         """Multi-line human-readable rendering (the CLI's --explain)."""
@@ -69,7 +74,8 @@ class Plan:
             lines.append(f"  lowering: {step}")
         lines.append(
             f"  estimate: ~{self.estimated_pages} page accesses, "
-            f"~{self.estimated_io_seconds * 1e3:.1f} ms modeled IO"
+            f"~{self.estimated_io_seconds * 1e3:.1f} ms modeled IO, "
+            f"~{self.estimated_cpu_seconds * 1e3:.1f} ms modeled CPU"
         )
         for note in self.notes:
             lines.append(f"  note: {note}")
@@ -106,6 +112,7 @@ def build_plan(backend: Backend, queries: Sequence[Query]) -> Plan:
 
     pages = 0
     io_seconds = 0.0
+    cpu_seconds = 0.0
     notes: list[str] = []
     # Price each kind's sub-batch with the backend's own cost model;
     # rank is priced as the mliq it lowers to.
@@ -116,6 +123,7 @@ def build_plan(backend: Backend, queries: Sequence[Query]) -> Plan:
         est = backend.estimate(sub_kind, sub)
         pages += est.pages
         io_seconds += est.io_seconds
+        cpu_seconds += est.cpu_seconds
         if est.note and est.note not in notes:
             notes.append(est.note)
     if "exact" not in backend.capabilities:
@@ -128,5 +136,6 @@ def build_plan(backend: Backend, queries: Sequence[Query]) -> Plan:
         lowering=tuple(lowering),
         estimated_pages=pages,
         estimated_io_seconds=io_seconds,
+        estimated_cpu_seconds=cpu_seconds,
         notes=tuple(notes),
     )

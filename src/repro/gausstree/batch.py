@@ -15,7 +15,15 @@ many concurrent queries. This module applies that idea to the Gauss-tree:
   evaluation (an ``(m, n)`` kernel instead of ``m`` separate ``(n,)``
   calls), and later queries reaching the same node pay a dictionary
   lookup. Identification workloads cluster around the database objects,
-  so batch members overwhelmingly revisit one another's nodes.
+  so batch members overwhelmingly revisit one another's nodes;
+* for **columnar** leaves (bulk-loaded trees, format-v3 files) the
+  refiner additionally precomputes, per page, every query's row maximum
+  and scaled denominator mass — so expanding a columnar leaf costs a
+  dictionary lookup and two float adds instead of four small-array numpy
+  reductions. The per-query shifts are registered up front and the mass
+  is recomputed exactly for the rare query that re-anchors its shift
+  mid-traversal, keeping the accumulated sums bit-identical to the
+  unbatched path.
 
 Every query still owns its best-first traversal
 (:class:`~repro.gausstree.search.SearchState`), so answer sets, posterior
@@ -33,7 +41,7 @@ from repro.core.queries import Match, MLIQuery, QueryStats, ThresholdQuery
 from repro.core.joint import log_joint_density_multi
 from repro.gausstree.hull import node_log_bounds_multi
 from repro.gausstree.node import InnerNode, LeafNode
-from repro.gausstree.search import SearchState
+from repro.gausstree.search import _CAP, _UNDERFLOW, SearchState
 
 __all__ = ["BatchRefiner", "gausstree_mliq_many", "gausstree_tiq_many"]
 
@@ -58,6 +66,18 @@ class BatchRefiner:
         self.q_sigma = np.vstack([q.sigma for q in queries])
         self._leaf_cache: dict[int, np.ndarray] = {}
         self._bounds_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Per-query scale shifts (registered by each SearchState at init)
+        # plus, per columnar leaf page, the precomputed row maxima and
+        # scaled denominator masses for every query in the batch.
+        self._shifts: list[float] = [0.0] * len(queries)
+        self._leaf_extras: dict[
+            int, tuple[list[float], list[float], list[float]]
+        ] = {}
+
+    def register_shift(self, query_index: int, shift: float) -> None:
+        """Record a query's scale shift so per-page denominator masses can
+        be precomputed on its behalf; called by ``SearchState.__init__``."""
+        self._shifts[query_index] = shift
 
     def leaf_log_densities(self, leaf: LeafNode) -> np.ndarray:
         """``(m, n)`` Lemma-1 log densities of the leaf's entries, one row
@@ -70,6 +90,39 @@ class BatchRefiner:
             )
             self._leaf_cache[leaf.page_id] = cached
         return cached
+
+    def leaf_extras(
+        self, leaf: LeafNode
+    ) -> tuple[list[np.ndarray], list[float], list[float], list[float]]:
+        """Per-query expansion data for a columnar leaf, one list entry per
+        batch query: ``(log_density_rows, row_maxima, scaled_masses,
+        shifts_used)``.
+
+        Computed for *all* queries in a handful of array operations the
+        first time any query touches the page; ``SearchState`` indexes the
+        lists directly on every later expansion. Each scaled mass is
+        bit-identical to ``np.sum(np.exp(np.clip(row - shift, _UNDERFLOW,
+        _CAP)))`` for the shift registered at state construction
+        (elementwise ops are rowwise-independent and numpy's last-axis
+        pairwise summation matches the 1-d case); the consumer must
+        recompute the mass itself iff its current shift no longer equals
+        its ``shifts_used`` entry (a query that re-anchored mid-traversal
+        — rare by the 300-nat gap).
+        """
+        extras = self._leaf_extras.get(leaf.page_id)
+        if extras is None:
+            matrix = self.leaf_log_densities(leaf)
+            scaled = matrix - np.asarray(self._shifts)[:, None]
+            np.clip(scaled, _UNDERFLOW, _CAP, out=scaled)
+            np.exp(scaled, out=scaled)
+            extras = (
+                list(matrix),  # row views, indexable without numpy dispatch
+                matrix.max(axis=1).tolist(),
+                scaled.sum(axis=1).tolist(),
+                list(self._shifts),
+            )
+            self._leaf_extras[leaf.page_id] = extras
+        return extras
 
     def child_log_bounds(
         self, inner: InnerNode
@@ -100,10 +153,16 @@ def gausstree_mliq_many(
     if not queries:
         return [], QueryStats()
     refiner = BatchRefiner(tree, [query.q for query in queries])
+    # Build every state first: each registers its scale shift with the
+    # refiner, so the first page any query expands precomputes masses
+    # that are valid for the whole batch.
+    states = [
+        SearchState(tree, query.q, refiner=refiner, query_index=index)
+        for index, query in enumerate(queries)
+    ]
     results: list[list[Match]] = []
     total = QueryStats()
-    for index, query in enumerate(queries):
-        state = SearchState(tree, query.q, refiner=refiner, query_index=index)
+    for query, state in zip(queries, states):
         matches, stats = gausstree_mliq(tree, query, tolerance, state=state)
         results.append(matches)
         total.merge(stats)
@@ -126,10 +185,13 @@ def gausstree_tiq_many(
     if not queries:
         return [], QueryStats()
     refiner = BatchRefiner(tree, [query.q for query in queries])
+    states = [
+        SearchState(tree, query.q, refiner=refiner, query_index=index)
+        for index, query in enumerate(queries)
+    ]
     results: list[list[Match]] = []
     total = QueryStats()
-    for index, query in enumerate(queries):
-        state = SearchState(tree, query.q, refiner=refiner, query_index=index)
+    for query, state in zip(queries, states):
         matches, stats = gausstree_tiq(
             tree,
             query,

@@ -72,6 +72,28 @@ class ParameterRect:
         return cls(mu.min(axis=0), mu.max(axis=0), sigma.min(axis=0), sigma.max(axis=0))
 
     @classmethod
+    def of_arrays(cls, mu: np.ndarray, sigma: np.ndarray) -> "ParameterRect":
+        """Tight MBR of columnar ``(n, d)`` mu/sigma stacks.
+
+        The column-array twin of :meth:`of_vectors`, used by columnar
+        leaves (bulk loading, the format-v3 page loader) so the rect
+        refresh never has to materialize pfv objects. Bit-identical to
+        ``of_vectors`` over the same rows.
+        """
+        mu = np.asarray(mu, dtype=np.float64)
+        sigma = np.asarray(sigma, dtype=np.float64)
+        if mu.ndim != 2 or mu.shape != sigma.shape:
+            raise ValueError(
+                f"mu and sigma must both be (n, d), got {mu.shape} and "
+                f"{sigma.shape}"
+            )
+        if mu.shape[0] == 0:
+            raise ValueError("cannot bound an empty collection")
+        return cls(
+            mu.min(axis=0), mu.max(axis=0), sigma.min(axis=0), sigma.max(axis=0)
+        )
+
+    @classmethod
     def of_rects(cls, rects: Iterable["ParameterRect"]) -> "ParameterRect":
         """Tight MBR of a non-empty collection of rectangles."""
         rects = list(rects)

@@ -7,6 +7,13 @@ of the queue". The extension of Section 5.2.2 then keeps popping nodes
 until the denominator interval (sum approximation over the unexplored
 subtrees) is tight enough to report the actual Bayes posteriors at the
 requested accuracy.
+
+Columnar leaves (bulk-loaded trees, format-v3 files) take a vectorized
+candidate-selection path: the entries beating the current k-th density
+are found with one numpy comparison over the whole page and pfv objects
+are only materialized for the final result set. The selected candidates
+— and hence matches, posteriors and stats — are identical to the
+sequential per-entry loop, which the parity property tests assert.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import heapq
 import itertools
 import math
 import time
+
+import numpy as np
 
 from repro.core.pfv import PFV
 from repro.core.queries import Match, MLIQuery, QueryStats
@@ -58,57 +67,95 @@ def gausstree_mliq(
     if state is None:
         state = SearchState(tree, query.q)
 
-    # Min-heap of the k best candidates: (log_density, tiebreak, vector).
-    candidates: list[tuple[float, int, PFV]] = []
+    # Min-heap of the k best candidates. Items are either
+    # (log_density, tiebreak, vector) or — for columnar leaves, which
+    # defer pfv construction — (log_density, tiebreak, leaf, index);
+    # tiebreaks are unique, so heap comparisons never reach element 2.
+    candidates: list[tuple] = []
     tiebreak = itertools.count()
+    # The densest candidate's scaled density, memoized across the drain
+    # phase (it only moves when the heap or the scale shift changes).
+    heap_rev = 0
+    best_w = -1.0
+    best_w_key: tuple | None = None
 
-    while state.has_active_nodes:
-        if len(candidates) >= query.k:
+    k = query.k
+    heap = state._heap  # the queue list itself: stable across pops
+    while heap:
+        if len(candidates) >= k:
             kth_log_density = candidates[0][0]
-            if kth_log_density >= state.top_log_upper:
+            if kth_log_density >= -heap[0][0]:
                 # The k best are final (Figure 4's stop rule); now only the
-                # denominator may still need tightening (Section 5.2.2).
-                if _posteriors_converged(state, candidates, tolerance):
-                    break
+                # denominator may still need tightening (Section 5.2.2):
+                # every candidate shares the denominator interval, so the
+                # widest posterior interval belongs to the densest
+                # candidate, whose scaled density is memoized as best_w.
+                key = (heap_rev, state.shift)
+                if key != best_w_key:
+                    best_w = max(
+                        state.scaled_density(item[0]) for item in candidates
+                    )
+                    best_w_key = key
+                denom_low = state.denominator_low
+                if denom_low > 0.0:
+                    width = (
+                        best_w / denom_low - best_w / state.denominator_high
+                    )
+                    if width <= tolerance:
+                        break
         expanded = state.pop_and_expand()
         if expanded is None:
             continue
-        leaf, log_dens = expanded
-        for vector, ld in zip(leaf.entries, log_dens):
-            item = (float(ld), next(tiebreak), vector)
-            if len(candidates) < query.k:
-                heapq.heappush(candidates, item)
-            elif item[0] > candidates[0][0]:
-                heapq.heapreplace(candidates, item)
+        leaf, log_dens, best, columnar = expanded
+        if columnar:
+            if len(candidates) >= query.k and best <= candidates[0][0]:
+                # The page's densest entry cannot beat the current k-th
+                # (the replacement test below is strict), so no entry can
+                # change the heap: skip the scan entirely. The page still
+                # contributed its denominator mass inside pop_and_expand.
+                continue
+            lds = log_dens.tolist()
+            i = 0
+            while len(candidates) < query.k and i < len(lds):
+                heapq.heappush(candidates, (lds[i], next(tiebreak), leaf, i))
+                i += 1
+            if i < len(lds):
+                # One numpy comparison prefilters the page: only entries
+                # beating the k-th density when the page was reached can
+                # ever enter the heap (the k-th bound only grows and the
+                # test below is strict), and each survivor is re-checked
+                # against the live bound — so the heap evolves exactly
+                # as under the per-entry loop.
+                better = np.nonzero(log_dens[i:] > candidates[0][0])[0]
+                for j in better:
+                    ld = lds[i + j]
+                    if ld > candidates[0][0]:
+                        heapq.heapreplace(
+                            candidates, (ld, next(tiebreak), leaf, int(i + j))
+                        )
+        else:
+            for vector, ld in zip(leaf.entries, log_dens):
+                item = (float(ld), next(tiebreak), vector)
+                if len(candidates) < query.k:
+                    heapq.heappush(candidates, item)
+                elif item[0] > candidates[0][0]:
+                    heapq.heapreplace(candidates, item)
+        heap_rev += 1  # scanned leaves may have moved the candidate set
 
     matches = _assemble(state, candidates)
     stats = _stats(state, store, started)
     return matches, stats
 
 
-def _posteriors_converged(
-    state: SearchState,
-    candidates: list[tuple[float, int, PFV]],
-    tolerance: float,
-) -> bool:
-    """Is every candidate's posterior interval narrower than ``tolerance``?
-
-    All candidates share the denominator interval, so the widest posterior
-    interval belongs to the candidate with the largest density.
-    """
-    if not state.has_active_nodes:
-        return True
-    denom_low = state.denominator_low
-    denom_high = state.denominator_high
-    if denom_low <= 0.0:
-        return False
-    best_w = max(state.scaled_density(ld) for ld, _, _ in candidates)
-    width = best_w / denom_low - best_w / denom_high
-    return width <= tolerance
+def _vector_of(item: tuple) -> PFV:
+    """The pfv of a heap item, materializing deferred columnar entries."""
+    if len(item) == 3:
+        return item[2]
+    return item[2].entry_at(item[3])
 
 
 def _assemble(
-    state: SearchState, candidates: list[tuple[float, int, PFV]]
+    state: SearchState, candidates: list[tuple]
 ) -> list[Match]:
     ordered = sorted(candidates, key=lambda item: (-item[0], item[1]))
     denom = state.denominator_mid
@@ -118,19 +165,22 @@ def _assemble(
         # known lower denominator bound instead of 0/inf.
         denom = state.denominator_low
     matches = []
-    for log_density, _, vector in ordered:
+    for item in ordered:
+        log_density = item[0]
         if denom > 0.0:
             probability = min(1.0, state.scaled_density(log_density) / denom)
         else:
             # Degenerate: every density underflowed — mirror the scan's
             # "maximally indifferent" uniform posterior (Property 3).
             probability = 1.0 / max(1, len(state.tree))
-        matches.append(Match(vector, log_density, probability))
+        matches.append(Match(_vector_of(item), log_density, probability))
     return matches
 
 
 def _stats(state: SearchState, store, started: float) -> QueryStats:
     elapsed = time.perf_counter() - started
+    cost = store.cost_model
+    vectorized = state.objects_refined_vectorized
     return QueryStats(
         pages_accessed=store.log.pages_accessed,
         page_faults=store.log.page_faults,
@@ -138,7 +188,10 @@ def _stats(state: SearchState, store, started: float) -> QueryStats:
         nodes_expanded=state.nodes_expanded,
         cpu_seconds=elapsed,
         io_seconds=store.log.io_seconds,
-        modeled_cpu_seconds=store.cost_model.modeled_cpu_seconds(
-            state.objects_refined, store.log.pages_accessed
-        ),
+        # Columnar-leaf refinements are priced at the vectorized rate,
+        # the rest (interleaved or mutated pages) at the scalar rate.
+        modeled_cpu_seconds=cost.modeled_cpu_seconds(
+            state.objects_refined - vectorized, store.log.pages_accessed
+        )
+        + cost.modeled_cpu_seconds(vectorized, 0, vectorized=True),
     )

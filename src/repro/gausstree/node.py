@@ -9,9 +9,17 @@ Two node kinds, both occupying one simulated disk page:
   pointer and — for the sum approximation of Section 5.2 — the child's
   subtree cardinality.
 
-Leaves keep a lazily-built numpy cache of their entries' ``(mu, sigma)``
-stacks so that exact refinement (Lemma 1 over every stored pfv) runs
-vectorised; any mutation invalidates the cache.
+Leaves are **columnar first**: a leaf can hold its payload as
+struct-of-arrays columns — read-only ``mu``/``sigma`` stacks of shape
+``(count, d)`` plus a key list — so exact refinement (Lemma 1 over every
+stored pfv) and candidate selection run as single numpy kernels over the
+whole page. The legacy object API (``entries``) stays available: the
+:class:`~repro.core.pfv.PFV` views are materialized lazily from the
+columns on first access. Leaves built one pfv at a time (repeated
+insertion) hold a plain object list instead and keep a lazily-built numpy
+cache of the stacks; any mutation of a columnar leaf de-columnarizes it
+(the object list becomes the source of truth) so the write path is
+identical for both representations.
 
 Nodes of a disk-opened tree (:mod:`repro.gausstree.persist`) start out as
 *stubs*: the page id, MBR and subtree cardinality are known (they live in
@@ -79,9 +87,17 @@ class Node:
 
 
 class LeafNode(Node):
-    """A data page holding pfv entries."""
+    """A data page holding pfv entries, columnar or as an object list."""
 
-    __slots__ = ("_entries", "_mu_cache", "_sigma_cache", "_stub_count")
+    __slots__ = (
+        "_entries",
+        "_mu_cache",
+        "_sigma_cache",
+        "_stub_count",
+        "_col_mu",
+        "_col_sigma",
+        "_col_keys",
+    )
 
     def __init__(self, page_id: int) -> None:
         super().__init__(page_id)
@@ -89,23 +105,78 @@ class LeafNode(Node):
         self._mu_cache: Optional[np.ndarray] = None
         self._sigma_cache: Optional[np.ndarray] = None
         self._stub_count = 0
+        # Columnar payload: (n, d) float64 stacks plus the key list.
+        # None on object-list leaves; mutations clear it (the object
+        # list then becomes the source of truth again).
+        self._col_mu: Optional[np.ndarray] = None
+        self._col_sigma: Optional[np.ndarray] = None
+        self._col_keys: Optional[list] = None
 
     @property
     def is_leaf(self) -> bool:
         return True
 
     @property
+    def is_columnar(self) -> bool:
+        """Whether the payload currently lives in column arrays.
+
+        Columnar leaves come from :meth:`set_columns` (bulk loading, the
+        format-v3 page loader); the vectorized query kernels take their
+        fast path on them. False for unmaterialized stubs — callers on
+        the query path call :meth:`arrays` first, which materializes.
+        """
+        return self._col_keys is not None
+
+    @property
     def count(self) -> int:
         if self._loader is not None:
             return self._stub_count  # known from the parent page
+        if self._col_keys is not None:
+            return len(self._col_keys)
         return len(self._entries)
 
     @property
     def entries(self) -> list[PFV]:
-        """The stored pfv; materializes a disk stub on first access."""
+        """The stored pfv as objects; materializes a disk stub on first
+        access and builds the object views of a columnar leaf lazily."""
         if self._loader is not None:
             self._materialize()
+        if self._col_keys is not None and len(self._entries) != len(
+            self._col_keys
+        ):
+            mu, sigma = self._col_mu, self._col_sigma
+            self._entries = [
+                PFV(mu[i], sigma[i], key)
+                for i, key in enumerate(self._col_keys)
+            ]
         return self._entries
+
+    def entry_at(self, index: int) -> PFV:
+        """One stored pfv by position — without materializing the whole
+        object list of a columnar leaf (the query kernels defer object
+        construction to the final result assembly)."""
+        if self._loader is not None:
+            self._materialize()
+        if self._col_keys is not None and len(self._entries) != len(
+            self._col_keys
+        ):
+            return PFV(
+                self._col_mu[index],
+                self._col_sigma[index],
+                self._col_keys[index],
+            )
+        return self._entries[index]
+
+    def keys(self) -> list:
+        """The application keys in entry order (no object materialization
+        for columnar leaves — the save path encodes straight from this)."""
+        if self._loader is not None:
+            self._materialize()
+        if self._col_keys is not None and len(self._entries) != len(
+            self._col_keys
+        ):
+            return list(self._col_keys)
+        return [v.key for v in self._entries]
 
     def set_loader(
         self, loader: Callable[["LeafNode"], None], count: int
@@ -114,9 +185,47 @@ class LeafNode(Node):
         self._loader = loader  # type: ignore[assignment]
         self._stub_count = count
 
+    def set_columns(
+        self, mu: np.ndarray, sigma: np.ndarray, keys: list
+    ) -> None:
+        """Adopt a columnar payload: ``(n, d)`` mu/sigma stacks plus the
+        ``n`` application keys; recomputes the MBR from the columns.
+
+        The arrays are kept as-is (read-only views of page bytes are
+        fine) — callers must not mutate them afterwards.
+        """
+        mu = np.asarray(mu, dtype=np.float64)
+        sigma = np.asarray(sigma, dtype=np.float64)
+        if mu.ndim != 2 or mu.shape != sigma.shape:
+            raise ValueError(
+                f"columns must both be (n, d), got {mu.shape} and "
+                f"{sigma.shape}"
+            )
+        if mu.shape[0] != len(keys):
+            raise ValueError(
+                f"{mu.shape[0]} rows but {len(keys)} keys"
+            )
+        self._loader = None
+        self._entries = []
+        self._col_mu = mu
+        self._col_sigma = sigma
+        self._col_keys = list(keys)
+        self.refresh_rect()
+        self._mu_cache = None
+        self._sigma_cache = None
+
+    def _decolumnarize(self) -> list[PFV]:
+        """Make the object list the source of truth before a mutation;
+        returns it (materializing a stub and/or the column views)."""
+        entries = self.entries
+        self._col_mu = None
+        self._col_sigma = None
+        self._col_keys = None
+        return entries
+
     def add(self, v: PFV) -> None:
         """Append a pfv, growing the MBR in place."""
-        self.entries.append(v)
+        self._decolumnarize().append(v)
         if self.rect is None:
             self.rect = ParameterRect.of_vector(v)
         else:
@@ -125,7 +234,7 @@ class LeafNode(Node):
 
     def remove_at(self, index: int) -> PFV:
         """Remove and return the entry at ``index``; tightens the MBR."""
-        v = self.entries.pop(index)
+        v = self._decolumnarize().pop(index)
         self.refresh_rect()
         self._invalidate()
         return v
@@ -133,13 +242,25 @@ class LeafNode(Node):
     def replace_entries(self, entries: list[PFV]) -> None:
         """Swap in a new entry list (used by splits); recomputes the MBR."""
         self._loader = None
+        self._col_mu = None
+        self._col_sigma = None
+        self._col_keys = None
         self._entries = entries
         self.refresh_rect()
         self._invalidate()
 
     def refresh_rect(self) -> None:
+        if self._col_keys is not None and len(self._entries) != len(
+            self._col_keys
+        ):
+            self.rect = (
+                ParameterRect.of_arrays(self._col_mu, self._col_sigma)
+                if self._col_keys
+                else None
+            )
+            return
         self.rect = (
-            ParameterRect.of_vectors(self.entries) if self.entries else None
+            ParameterRect.of_vectors(self._entries) if self._entries else None
         )
 
     def _invalidate(self) -> None:
@@ -148,7 +269,12 @@ class LeafNode(Node):
 
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(mu, sigma)`` stacks of shape ``(count, d)`` for vectorised
-        refinement; cached until the next mutation."""
+        refinement; the columns themselves on a columnar leaf, else a
+        cache rebuilt after each mutation."""
+        if self._loader is not None:
+            self._materialize()
+        if self._col_mu is not None:
+            return self._col_mu, self._col_sigma
         if self._mu_cache is None:
             self._mu_cache = np.vstack([v.mu for v in self.entries])
             self._sigma_cache = np.vstack([v.sigma for v in self.entries])
@@ -160,6 +286,11 @@ class LeafNode(Node):
     def __repr__(self) -> str:
         if self._loader is not None:
             return f"LeafNode(page={self.page_id}, stub, count={self._stub_count})"
+        if self._col_keys is not None:
+            return (
+                f"LeafNode(page={self.page_id}, columnar, "
+                f"count={len(self._col_keys)})"
+            )
         return f"LeafNode(page={self.page_id}, entries={len(self._entries)})"
 
 

@@ -20,7 +20,7 @@ top of the byte-faithful page codecs of :mod:`repro.storage.serializer`:
   therefore identical on both representations, which the round-trip
   tests assert.
 
-File layout, format **v2** (all little-endian)::
+File layout, format **v3** (all little-endian)::
 
     offset 0            fixed header (magic, version, geometry, root id,
                         page count, object count, key-table pointer,
@@ -31,10 +31,17 @@ File layout, format **v2** (all little-endian)::
     key_table_offset    JSON key table mapping the int64 key slots of
                         leaf pages back to application keys
 
-Format v1 (PR 1) is the same minus the free-page list; v1 files still
-open, read-only. Keys may be ``None``, bools, ints, floats, strings or
-(nested) tuples of those; anything else fails the save with a
-``TypeError``.
+v3 stores leaf pages **columnar** (page kind 3: contiguous mu block,
+sigma block, key-slot block) so a leaf decodes into ready-to-use
+``(n, d)`` ndarrays and the query kernels refine whole pages in single
+numpy calls. Format v2 (PR 2) used interleaved per-entry leaf pages
+(kind 1) and is still fully supported — reading *and* writing: a v2
+file opened writable keeps committing v2 pages, preserving its format.
+Format v1 (PR 1) is v2 minus the free-page list; v1 files still open,
+read-only. Readers dispatch per page on the kind byte, so the version
+field only gates the header shape and the write path. Keys may be
+``None``, bools, ints, floats, strings or (nested) tuples of those;
+anything else fails the save with a ``TypeError``.
 
 **Writable opens.** ``open_tree(path, writable=True)`` attaches a
 :class:`TreeWriter` implementing a redo-only write-ahead protocol (see
@@ -60,6 +67,8 @@ import struct
 import time
 from typing import Callable, Hashable
 
+import numpy as np
+
 from repro.core.joint import SigmaRule
 from repro.gausstree.bounds import ParameterRect
 from repro.gausstree.node import InnerNode, LeafNode, Node
@@ -68,10 +77,13 @@ from repro.storage.costmodel import DiskCostModel
 from repro.storage.filestore import FilePageStore
 from repro.storage.layout import PageLayout
 from repro.storage.serializer import (
+    COLUMNAR_LEAF_KIND,
     INNER_KIND,
     LEAF_KIND,
+    decode_columnar_leaf_page,
     decode_inner_page,
     decode_leaf_page,
+    encode_columnar_leaf_page,
     encode_inner_page,
     encode_leaf_page,
 )
@@ -94,13 +106,14 @@ __all__ = [
 ]
 
 MAGIC = b"GAUSTREE"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 # magic, version, page_size, dims, degree, sigma_rule, height, root_page,
 # page_count, n_objects, key_table_offset, key_table_bytes
 _HEADER_V1 = struct.Struct("<8sHIIIBHIIQQQ")
 # v2 appends the free-page count; the free-page ids (u32 each) follow the
-# fixed struct inside the header page.
+# fixed struct inside the header page. v3 keeps the exact v2 header shape —
+# only the version field and the leaf page kind differ.
 _HEADER_V2 = struct.Struct("<8sHIIIBHIIQQQI")
 # Byte range of (key_table_offset, key_table_bytes) inside both structs —
 # recovery patches these after rewriting the key table.
@@ -258,18 +271,21 @@ def _build_header_page(
     n_objects: int,
     key_table_bytes: int,
     free_pages: tuple[int, ...] = (),
+    version: int = FORMAT_VERSION,
 ) -> bytes:
-    """The complete page-0 image: fixed v2 header plus the free-page list.
+    """The complete page-0 image: fixed v2/v3 header plus the free-page list.
 
-    The free list is capped by the header page's spare bytes; if node
-    deletes ever free more pages than fit, the oldest ids are dropped
-    (those pages leak until the next compacting ``save``).
+    ``version`` is the format stamped into the file — a writable v2 file
+    keeps committing v2 headers so its format is preserved across
+    sessions. The free list is capped by the header page's spare bytes;
+    if node deletes ever free more pages than fit, the oldest ids are
+    dropped (those pages leak until the next compacting ``save``).
     """
     capacity = (page_size - _HEADER_V2.size) // 4
     free = free_pages[-capacity:] if len(free_pages) > capacity else free_pages
     fixed = _HEADER_V2.pack(
         MAGIC,
-        FORMAT_VERSION,
+        version,
         page_size,
         dims,
         degree,
@@ -326,7 +342,8 @@ def _parse_fixed_header(raw: bytes) -> dict:
 def read_header(path: str | os.PathLike) -> dict:
     """Parse and validate the fixed file header; returns its fields.
 
-    Understands both format v1 (PR 1, no free list) and v2.
+    Understands format v1 (PR 1, no free list), v2 (interleaved leaves)
+    and v3 (columnar leaves); v2 and v3 share the header shape.
     """
     with open(path, "rb") as f:
         raw = f.read(_HEADER_V2.size)
@@ -351,16 +368,16 @@ def read_header(path: str | os.PathLike) -> dict:
             raise ValueError(
                 f"{os.fspath(path)!r} is not a Gauss-tree index file"
             )
-        if version not in (1, 2):
+        if version not in (1, 2, 3):
             raise ValueError(
                 f"index format version {version} not supported "
                 f"(this build reads versions 1-{FORMAT_VERSION})"
             )
         free_pages: tuple[int, ...] = ()
-        if version == 2:
+        if version >= 2:
             if len(raw) < _HEADER_V2.size:
                 raise ValueError(
-                    f"{os.fspath(path)!r} has a truncated v2 index header"
+                    f"{os.fspath(path)!r} has a truncated index header"
                 )
             (free_count,) = struct.unpack_from("<I", raw, _HEADER_V2.size - 4)
             capacity = (page_size - _HEADER_V2.size) // 4 if page_size else 0
@@ -419,7 +436,7 @@ def read_header(path: str | os.PathLike) -> dict:
 class SaveResult:
     """What :func:`save_tree` wrote — lets a writable tree rebind in place."""
 
-    __slots__ = ("page_of", "key_table", "page_count", "height")
+    __slots__ = ("page_of", "key_table", "page_count", "height", "version")
 
     def __init__(
         self,
@@ -427,17 +444,28 @@ class SaveResult:
         key_table: _KeyTable,
         page_count: int,
         height: int,
+        version: int,
     ) -> None:
         self.page_of = page_of  # id(node) -> saved page id
         self.key_table = key_table
         self.page_count = page_count
         self.height = height
+        self.version = version
 
 
 def save_tree(
-    tree, path: str | os.PathLike, *, _writer_lock: _IndexLock | None = None
+    tree,
+    path: str | os.PathLike,
+    *,
+    version: int = FORMAT_VERSION,
+    _writer_lock: _IndexLock | None = None,
 ) -> SaveResult:
     """Write ``tree`` to ``path`` as a single self-describing index file.
+
+    ``version`` picks the write format: 3 (default) encodes leaves as
+    columnar pages, 2 keeps the interleaved per-entry encoding for
+    compatibility with older readers. Both round-trip through
+    :func:`open_tree` with identical query answers and page accounting.
 
     Refuses to replace an index another live writer holds open: the
     save would silently truncate that writer's WAL and the writer's
@@ -445,6 +473,11 @@ def save_tree(
     the caller's own already-held lock (``GaussTree.save`` passes it),
     which legitimizes the in-place save of a writable tree.
     """
+    if version not in (2, 3):
+        raise ValueError(
+            f"cannot write format version {version}; this build writes "
+            "versions 2 (interleaved leaves) and 3 (columnar leaves)"
+        )
     lock = _IndexLock(path)
     owns_lock = lock.acquire()
     if not owns_lock and not (
@@ -455,13 +488,46 @@ def save_tree(
             "it open writable (close that writer first)"
         )
     try:
-        return _save_tree_locked(tree, path)
+        return _save_tree_locked(tree, path, version)
     finally:
         if owns_lock:
             lock.release()
 
 
-def _save_tree_locked(tree, path: str | os.PathLike) -> SaveResult:
+def _encode_leaf(
+    layout: PageLayout, pid: int, leaf: LeafNode, key_table: _KeyTable,
+    version: int,
+) -> bytes:
+    """Encode one leaf in the requested format's page kind.
+
+    The v3 path reads the leaf's column arrays directly (no pfv
+    materialization when the leaf is already columnar); the v2 path
+    keeps the interleaved per-entry codec byte-for-byte.
+    """
+    if version >= 3:
+        if leaf.count:
+            mu, sigma = leaf.arrays()
+        else:  # empty tree: the root leaf encodes as a zero-entry page
+            mu = np.zeros((0, layout.dims), dtype=np.float64)
+            sigma = np.zeros((0, layout.dims), dtype=np.float64)
+        return encode_columnar_leaf_page(
+            layout,
+            pid,
+            mu,
+            sigma,
+            [key_table.slot(k) for k in leaf.keys()],
+        )
+    return encode_leaf_page(
+        layout,
+        pid,
+        leaf.entries,
+        [key_table.slot(v.key) for v in leaf.entries],
+    )
+
+
+def _save_tree_locked(
+    tree, path: str | os.PathLike, version: int
+) -> SaveResult:
     layout: PageLayout = tree.layout
     if tree.leaf_max > layout.leaf_capacity:
         raise ValueError(
@@ -505,12 +571,7 @@ def _save_tree_locked(tree, path: str | os.PathLike) -> SaveResult:
                 pid = page_of[id(node)]
                 if node.is_leaf:
                     leaf: LeafNode = node  # type: ignore[assignment]
-                    page = encode_leaf_page(
-                        layout,
-                        pid,
-                        leaf.entries,
-                        [key_table.slot(v.key) for v in leaf.entries],
-                    )
+                    page = _encode_leaf(layout, pid, leaf, key_table, version)
                 else:
                     inner: InnerNode = node  # type: ignore[assignment]
                     page = encode_inner_page(
@@ -537,6 +598,7 @@ def _save_tree_locked(tree, path: str | os.PathLike) -> SaveResult:
                 page_count=len(nodes),
                 n_objects=len(tree),
                 key_table_bytes=len(table),
+                version=version,
             )
             f.seek(0)
             f.write(header)
@@ -557,7 +619,7 @@ def _save_tree_locked(tree, path: str | os.PathLike) -> SaveResult:
             wal.reset()
         finally:
             wal.close()
-    return SaveResult(page_of, key_table, len(nodes), height)
+    return SaveResult(page_of, key_table, len(nodes), height, version)
 
 
 # -- recovery ----------------------------------------------------------------
@@ -717,6 +779,7 @@ class TreeWriter:
         height: int,
         lock: _IndexLock | None = None,
         auto_checkpoint_bytes: int | None = None,
+        format_version: int = FORMAT_VERSION,
     ) -> None:
         if auto_checkpoint_bytes is not None and auto_checkpoint_bytes <= 0:
             raise ValueError(
@@ -728,6 +791,9 @@ class TreeWriter:
         self.wal = wal
         self._lock = lock
         self.auto_checkpoint_bytes = auto_checkpoint_bytes
+        # The file's format is sticky: a v2 file opened writable keeps
+        # committing v2 leaf pages and v2 headers.
+        self.format_version = format_version
         self.key_table = _KeyTable.from_keys(keys)
         self._logged_keys = len(self.key_table.keys)
         self.height = height
@@ -756,11 +822,9 @@ class TreeWriter:
         layout = self.tree.layout
         if node.is_leaf:
             leaf: LeafNode = node  # type: ignore[assignment]
-            return encode_leaf_page(
-                layout,
-                leaf.page_id,
-                leaf.entries,
-                [self.key_table.slot(v.key) for v in leaf.entries],
+            return _encode_leaf(
+                layout, leaf.page_id, leaf, self.key_table,
+                self.format_version,
             )
         inner: InnerNode = node  # type: ignore[assignment]
         return encode_inner_page(
@@ -785,6 +849,7 @@ class TreeWriter:
             n_objects=len(tree),
             key_table_bytes=self.key_table.encoded_length,
             free_pages=self.store.free_pages,
+            version=self.format_version,
         )
 
     # -- commit --------------------------------------------------------------
@@ -918,6 +983,7 @@ class TreeWriter:
         self.key_table = saved.key_table
         self._logged_keys = len(saved.key_table.keys)
         self.height = saved.height
+        self.format_version = saved.version
 
     def close(self, checkpoint: bool = True) -> None:
         try:
@@ -944,6 +1010,14 @@ class _NodeLoader:
 
     def load_leaf(self, leaf: LeafNode) -> None:
         data = self.store.fetch_page(leaf.page_id)
+        if data[4] == COLUMNAR_LEAF_KIND:  # header: page_id u32, kind u8
+            _, mu, sigma, key_slots = decode_columnar_leaf_page(
+                self.layout, data
+            )
+            leaf.set_columns(
+                mu, sigma, [self.keys[slot] for slot in key_slots]
+            )
+            return
         _, vectors, key_slots = decode_leaf_page(self.layout, data)
         leaf.replace_entries(
             [v.with_key(self.keys[slot]) for v, slot in zip(vectors, key_slots)]
@@ -986,7 +1060,7 @@ def open_tree(
 ):
     """Open a saved index; nodes materialize lazily.
 
-    With ``writable=True`` (format v2 only) the tree accepts
+    With ``writable=True`` (formats v2/v3) the tree accepts
     ``insert``/``delete``, each committed through the write-ahead log;
     call ``flush()``/``close()`` to checkpoint. A WAL left behind by a
     crashed writer is replayed before anything is read, for read-only
@@ -1052,7 +1126,8 @@ def _open_tree_locked(
     if writable and meta["version"] < 2:
         raise ValueError(
             f"{os.fspath(path)!r} is a format v1 index, which opens "
-            "read-only; open it and save() to rewrite as v2 first"
+            "read-only; open it and save() to rewrite it in a current "
+            "format first"
         )
     store = FilePageStore(
         path,
@@ -1083,7 +1158,7 @@ def _open_tree_locked(
     loader = _NodeLoader(store, layout, keys)
     root_bytes = store.fetch_page(meta["root_page"])
     kind = root_bytes[4]  # header: page_id u32, then kind u8
-    if kind == LEAF_KIND:
+    if kind in (LEAF_KIND, COLUMNAR_LEAF_KIND):
         root: Node = LeafNode(meta["root_page"])
         loader.load_leaf(root)  # type: ignore[arg-type]
     elif kind == INNER_KIND:
@@ -1092,6 +1167,7 @@ def _open_tree_locked(
     else:
         raise ValueError(f"root page has unknown kind {kind}")
     tree.root = root
+    tree.vectorized_leaves = meta["version"] >= 3  # columnar leaf pages
     if len(tree) != meta["n_objects"]:
         raise ValueError(
             f"index corrupt: header says {meta['n_objects']} objects, "
@@ -1113,6 +1189,7 @@ def _open_tree_locked(
                 meta["height"],
                 lock=lock,
                 auto_checkpoint_bytes=auto_checkpoint_bytes,
+                format_version=meta["version"],
             )
         )
     else:

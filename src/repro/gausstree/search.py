@@ -30,9 +30,10 @@ scale-invariant, so the shift cancels in every reported probability.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import math
+from heapq import heappop, heappush
+from math import exp as _exp
 
 import numpy as np
 
@@ -47,16 +48,21 @@ __all__ = ["SearchState"]
 _RESCALE_GAP = 300.0
 # Scaled terms above exp(_CAP) are tracked as capped rather than summed.
 _CAP = 690.0
-_UNDERFLOW = -745.0
+# Scaled terms below exp(_UNDERFLOW) are treated as zero. The floor sits
+# inside the *normal* float64 range (exp(-700) ~ 1e-304): letting exponents
+# run to the representable limit (-745) makes ``exp`` emit subnormals,
+# which are ~100x slower on common FPUs and contribute nothing a 1e-12
+# posterior tolerance could ever see.
+_UNDERFLOW = -700.0
+_NEG_INF = -math.inf
 
 
-class _QueueEntry:
-    __slots__ = ("log_upper", "log_lower", "node")
-
-    def __init__(self, log_upper: float, log_lower: float, node: Node) -> None:
-        self.log_upper = log_upper
-        self.log_lower = log_lower
-        self.node = node
+# Queue entries are flat tuples — ``(-log_upper, tiebreak, log_lower,
+# node, count)`` — rather than objects: the traversal pushes and pops one
+# per tree node per query, so the allocation and attribute-access savings
+# are the single biggest term of the per-pop constant. The tiebreak is
+# unique, so heap comparisons never reach the node. ``count`` is the
+# node's count frozen at push time (no mutations mid-query).
 
 
 class _BoundSum:
@@ -89,21 +95,24 @@ class _BoundSum:
         self.capped = 0
         self.drift = 0.0
 
+    # Precomputed _SAFETY * _ULP (exact: the factor is a power of two).
+    _DRIFT_PER_OP = 4.0 * 2.3e-16
+
     def add(self, log_value: float, count: int, shift: float) -> None:
         delta = log_value - shift
         if delta > _CAP:
             self.capped += 1
         elif delta >= _UNDERFLOW:
-            self.finite += count * math.exp(delta)
-            self.drift += self._SAFETY * self._ULP * abs(self.finite)
+            self.finite += count * _exp(delta)
+            self.drift += self._DRIFT_PER_OP * abs(self.finite)
 
     def remove(self, log_value: float, count: int, shift: float) -> None:
         delta = log_value - shift
         if delta > _CAP:
             self.capped -= 1
         elif delta >= _UNDERFLOW:
-            self.drift += self._SAFETY * self._ULP * abs(self.finite)
-            self.finite -= count * math.exp(delta)
+            self.drift += self._DRIFT_PER_OP * abs(self.finite)
+            self.finite -= count * _exp(delta)
             if self.finite < 0.0:  # float drift from add/remove cycles
                 self.finite = 0.0
 
@@ -142,15 +151,27 @@ class SearchState:
         self.q = q
         self.refiner = refiner
         self.query_index = query_index
+        # The refiner's per-page extras cache (a dict mutated in place,
+        # never rebound), kept as an attribute for call-free lookups in
+        # the leaf fast path.
+        self._refiner_extras = (
+            refiner._leaf_extras if refiner is not None else None
+        )
         self.rule = tree.sigma_rule
         self._counter = itertools.count()
-        self._heap: list[tuple[float, int, _QueueEntry]] = []
+        self._heap: list[tuple[float, int, float, Node, int]] = []
+        # Bound once: the store is fixed for the state's lifetime and
+        # the per-pop access accounting sits on the hottest path.
+        self._read = tree.store.read
         self.exact_sum = 0.0
         self._min_rem = _BoundSum()
         self._max_rem = _BoundSum()
         self.max_log_density = -math.inf
         self.nodes_expanded = 0
         self.objects_refined = 0
+        # Of which: objects served by the columnar page kernel — the
+        # stats layer prices these at the cost model's vectorized rate.
+        self.objects_refined_vectorized = 0
         # Stored so that a shift change can rebuild exact_sum losslessly.
         self._leaf_log_densities: list[np.ndarray] = []
         root = tree.root
@@ -159,6 +180,8 @@ class SearchState:
             return
         log_lower, log_upper = node_log_bounds(root.rect, q, self.rule)
         self.shift = log_upper
+        if refiner is not None:
+            refiner.register_shift(query_index, log_upper)
         self._push(root, log_lower, log_upper)
 
     # -- scaling -------------------------------------------------------------
@@ -187,17 +210,19 @@ class SearchState:
             )
         self._min_rem.reset()
         self._max_rem.reset()
-        for _, _, entry in self._heap:
-            n = entry.node.count
-            self._min_rem.add(entry.log_lower, n, self.shift)
-            self._max_rem.add(entry.log_upper, n, self.shift)
+        for item in self._heap:
+            n = item[4]
+            self._min_rem.add(item[2], n, self.shift)
+            self._max_rem.add(-item[0], n, self.shift)
 
     # -- queue ---------------------------------------------------------------
 
     def _push(self, node: Node, log_lower: float, log_upper: float) -> None:
-        entry = _QueueEntry(log_upper, log_lower, node)
-        heapq.heappush(self._heap, (-log_upper, next(self._counter), entry))
         n = node.count
+        heappush(
+            self._heap,
+            (-log_upper, next(self._counter), log_lower, node, n),
+        )
         self._min_rem.add(log_lower, n, self.shift)
         self._max_rem.add(log_upper, n, self.shift)
 
@@ -251,10 +276,10 @@ class SearchState:
             return
         self._min_rem.reset()
         self._max_rem.reset()
-        for _, _, entry in self._heap:
-            n = entry.node.count
-            self._min_rem.add(entry.log_lower, n, self.shift)
-            self._max_rem.add(entry.log_upper, n, self.shift)
+        for item in self._heap:
+            n = item[4]
+            self._min_rem.add(item[2], n, self.shift)
+            self._max_rem.add(-item[0], n, self.shift)
         # A fresh replay's residue is one pass of additions, far below
         # the incremental allowance it replaces.
         self._min_rem.drift = _BoundSum._ULP * self._min_rem.finite * max(
@@ -266,20 +291,25 @@ class SearchState:
 
     # -- expansion -------------------------------------------------------------
 
-    def pop_and_expand(self) -> tuple[LeafNode, np.ndarray] | None:
+    def pop_and_expand(
+        self,
+    ) -> tuple[LeafNode, np.ndarray, float, bool] | None:
         """Pop the top node; count one page access.
 
         Inner node: its children are pushed (their bounds tighten the
         denominator interval) and ``None`` is returned. Leaf: every stored
         pfv is refined exactly (vectorised Lemma 1) and
-        ``(leaf, log_densities)`` is returned.
+        ``(leaf, log_densities, max_log_density, columnar)`` is returned —
+        the max lets callers skip pages that cannot improve their
+        candidate set, the flag whether the page was refined by the
+        columnar kernel (== ``leaf.is_columnar`` after refinement, saved
+        here so callers skip the property re-check).
         """
-        _, _, entry = heapq.heappop(self._heap)
-        node = entry.node
-        n = node.count
-        self._min_rem.remove(entry.log_lower, n, self.shift)
-        self._max_rem.remove(entry.log_upper, n, self.shift)
-        self.tree.store.read(node.page_id)
+        neg_upper, _, log_lower, node, n = heappop(self._heap)
+        shift = self.shift
+        self._min_rem.remove(log_lower, n, shift)
+        self._max_rem.remove(-neg_upper, n, shift)
+        self._read(node.page_id)
         self.nodes_expanded += 1
         if not node.is_leaf:
             if self.refiner is not None:
@@ -290,24 +320,68 @@ class SearchState:
                 lows, highs = node_log_bounds_batch(
                     *node.stacked_child_bounds(), self.q, self.rule  # type: ignore[attr-defined]
                 )
-            for child, lo, hi in zip(node.children, lows, highs):  # type: ignore[attr-defined]
-                self._push(child, float(lo), float(hi))
+            # Inline _push with everything pre-bound: a query pushes one
+            # entry per tree node, so per-child lookups add up.
+            heap = self._heap
+            counter = self._counter
+            min_add = self._min_rem.add
+            max_add = self._max_rem.add
+            for child, lo, hi in zip(node.children, lows.tolist(), highs.tolist()):  # type: ignore[attr-defined]
+                cn = child.count
+                heappush(heap, (-hi, next(counter), lo, child, cn))
+                min_add(lo, cn, shift)
+                max_add(hi, cn, shift)
             return None
         leaf: LeafNode = node  # type: ignore[assignment]
-        if self.refiner is not None:
-            log_dens = self.refiner.leaf_log_densities(leaf)[self.query_index]
+        mass = None
+        used_shift = math.nan
+        refiner = self.refiner
+        if refiner is not None:
+            if leaf.is_columnar:
+                # Columnar fast path: densities, row max and scaled mass
+                # were precomputed for the whole batch on first touch;
+                # indexing the extras lists here keeps a leaf expansion
+                # free of per-call numpy dispatch.
+                extras = self._refiner_extras.get(leaf.page_id)
+                if extras is None:
+                    extras = refiner.leaf_extras(leaf)
+                qi = self.query_index
+                log_dens = extras[0][qi]
+                best = extras[1][qi]
+                mass = extras[2][qi]
+                used_shift = extras[3][qi]
+                columnar = True
+            else:
+                log_dens = refiner.leaf_log_densities(leaf)[self.query_index]
+                best = float(np.max(log_dens))
+                # Re-checked after the density computation, which
+                # materializes disk stubs — a v3 page only reports
+                # columnar once decoded.
+                columnar = leaf.is_columnar
         else:
             mu, sigma = leaf.arrays()
             log_dens = log_joint_density_batch(mu, sigma, self.q, self.rule)
-        self.objects_refined += len(leaf.entries)
-        best = float(np.max(log_dens))
-        if best > self.max_log_density:
-            self.max_log_density = best
+            best = float(np.max(log_dens))
+            columnar = leaf.is_columnar
+        self.objects_refined += n
+        if columnar:
+            self.objects_refined_vectorized += n
+        max_ld = self.max_log_density
+        if best > max_ld:
+            max_ld = self.max_log_density = best
         # Rescale replays the arrays stored so far; append this leaf only
-        # afterwards so its mass enters exact_sum exactly once.
-        self._maybe_rescale()
+        # afterwards so its mass enters exact_sum exactly once. The gap
+        # guard is inlined — _maybe_rescale would repeat it, and this is
+        # once per leaf expansion.
+        if max_ld != _NEG_INF and (
+            shift - max_ld > _RESCALE_GAP or max_ld - shift > _RESCALE_GAP
+        ):
+            self._maybe_rescale()
+            shift = self.shift
         self._leaf_log_densities.append(log_dens)
-        self.exact_sum += float(
-            np.sum(np.exp(np.clip(log_dens - self.shift, _UNDERFLOW, _CAP)))
-        )
-        return leaf, log_dens
+        if mass is None or used_shift != shift:
+            mass = float(
+                np.sum(np.exp(np.clip(log_dens - shift, _UNDERFLOW, _CAP)))
+            )
+        self.exact_sum += mass
+        return leaf, log_dens, best, columnar

@@ -63,8 +63,12 @@ def gausstree_tiq(
     p_theta = query.p_theta
 
     # Min-heap by log density: rejections always happen at the low end
-    # because the denominator lower bound grows monotonically.
-    candidates: list[tuple[float, int, PFV]] = []
+    # because the denominator lower bound grows monotonically. Items are
+    # (log_density, tiebreak, vector) or — for columnar leaves, which
+    # defer pfv construction to the final classification —
+    # (log_density, tiebreak, leaf, index); tiebreaks are unique, so
+    # heap comparisons never reach element 2.
+    candidates: list[tuple] = []
     # Max-heap (negated) of candidates not yet decided-accept — the
     # undecidedness test needs the *largest* straddling candidate
     # (widest posterior interval), which the min-heap cannot expose.
@@ -100,14 +104,28 @@ def gausstree_tiq(
         expanded = state.pop_and_expand()
         if expanded is None:
             continue
-        leaf, log_dens = expanded
-        for vector, ld in zip(leaf.entries, log_dens):
-            heapq.heappush(candidates, (float(ld), next(tiebreak), vector))
-            heapq.heappush(undecided_heap, -float(ld))
-            if float(ld) > max_candidate_log:
-                max_candidate_log = float(ld)
+        leaf, log_dens, best, columnar = expanded
+        # Unlike MLIQ, every entry stays a candidate until the
+        # denominator bounds decide it, so there is nothing to
+        # prefilter — the vectorized win is skipping per-entry pfv
+        # construction (and ndarray scalar boxing) for columnar leaves.
+        if columnar:
+            lds = log_dens.tolist()
+            for i, ld in enumerate(lds):
+                heapq.heappush(candidates, (ld, next(tiebreak), leaf, i))
+                heapq.heappush(undecided_heap, -ld)
+            if lds and best > max_candidate_log:
+                max_candidate_log = best
+        else:
+            for vector, ld in zip(leaf.entries, log_dens):
+                heapq.heappush(candidates, (float(ld), next(tiebreak), vector))
+                heapq.heappush(undecided_heap, -float(ld))
+                if float(ld) > max_candidate_log:
+                    max_candidate_log = float(ld)
 
     matches = _classify(state, candidates, p_theta, tolerance)
+    cost = store.cost_model
+    vectorized = state.objects_refined_vectorized
     stats = QueryStats(
         pages_accessed=store.log.pages_accessed,
         page_faults=store.log.page_faults,
@@ -115,9 +133,12 @@ def gausstree_tiq(
         nodes_expanded=state.nodes_expanded,
         cpu_seconds=time.perf_counter() - started,
         io_seconds=store.log.io_seconds,
-        modeled_cpu_seconds=store.cost_model.modeled_cpu_seconds(
-            state.objects_refined, store.log.pages_accessed
-        ),
+        # Columnar-leaf refinements are priced at the vectorized rate,
+        # the rest (interleaved or mutated pages) at the scalar rate.
+        modeled_cpu_seconds=cost.modeled_cpu_seconds(
+            state.objects_refined - vectorized, store.log.pages_accessed
+        )
+        + cost.modeled_cpu_seconds(vectorized, 0, vectorized=True),
     )
     return matches, stats
 
@@ -182,9 +203,16 @@ def _any_undecided(
     return False  # no candidates, or every candidate decided-accept
 
 
+def _vector_of(item: tuple) -> PFV:
+    """The pfv of a heap item, materializing deferred columnar entries."""
+    if len(item) == 3:
+        return item[2]
+    return item[2].entry_at(item[3])
+
+
 def _classify(
     state: SearchState,
-    candidates: list[tuple[float, int, PFV]],
+    candidates: list[tuple],
     p_theta: float,
     tolerance: float,
 ) -> list[Match]:
@@ -193,7 +221,8 @@ def _classify(
     denom_mid = state.denominator_mid
     n = max(1, len(state.tree))
     matches: list[Match] = []
-    for log_density, _, vector in candidates:
+    for item in candidates:
+        log_density = item[0]
         if denom_mid > 0.0:
             lo = _lower(state, log_density, denom_high)
             hi = _upper(state, log_density, denom_low)
@@ -209,6 +238,6 @@ def _classify(
             # positive tolerance allowed the traversal to stop early.
             accepted = tolerance > 0.0 and mid >= p_theta
         if accepted:
-            matches.append(Match(vector, log_density, mid))
+            matches.append(Match(_vector_of(item), log_density, mid))
     matches.sort(key=lambda m: -m.probability)
     return matches

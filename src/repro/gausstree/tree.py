@@ -96,6 +96,13 @@ class GaussTree:
         self.sigma_rule = sigma_rule
         self.split_quality = split_quality
         self.root: Node = LeafNode(self.store.allocate())
+        #: Planner hint set by bulk loading and by :meth:`open` on
+        #: format-v3 files: leaves are columnar, so ``explain()`` prices
+        #: refinement at the cost model's vectorized rate. Individual
+        #: leaves still answer for themselves at query time
+        #: (``LeafNode.is_columnar``) — a mutated leaf decolumnarizes
+        #: without touching this flag.
+        self.vectorized_leaves = False
         #: Set by :meth:`open` for format-v1 files, which have no free
         #: list and therefore no write path.
         self.read_only = False
@@ -440,13 +447,13 @@ class GaussTree:
         if self.read_only:
             raise RuntimeError(
                 "this Gauss-tree was opened from disk and is read-only; "
-                "open it with writable=True (format v2) to change its "
-                "contents"
+                "open it with writable=True (formats v2/v3) to change "
+                "its contents"
             )
 
     # -- persistence ---------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, *, version: int | None = None) -> None:
         """Write the tree to ``path`` as a self-describing index file.
 
         The file holds the same byte-faithful pages the simulated
@@ -454,6 +461,13 @@ class GaussTree:
         header and a key table; :meth:`open` maps it back. Page ids are
         re-assigned densely on save, so a save/open round trip is also a
         compaction.
+
+        ``version`` picks the disk format: 3 writes columnar leaf pages,
+        2 the interleaved v2 encoding for older readers; both give
+        identical query answers and page accounting. The default
+        (``None``) writes the current format — except for a writable
+        disk-opened tree, which keeps its own file's format (pass
+        ``version=3`` explicitly to upgrade a v2 file).
 
         A tree with an attached writable store flushes its write-ahead
         log first: committed-but-unbuffered state must reach the main
@@ -465,13 +479,20 @@ class GaussTree:
         """
         import os as _os
 
-        from repro.gausstree.persist import save_tree
+        from repro.gausstree.persist import FORMAT_VERSION, save_tree
 
         if self._writer is not None:
             self.flush()
+        if version is None:
+            version = (
+                self._writer.format_version
+                if self._writer is not None
+                else FORMAT_VERSION
+            )
         saved = save_tree(
             self,
             path,
+            version=version,
             _writer_lock=(
                 self._writer._lock if self._writer is not None else None
             ),
@@ -503,7 +524,7 @@ class GaussTree:
         the same logical page-access counts as the in-memory tree.
 
         By default the returned tree is read-only. With
-        ``writable=True`` (format v2 files) ``insert``/``delete`` work
+        ``writable=True`` (format v2/v3 files) ``insert``/``delete`` work
         and are durable per operation through the write-ahead log; call
         :meth:`flush` or :meth:`close` to checkpoint into the main file.
         A WAL left behind by a crashed writer is replayed on open.

@@ -8,7 +8,14 @@ module defines the actual on-page encoding matching
 
 * page header: ``<page_id:uint32> <kind:uint8> <count:uint32> <level:uint16>``
   padded to 16 bytes;
-* leaf entry: ``d`` float64 means, ``d`` float64 sigmas, ``int64`` key;
+* leaf entry (kind 1, formats v1/v2): ``d`` float64 means, ``d`` float64
+  sigmas, ``int64`` key — interleaved per entry;
+* columnar leaf (kind 3, format v3): the same ``n`` entries as three
+  contiguous blocks — ``n*d`` float64 means, then ``n*d`` float64 sigmas,
+  then ``n`` int64 key slots — so a page decodes into ready-to-use
+  ``(n, d)`` ndarrays (zero-copy views of the page bytes) instead of
+  ``n`` Python objects. Same per-entry byte budget as kind 1, hence the
+  identical capacity and tree shape;
 * inner entry: ``4 d`` float64 bounds (mu_lo, mu_hi, sigma_lo, sigma_hi per
   dimension), ``uint32`` child page id, ``uint32`` subtree cardinality.
 
@@ -31,8 +38,11 @@ from repro.storage.layout import PAGE_HEADER_BYTES, PageLayout
 __all__ = [
     "LEAF_KIND",
     "INNER_KIND",
+    "COLUMNAR_LEAF_KIND",
     "encode_leaf_page",
     "decode_leaf_page",
+    "encode_columnar_leaf_page",
+    "decode_columnar_leaf_page",
     "encode_inner_page",
     "decode_inner_page",
     "PageHeader",
@@ -40,6 +50,7 @@ __all__ = [
 
 LEAF_KIND = 1
 INNER_KIND = 2
+COLUMNAR_LEAF_KIND = 3
 
 _HEADER_STRUCT = struct.Struct("<IBIH")  # page_id, kind, count, level
 
@@ -66,7 +77,11 @@ class PageHeader:
         )
 
     def __repr__(self) -> str:
-        kind = {LEAF_KIND: "leaf", INNER_KIND: "inner"}.get(self.kind, "?")
+        kind = {
+            LEAF_KIND: "leaf",
+            INNER_KIND: "inner",
+            COLUMNAR_LEAF_KIND: "columnar-leaf",
+        }.get(self.kind, "?")
         return (
             f"PageHeader(page={self.page_id}, {kind}, count={self.count}, "
             f"level={self.level})"
@@ -136,6 +151,79 @@ def decode_leaf_page(
         vectors.append(PFV(mu.copy(), sigma.copy(), key))
         keys.append(key)
     return header, vectors, keys
+
+
+def encode_columnar_leaf_page(
+    layout: PageLayout,
+    page_id: int,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    key_slots: Sequence[int],
+) -> bytes:
+    """Encode a leaf as contiguous column blocks (format v3, kind 3).
+
+    ``mu`` and ``sigma`` are ``(n, d)`` float64 stacks; ``key_slots``
+    the ``n`` int64 key-table slots. The page holds
+    ``header | mu block | sigma block | key block``, padded to
+    ``layout.page_size``.
+    """
+    mu = np.ascontiguousarray(mu, dtype="<f8")
+    sigma = np.ascontiguousarray(sigma, dtype="<f8")
+    n = len(key_slots)
+    if mu.ndim != 2 or mu.shape != sigma.shape:
+        raise ValueError(
+            f"columns must both be (n, d), got {mu.shape} and {sigma.shape}"
+        )
+    if mu.shape != (n, layout.dims):
+        raise ValueError(
+            f"columns are {mu.shape}, layout expects ({n}, {layout.dims})"
+        )
+    if n > layout.leaf_capacity:
+        raise ValueError(
+            f"{n} entries exceed leaf capacity {layout.leaf_capacity}"
+        )
+    body = b"".join(
+        [
+            _pack_header(page_id, COLUMNAR_LEAF_KIND, n, 0),
+            mu.tobytes(),
+            sigma.tobytes(),
+            np.asarray(key_slots, dtype="<i8").tobytes(),
+        ]
+    )
+    if len(body) > layout.page_size:
+        raise ValueError("encoded page overflows the page size")
+    return body + b"\x00" * (layout.page_size - len(body))
+
+
+def decode_columnar_leaf_page(
+    layout: PageLayout, page: bytes
+) -> tuple[PageHeader, np.ndarray, np.ndarray, list[int]]:
+    """Decode a columnar leaf page into ``(header, mu, sigma, key_slots)``.
+
+    ``mu`` and ``sigma`` are read-only ``(n, d)`` float64 views of the
+    page bytes — no per-entry objects, no copies; the page buffer stays
+    alive as the arrays' base.
+    """
+    if len(page) != layout.page_size:
+        raise ValueError(
+            f"page has {len(page)} bytes, layout expects {layout.page_size}"
+        )
+    header = _unpack_header(page)
+    if header.kind != COLUMNAR_LEAF_KIND:
+        raise ValueError(f"not a columnar leaf page (kind={header.kind})")
+    n, d = header.count, layout.dims
+    offset = PAGE_HEADER_BYTES
+    mu = np.frombuffer(page, dtype="<f8", count=n * d, offset=offset)
+    offset += n * d * 8
+    sigma = np.frombuffer(page, dtype="<f8", count=n * d, offset=offset)
+    offset += n * d * 8
+    key_slots = np.frombuffer(page, dtype="<q", count=n, offset=offset)
+    return (
+        header,
+        mu.reshape(n, d),
+        sigma.reshape(n, d),
+        key_slots.tolist(),
+    )
 
 
 def encode_inner_page(

@@ -499,3 +499,38 @@ def test_writable_open_trusts_shard_indexes_over_stale_manifest(tmp_path):
         assert len(s) == 16  # the indexes know better
     _, epoch = _count_map(manifest.source_path)
     assert epoch >= 16
+
+
+def test_empty_shard_gets_index_lazily_on_first_write(tmp_path):
+    """A shard that was empty at build time (``path=None`` in the
+    manifest) materializes its index file on the first routed write —
+    named as ``build_shards`` would have named it — instead of
+    rejecting the batch."""
+    import json
+
+    db = PFVDatabase(
+        [PFV([0.2] * 3, [0.1] * 3, key=0), PFV([0.8] * 3, [0.1] * 3, key=1)]
+    )
+    manifest = build_shards(
+        db, 4, str(tmp_path / "lazy"), policy="round-robin"
+    )
+    assert [s.path for s in manifest.shards].count(None) == 2
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        s.insert_many(
+            [PFV([0.5] * 3, [0.1] * 3, key=k) for k in range(2, 10)]
+        )
+        assert len(s) == 10
+        rs = s.execute(MLIQ(PFV([0.5] * 3, [0.1] * 3), 10))
+        assert len(rs.matches) == 10
+    with open(manifest.source_path) as f:
+        doc = json.load(f)
+    paths = [sh["path"] for sh in doc["shards"]]
+    assert None not in paths
+    assert paths[2] == "lazy.shard-02.gauss"
+    for path in paths:
+        assert (tmp_path / path).exists()
+    # Round-robin over 4 shards: 10 sequential positions -> 3/3/2/2.
+    assert [sh["objects"] for sh in doc["shards"]] == [3, 3, 2, 2]
+    # The deployment reopens like any fully-populated one.
+    with connect(manifest.source_path, backend="sharded") as s:
+        assert len(s) == 10

