@@ -40,9 +40,12 @@ The sharded serving commands (see README "Sharded serving"):
 
 ``shard-build`` partitions a dataset deterministically (hash or
 round-robin), saves one Gauss-tree index per shard and writes the
-``.shards.json`` manifest; ``query --backend sharded`` fans batches out
+``.shards.json`` manifest (``--replicas K`` clones each shard for read
+routing and failover); ``query --backend sharded`` fans batches out
 to the shards and merges globally renormalised posteriors; ``serve``
-exposes any index (or manifest) as a concurrent JSON HTTP endpoint.
+exposes any index (or manifest) as a concurrent JSON HTTP endpoint;
+``reshard MANIFEST --shards N`` rebuilds the deployment at a new shard
+count and cuts over atomically while queries keep flowing.
 ``query --input workload.jsonl`` (or ``--input -`` for stdin) replays a
 JSONL spec file — the same wire format the server accepts — instead of
 generating a re-observation workload.
@@ -266,18 +269,47 @@ def _cmd_shard_build(args: argparse.Namespace) -> None:
         args.out_prefix,
         policy=args.policy,
         page_size=args.page_size,
+        replicas=args.replicas,
     )
     elapsed = time.perf_counter() - started
     sizes = ", ".join(str(s.objects) for s in manifest.shards)
     print(
         f"sharded data set {args.dataset} (n={len(db)}) into "
         f"{manifest.n_shards} shard(s) [{sizes}] with policy "
-        f"{manifest.policy!r} in {elapsed:.1f}s"
+        f"{manifest.policy!r}"
+        + (f", {args.replicas} replica(s) each" if args.replicas else "")
+        + f" in {elapsed:.1f}s"
     )
     print(f"manifest: {manifest.source_path}")
     print(
         "serve it:  python -m repro serve "
         f"{manifest.source_path} --pool process"
+    )
+
+
+def _cmd_reshard(args: argparse.Namespace) -> None:
+    from repro.cluster import reshard
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    started = time.perf_counter()
+    manifest = reshard(
+        args.manifest,
+        args.shards,
+        policy=args.policy,
+        page_size=args.page_size,
+        replicas=args.replicas,
+    )
+    elapsed = time.perf_counter() - started
+    sizes = ", ".join(str(s.objects) for s in manifest.shards)
+    print(
+        f"resharded {args.manifest} to {manifest.n_shards} shard(s) "
+        f"[{sizes}] (generation {manifest.generation}, policy "
+        f"{manifest.policy!r}) in {elapsed:.1f}s"
+    )
+    print(
+        "cutover is atomic: sessions opened before it keep serving the "
+        "old generation; delete its files once they are gone"
     )
 
 
@@ -617,7 +649,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=8192,
         help="bytes per shard index page (default: 8192)",
     )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="replica clones per shard (recorded in the manifest; WAL "
+        "shipping keeps them live, reads rotate across them and fail "
+        "over when a worker dies; default: 0)",
+    )
     p.set_defaults(func=_cmd_shard_build)
+
+    p = sub.add_parser(
+        "reshard",
+        help="re-shard a deployment to a new shard count, cutting over "
+        "atomically via the manifest while queries keep flowing",
+    )
+    p.add_argument(
+        "manifest", help=".shards.json manifest written by `shard-build`"
+    )
+    p.add_argument(
+        "--shards", type=int, required=True, help="new shard count"
+    )
+    p.add_argument(
+        "--policy",
+        default=None,
+        choices=("hash", "round-robin"),
+        help="placement policy for the new layout (default: keep the "
+        "deployment's current policy)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="replica clones per new shard (default: keep the current "
+        "per-shard replica count)",
+    )
+    p.add_argument(
+        "--page-size",
+        type=int,
+        default=8192,
+        help="bytes per new shard index page (default: 8192)",
+    )
+    p.set_defaults(func=_cmd_reshard)
 
     p = sub.add_parser(
         "serve",
@@ -659,8 +732,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="session-pool size: concurrent POST /query handlers "
         "execute on this many sessions over the same index "
-        "(default 1; replicas serve the last-checkpoint state of a "
-        "writable index)",
+        "(default 1; replica sessions are refreshed after every "
+        "accepted insert, so reads through any slot are "
+        "read-your-writes consistent)",
     )
     p.add_argument(
         "--writable",

@@ -29,6 +29,14 @@ The lifecycle:
    :mod:`~repro.cluster.wire` as the shared workload format
    (``repro query --input queries.jsonl`` speaks it too).
 
+Elasticity (PR 7): ``repro shard-build --replicas K`` clones each shard
+K times; a writable session WAL-ships every committed batch to the
+clones (:mod:`repro.storage.ship`), read-only sessions rotate reads
+across them and the pools retry a failed task on the next replica — a
+worker killed mid-batch costs a retry, not the batch. :func:`reshard`
+(CLI: ``repro reshard``) rebuilds the deployment at a new shard count
+and cuts over atomically via the manifest while queries keep flowing.
+
 Importing this package registers the ``"sharded"`` backend with the
 engine registry (``repro`` imports it eagerly, so ``connect(...,
 backend="sharded")`` always works).
@@ -47,6 +55,7 @@ from repro.cluster.partition import (
     stable_shard_hash,
 )
 from repro.cluster.pool import POOL_KINDS, ProcessPool, SerialPool, make_pool
+from repro.cluster.reshard import reshard
 from repro.cluster.server import QueryServer, SessionPool, serve
 from repro.cluster.wire import (
     WireError,
@@ -73,6 +82,7 @@ __all__ = [
     "SerialPool",
     "ProcessPool",
     "make_pool",
+    "reshard",
     "QueryServer",
     "SessionPool",
     "serve",

@@ -52,6 +52,19 @@ and every commit refreshes the manifest's per-shard object counts and
 epoch. The process pool is refused for writable sessions: its workers
 open shards in other processes read-only, where they could not see
 uncheckpointed writes.
+
+**Replicas & failover.** A v2 manifest may record replica index files
+per shard. A *writable* session ships its WAL to them after every
+committed batch (:class:`~repro.storage.ship.WALShipper` — replica
+apply is the crash-recovery path, so a replica is always a committed
+prefix of the primary) and the primary stays sole writer. A *read-only*
+session routes each fan-out to a replica (rotating across them;
+the primary is the last-resort fallback, since an external writer may
+leave the primary's main file at its last checkpoint while replicas got
+the shipped tail) and arms the pool's retry hook: a worker that dies or
+a replica that will not open re-targets the failed task onto the next
+replica of the same shard, so the batch completes with answers
+bit-identical to the fault-free run.
 """
 
 from __future__ import annotations
@@ -82,7 +95,12 @@ from repro.cluster.partition import (
     partition_database,
     shard_of,
 )
-from repro.cluster.pool import ClusterError, SerialPool, make_pool
+from repro.cluster.pool import (
+    ClusterError,
+    SerialPool,
+    _shard_label,
+    make_pool,
+)
 
 __all__ = ["ClusterError", "ShardedBackend", "ShardReply"]
 
@@ -112,12 +130,16 @@ class ShardReply:
 
 
 class _ShardOpener:
-    """Picklable ``opener(shard_id) -> Session`` over the shard sources.
+    """Picklable ``opener(key) -> Session`` over the shard sources.
 
     Sources are per-shard index file paths (manifest mode) or per-shard
     :class:`PFVDatabase` slices (in-memory mode). Workers call this
     lazily, so each process opens only the shards it actually serves and
-    keeps their page buffers local.
+    keeps their page buffers local. The task key is an ``int`` shard id
+    (the primary) or ``(shard_id, replica_idx)`` with ``replica_idx >=
+    1`` naming one of the shard's replica files from
+    ``replica_sources`` — replicas always open read-only (the primary is
+    sole writer).
     """
 
     def __init__(
@@ -126,32 +148,53 @@ class _ShardOpener:
         inner: str,
         inner_options: dict,
         writable: bool = False,
+        replica_sources: list | None = None,
     ) -> None:
         self.sources = sources
         self.inner = inner
         self.inner_options = dict(inner_options)
         self.writable = writable
+        self.replica_sources = replica_sources
 
-    def __call__(self, shard_id: int) -> Session:
-        """Open shard ``shard_id``'s session (writable when the owning
-        deployment is)."""
-        source = self.sources[shard_id]
+    def __call__(self, key) -> Session:
+        """Open one task key's session (writable only for a primary key
+        of a writable deployment)."""
+        if isinstance(key, tuple):
+            shard_id, replica_idx = key
+        else:
+            shard_id, replica_idx = key, 0
+        if replica_idx == 0:
+            source = self.sources[shard_id]
+            writable = self.writable
+        else:
+            replicas = (
+                self.replica_sources[shard_id]
+                if self.replica_sources is not None
+                else []
+            )
+            source = (
+                replicas[replica_idx - 1]
+                if replica_idx - 1 < len(replicas)
+                else None
+            )
+            writable = False
         if source is None:
             raise ClusterError(
-                f"shard {shard_id} is empty and has no index to open"
+                f"shard {_shard_label(key)} is empty and has no index "
+                "to open"
             )
         try:
             backend = create_backend(
                 self.inner,
                 source,
-                writable=self.writable,
+                writable=writable,
                 options=dict(self.inner_options),
             )
         except ClusterError:
             raise
         except Exception as exc:
             raise ClusterError(
-                f"cannot open shard {shard_id} "
+                f"cannot open shard {_shard_label(key)} "
                 f"({source if isinstance(source, str) else 'in-memory'}) "
                 f"with inner backend {self.inner!r}: {exc}"
             ) from exc
@@ -248,6 +291,8 @@ class ShardedBackend(BackendAdapter):
         writable: bool = False,
         policy: str | None = None,
         placement_epoch: int | None = None,
+        replicas: list | None = None,
+        runner=None,
     ) -> None:
         if len(sources) != len(counts):
             raise ValueError("one object count per shard source required")
@@ -260,6 +305,19 @@ class ShardedBackend(BackendAdapter):
         self.inner = inner
         self.manifest = manifest
         self._writable = writable
+        #: Per-shard replica index paths (empty lists without replicas).
+        #: Read-only sessions route fan-outs to them; writable sessions
+        #: keep them current by WAL shipping after every commit.
+        self._replicas: list[list[str]] = [
+            list(r) for r in (replicas or [])
+        ]
+        while len(self._replicas) < len(sources):
+            self._replicas.append([])
+        self._shippers: dict[int, object] = {}
+        self._rotation = 0
+        #: The worker-side payload runner — a test can substitute a
+        #: fault-injecting wrapper (``storage.fault.killing_runner``).
+        self._runner = runner if runner is not None else _run_shard_payload
         #: Placement policy writes route by (from the manifest, or the
         #: in-memory partitioning choice; None on read-only sessions
         #: over pre-sharded sources whose policy is unknown).
@@ -271,14 +329,25 @@ class ShardedBackend(BackendAdapter):
         self._counts = list(counts)
         self._sources = list(sources)
         self._opener = _ShardOpener(
-            self._sources, inner, inner_options, writable=writable
+            self._sources,
+            inner,
+            inner_options,
+            writable=writable,
+            replica_sources=self._replicas,
         )
+        # With replicas on a read-only session, arm the pool's retry
+        # hook: enough attempts to visit every replica plus the primary
+        # (the last-resort fallback), re-targeted by _failover_target.
+        max_replicas = max((len(r) for r in self._replicas), default=0)
+        use_failover = max_replicas > 0 and not writable
         self._pool = make_pool(
             pool_kind,
             self._opener,
-            _run_shard_payload,
+            self._runner,
             n_shards=len(sources),
             workers=workers,
+            attempts=max_replicas + 2 if use_failover else 1,
+            failover=self._failover_target if use_failover else None,
         )
         # Spawn pool workers now, while the constructing thread (the
         # connect() caller) is the only one running — forking later
@@ -343,8 +412,64 @@ class ShardedBackend(BackendAdapter):
             self._meta_sessions[shard_id] = session
         return session
 
+    def _task_key(self, shard_id: int):
+        """The pool task key a fan-out uses for one shard.
+
+        Writable sessions (and shards without replicas) read the
+        primary. Read-only sessions with replicas rotate across them —
+        an external writer may leave the primary's main file at its
+        last checkpoint while the replicas carry the shipped WAL tail,
+        so replicas are the *fresher* read targets, not just spares.
+        """
+        replicas = self._replicas[shard_id]
+        if self._writable or not replicas:
+            return shard_id
+        return (shard_id, 1 + self._rotation % len(replicas))
+
+    def _failover_target(self, key, attempt: int):
+        """Pool retry hook: the next replica of the failed task's shard
+        (cycling through every replica, then the primary)."""
+        if isinstance(key, tuple):
+            shard_id, replica_idx = key
+        else:
+            shard_id, replica_idx = key, 0
+        n = len(self._replicas[shard_id])
+        if n == 0:
+            return None
+        order = [*range(1, n + 1), 0]  # primary is the last resort
+        position = order.index(replica_idx) if replica_idx in order else -1
+        return (shard_id, order[(position + 1) % len(order)])
+
+    def _shipper(self, shard_id: int):
+        """The shard's lazily built WAL shipper (None without replicas).
+
+        First construction fully resyncs the replicas: a predecessor
+        writer may have crashed after committing but before shipping,
+        and the resync re-establishes the replica-is-a-committed-prefix
+        invariant from the recovered primary.
+        """
+        if not self._replicas[shard_id] or self._sources[shard_id] is None:
+            return None
+        shipper = self._shippers.get(shard_id)
+        if shipper is None:
+            from repro.storage.ship import WALShipper
+
+            shipper = WALShipper(
+                self._sources[shard_id], self._replicas[shard_id]
+            )
+            self._shippers[shard_id] = shipper
+        return shipper
+
+    def _ship_replicas(self, shard_ids) -> None:
+        """Forward freshly committed WAL bytes to the shards' replicas."""
+        for shard_id in shard_ids:
+            shipper = self._shipper(shard_id)
+            if shipper is not None:
+                shipper.ship()
+
     def _fan_out(self, payload) -> list[tuple[int, ShardReply]]:
-        tasks = [(i, payload) for i in self._active]
+        tasks = [(self._task_key(i), payload) for i in self._active]
+        self._rotation += 1
         replies = self._pool.run(tasks)
         for shard_id, reply in zip(self._active, replies):
             self._pending_provenance.append(
@@ -545,12 +670,17 @@ class ShardedBackend(BackendAdapter):
         except Exception as exc:
             # A mid-batch IO failure is partial by nature (per-shard
             # WALs are independent); persist what landed and say so.
+            self._ship_replicas(sessions)
             self._refresh_manifest()
             raise ClusterError(
                 f"insert batch failed after {committed} of {len(batch)} "
                 f"vectors committed (per-shard transactions are "
                 f"independent): {exc}"
             ) from exc
+        # Replicas catch up as soon as the shard WALs hold the commits,
+        # so replica-routed readers (server sessions, process pools)
+        # observe this batch without waiting for a checkpoint.
+        self._ship_replicas(sessions)
         self._refresh_manifest()
         return len(batch)
 
@@ -571,18 +701,30 @@ class ShardedBackend(BackendAdapter):
         for shard_id in candidates:
             if self._writable_session(shard_id).delete(v):
                 self._note_count_change(shard_id, -1)
+                self._ship_replicas([shard_id])
                 self._refresh_manifest()
                 return True
         return False
 
     def flush(self) -> None:
         """Checkpoint every writable shard session and refresh the
-        manifest (no-op on read-only sessions)."""
+        manifest (no-op on read-only sessions).
+
+        Replicas ship *before* each shard's checkpoint (the checkpoint
+        resets the primary WAL, destroying the unshipped tail) and are
+        marked current after it (``note_reset`` — the replicas already
+        hold everything the checkpoint folded in, no resync needed).
+        """
         if not self._writable:
             return
         for shard_id, source in enumerate(self._sources):
             if source is not None:
+                shipper = self._shipper(shard_id)
+                if shipper is not None:
+                    shipper.ship()
                 self._pool.session(shard_id).flush()
+                if shipper is not None:
+                    shipper.note_reset()
         self._refresh_manifest()
 
     def _refresh_manifest(self) -> None:
@@ -596,7 +738,11 @@ class ShardedBackend(BackendAdapter):
         ):
             return
         shards = tuple(
-            ShardInfo(path=info.path, objects=self._counts[i])
+            ShardInfo(
+                path=info.path,
+                objects=self._counts[i],
+                replicas=info.replicas,
+            )
             for i, info in enumerate(self.manifest.shards)
         )
         manifest = dataclasses.replace(
@@ -769,6 +915,7 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
         counts = [info.objects for info in manifest.shards]
         route_policy = manifest.policy
         placement_epoch = manifest.effective_placement_epoch
+        replicas = manifest.replica_paths()
     else:
         if shards_requested is None:
             raise TypeError(
@@ -791,6 +938,7 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
         sources = list(parts)
         counts = [len(p) for p in parts]
         placement_epoch = len(db)
+        replicas = None  # in-memory shards have no replica files
 
     # Tighten the Gauss-tree's posterior tolerance below the merge's
     # cross-shard agreement budget unless the caller chose their own.
@@ -808,6 +956,7 @@ def _make_sharded(source, *, writable: bool, options: dict) -> ShardedBackend:
         writable=writable,
         policy=route_policy,
         placement_epoch=placement_epoch,
+        replicas=replicas,
     )
 
 

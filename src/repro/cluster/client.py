@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Sequence
@@ -54,15 +55,38 @@ class RemoteAnswer:
 
 
 class ServeClient:
-    """HTTP client bound to one ``repro serve`` endpoint."""
+    """HTTP client bound to one ``repro serve`` endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``retries`` (default 0 — fail fast, the historical behaviour)
+    re-issues a request that could not *reach* the server up to that
+    many extra times, sleeping ``retry_backoff * attempt`` seconds in
+    between. Only transport failures retry: requests are re-sent
+    verbatim, which is safe for the read endpoints but would duplicate
+    an ``/insert`` whose response got lost, and an HTTP error status is
+    an answer, not an outage. Useful while a serving endpoint restarts
+    during failover or a reshard cutover.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        retries: int = 0,
+        retry_backoff: float = 0.2,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     # -- plumbing ------------------------------------------------------------
 
-    def _request(self, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self, path: str, body: dict | None = None, *, retries: int | None = None
+    ) -> dict:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -70,28 +94,35 @@ class ServeClient:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                payload = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempts = 1 + (self.retries if retries is None else retries)
+        for attempt in range(attempts):
+            if attempt and self.retry_backoff:
+                time.sleep(self.retry_backoff * attempt)
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get(
-                    "error", ""
-                )
-            except Exception:
-                detail = ""
-            raise RemoteError(
-                f"{url} answered HTTP {exc.code}"
-                + (f": {detail}" if detail else ""),
-                status=exc.code,
-            ) from exc
-        except (urllib.error.URLError, OSError) as exc:
-            raise RemoteError(f"cannot reach {url}: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise RemoteError(f"{url} answered non-object JSON")
-        return payload
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    detail = json.loads(exc.read().decode("utf-8")).get(
+                        "error", ""
+                    )
+                except Exception:
+                    detail = ""
+                raise RemoteError(
+                    f"{url} answered HTTP {exc.code}"
+                    + (f": {detail}" if detail else ""),
+                    status=exc.code,
+                ) from exc
+            except (urllib.error.URLError, OSError) as exc:
+                if attempt + 1 < attempts:
+                    continue
+                raise RemoteError(f"cannot reach {url}: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise RemoteError(f"{url} answered non-object JSON")
+            return payload
+        raise AssertionError("unreachable")  # the loop returns or raises
 
     # -- endpoints -----------------------------------------------------------
 
@@ -137,7 +168,10 @@ class ServeClient:
             vectors = [vectors]
         if not vectors:
             raise ValueError("insert() needs at least one pfv")
+        # Never auto-retry writes: a lost response would re-send (and
+        # re-apply) the whole batch.
         return self._request(
             "/insert",
             {"vectors": [pfv_to_json(v) for v in vectors]},
+            retries=0,
         )

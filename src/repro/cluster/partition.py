@@ -28,6 +28,16 @@ Both policies assign every object to exactly one shard — the global
 Bayes denominator is then the sum of the per-shard denominators, which
 is what makes the distributed posterior merge of
 :mod:`repro.cluster.backend` exact.
+
+**Replication & generations (manifest v2).** Each shard may record a
+list of replica index files (kept live by WAL shipping,
+:mod:`repro.storage.ship`); the sharded backend routes reads to them
+and fails over when a worker dies, the primary stays sole writer. A
+``generation`` counter names the current shard-file family — online
+re-sharding (:mod:`repro.cluster.reshard`) bulk-loads generation
+``g+1`` files beside generation ``g`` and cuts over with one atomic
+manifest replace, so in-flight queries keep reading the old generation.
+Version-1 manifests (no replicas, generation 0) still load unchanged.
 """
 
 from __future__ import annotations
@@ -55,7 +65,10 @@ __all__ = [
 PARTITION_POLICIES = ("hash", "round-robin")
 
 MANIFEST_SUFFIX = ".shards.json"
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
+#: Versions this build can read. v1 = no replicas/generation (PR 4/5);
+#: v2 adds per-shard ``replicas`` lists and the manifest ``generation``.
+_READABLE_VERSIONS = (1, 2)
 
 
 def stable_shard_hash(v: PFV) -> int:
@@ -118,11 +131,15 @@ class ShardInfo:
 
     ``path`` is ``None`` for an empty shard (an empty Gauss-tree has no
     dimensionality to serialize); the backend skips opening it but still
-    counts it in the layout.
+    counts it in the layout. ``replicas`` lists the shard's replica
+    index files (relative to the manifest, like ``path``); WAL shipping
+    keeps them a committed prefix of the primary and readers may be
+    routed to any of them.
     """
 
     path: str | None
     objects: int
+    replicas: tuple[str, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -143,6 +160,11 @@ class ShardManifest:
     #: :attr:`effective_placement_epoch`). Round-robin write routing
     #: continues the position sequence from here.
     placement_epoch: int | None = None
+    #: Which shard-file family is current. Re-sharding writes
+    #: generation ``g+1`` files beside generation ``g`` and bumps this
+    #: in one atomic manifest replace (the cutover point); old files
+    #: stay on disk for sessions that opened before the cutover.
+    generation: int = 0
 
     @property
     def total_objects(self) -> int:
@@ -172,6 +194,18 @@ class ShardManifest:
             for s in self.shards
         ]
 
+    def replica_paths(self) -> list[list[str]]:
+        """Absolute replica index paths, one list per shard (possibly
+        empty — a shard with no replicas has no failover targets)."""
+        base = (
+            os.path.dirname(os.path.abspath(self.source_path))
+            if self.source_path
+            else os.getcwd()
+        )
+        return [
+            [os.path.join(base, r) for r in s.replicas] for s in self.shards
+        ]
+
     def to_json(self) -> dict:
         """The manifest's JSON document (what :meth:`save` writes)."""
         return {
@@ -181,8 +215,14 @@ class ShardManifest:
             "n_shards": self.n_shards,
             "sigma_rule": self.sigma_rule,
             "placement_epoch": self.effective_placement_epoch,
+            "generation": self.generation,
             "shards": [
-                {"path": s.path, "objects": s.objects} for s in self.shards
+                {
+                    "path": s.path,
+                    "objects": s.objects,
+                    "replicas": list(s.replicas),
+                }
+                for s in self.shards
             ],
         }
 
@@ -236,14 +276,18 @@ def load_manifest(path) -> ShardManifest:
             f"{path} is not a gauss-tree shard manifest "
             "(missing format marker 'gausstree-shards')"
         )
-    if data.get("version") != _MANIFEST_VERSION:
+    if data.get("version") not in _READABLE_VERSIONS:
         raise ClusterError(
             f"unsupported manifest version {data.get('version')!r} in {path} "
-            f"(this build reads version {_MANIFEST_VERSION})"
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
     try:
         shards = tuple(
-            ShardInfo(path=s["path"], objects=int(s["objects"]))
+            ShardInfo(
+                path=s["path"],
+                objects=int(s["objects"]),
+                replicas=tuple(str(r) for r in s.get("replicas", ())),
+            )
             for s in data["shards"]
         )
         raw_epoch = data.get("placement_epoch")
@@ -254,6 +298,7 @@ def load_manifest(path) -> ShardManifest:
             shards=shards,
             source_path=path,
             placement_epoch=None if raw_epoch is None else int(raw_epoch),
+            generation=int(data.get("generation", 0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ClusterError(
@@ -278,17 +323,25 @@ def build_shards(
     *,
     policy: str = "hash",
     page_size: int = 8192,
+    replicas: int = 0,
 ) -> ShardManifest:
     """Partition ``db``, save one Gauss-tree index per shard and write
     the manifest ``<out_prefix>.shards.json``.
 
     Shard files are named ``<out_prefix>.shard-NN.gauss`` and live next
     to the manifest (recorded relative, so the set relocates together).
-    Returns the saved manifest (``source_path`` set).
+    With ``replicas=k`` each non-empty shard additionally gets ``k``
+    replica clones (``<shard>.r1`` ...), recorded in the manifest for
+    read routing and failover; WAL shipping keeps them current once the
+    deployment takes writes. Returns the saved manifest (``source_path``
+    set).
     """
     from repro.gausstree.bulkload import bulk_load
     from repro.storage.layout import PageLayout
+    from repro.storage.ship import create_replica, replica_path
 
+    if replicas < 0:
+        raise ValueError(f"replicas must be >= 0, got {replicas}")
     out_prefix = os.fspath(out_prefix)
     if out_prefix.endswith(MANIFEST_SUFFIX):
         out_prefix = out_prefix[: -len(MANIFEST_SUFFIX)]
@@ -306,9 +359,17 @@ def build_shards(
             part.vectors, layout=layout, sigma_rule=part.sigma_rule
         )
         tree.save(shard_path)
+        replica_names = tuple(
+            os.path.basename(
+                create_replica(shard_path, replica_path(shard_path, k))
+            )
+            for k in range(1, replicas + 1)
+        )
         infos.append(
             ShardInfo(
-                path=os.path.basename(shard_path), objects=len(part)
+                path=os.path.basename(shard_path),
+                objects=len(part),
+                replicas=replica_names,
             )
         )
     manifest = ShardManifest(

@@ -24,6 +24,20 @@ Two implementations share that contract:
 Failures never hang the caller: a payload that raises, a worker that
 dies mid-batch (``BrokenProcessPool``) and a shard that cannot open all
 surface as :class:`ClusterError` naming the shard.
+
+**Failover.** Both pools take ``attempts``/``backoff``/``failover``:
+a failed task is retried up to ``attempts`` times total, sleeping
+``backoff * attempt`` seconds between rounds, and an optional
+``failover(task_key, attempt) -> task_key | None`` hook re-targets each
+retry (the sharded backend maps ``(shard, replica)`` keys to the next
+replica of the same shard, which is what turns a dead worker or a lost
+replica file into a transparent retry instead of a failed batch). The
+shard task key is opaque to the pool — an ``int`` shard id or a
+``(shard_id, replica_idx)`` tuple — it only keys the per-worker session
+cache and names the shard in errors. Retries preserve result order and
+resubmit only the failed tasks; a retry that keeps failing surfaces the
+*first* error of the final round, so the historical error messages
+(``"worker process died ..."``) are stable.
 """
 
 from __future__ import annotations
@@ -55,8 +69,20 @@ class ClusterError(RuntimeError):
 def default_workers(n_shards: int) -> int:
     """Worker count when the caller does not choose: one per shard,
     bounded by the visible cores (but never below 2 — overlap between a
-    blocked and a running shard batch helps even on small hosts)."""
-    return max(1, min(n_shards, max(2, os.cpu_count() or 1)))
+    blocked and a running shard batch helps even on small hosts, and a
+    single-shard deployment still overlaps a dying worker's replacement
+    with its healthy sibling)."""
+    return max(2, min(n_shards, max(2, os.cpu_count() or 1)))
+
+
+def _shard_label(key) -> str:
+    """Human-readable shard name of a task key (int or shard/replica)."""
+    if isinstance(key, tuple):
+        shard_id, replica = key
+        return f"{shard_id}" if replica == 0 else (
+            f"{shard_id} (replica {replica})"
+        )
+    return f"{key}"
 
 
 class SerialPool:
@@ -74,13 +100,22 @@ class SerialPool:
         self,
         opener: Callable[[int], Any],
         runner: Callable[[Any, Any], Any],
+        *,
+        attempts: int = 1,
+        backoff: float = 0.05,
+        failover: Callable[[Any, int], Any] | None = None,
     ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
         self._opener = opener
         self._runner = runner
-        self._sessions: dict[int, Any] = {}
+        self.attempts = attempts
+        self.backoff = backoff
+        self._failover = failover
+        self._sessions: dict[Any, Any] = {}
         self._closed = False
 
-    def session(self, shard_id: int):
+    def session(self, shard_id):
         """The cached session of one shard (opened on first use)."""
         session = self._sessions.get(shard_id)
         if session is None:
@@ -90,27 +125,41 @@ class SerialPool:
                 raise
             except Exception as exc:
                 raise ClusterError(
-                    f"cannot open shard {shard_id}: {exc}"
+                    f"cannot open shard {_shard_label(shard_id)}: {exc}"
                 ) from exc
             self._sessions[shard_id] = session
         return session
 
-    def run(self, tasks: Sequence[tuple[int, Any]]) -> list[Any]:
+    def _run_one(self, key, payload):
+        """One task with bounded retries; failover re-targets the key."""
+        last_error: ClusterError | None = None
+        for attempt in range(self.attempts):
+            if attempt:
+                if self.backoff:
+                    time.sleep(self.backoff * attempt)
+                if self._failover is not None:
+                    alternate = self._failover(key, attempt)
+                    if alternate is not None:
+                        key = alternate
+            try:
+                session = self.session(key)
+                return self._runner(session, payload)
+            except ClusterError as exc:
+                last_error = exc
+            except Exception as exc:
+                last_error = ClusterError(
+                    f"shard {_shard_label(key)} failed executing its "
+                    f"batch: {exc}"
+                )
+                last_error.__cause__ = exc
+        assert last_error is not None
+        raise last_error
+
+    def run(self, tasks: Sequence[tuple[Any, Any]]) -> list[Any]:
         """Run shard tasks one after another; results in task order."""
         if self._closed:
             raise ClusterError("worker pool is closed")
-        results = []
-        for shard_id, payload in tasks:
-            session = self.session(shard_id)
-            try:
-                results.append(self._runner(session, payload))
-            except ClusterError:
-                raise
-            except Exception as exc:
-                raise ClusterError(
-                    f"shard {shard_id} failed executing its batch: {exc}"
-                ) from exc
-        return results
+        return [self._run_one(key, payload) for key, payload in tasks]
 
     def close(self) -> None:
         """Close every cached shard session (writable ones checkpoint)."""
@@ -175,12 +224,24 @@ class ProcessPool:
         opener: Callable[[int], Any],
         runner: Callable[[Any, Any], Any],
         workers: int,
+        *,
+        attempts: int = 1,
+        backoff: float = 0.05,
+        failover: Callable[[Any, int], Any] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
         self._opener = opener
         self._runner = runner
         self.workers = workers
+        self.attempts = attempts
+        self.backoff = backoff
+        #: Parent-side hook ``(task_key, attempt) -> task_key | None``:
+        #: re-targets a failed task before its retry (e.g. onto another
+        #: replica of the same shard). Never pickled to workers.
+        self._failover = failover
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
 
@@ -219,39 +280,70 @@ class ProcessPool:
                     "worker process died during pool warm-up"
                 ) from None
 
-    def run(self, tasks: Sequence[tuple[int, Any]]) -> list[Any]:
+    def run(self, tasks: Sequence[tuple[Any, Any]]) -> list[Any]:
         """Submit shard tasks to the worker processes; results in task
-        order. Worker failures surface as :class:`ClusterError`."""
+        order. Worker failures surface as :class:`ClusterError` — after
+        up to ``attempts`` rounds: only the failed tasks are resubmitted
+        (to a fresh executor if a worker died), each re-targeted through
+        the ``failover`` hook if one is set, so a mid-batch worker kill
+        with replicas configured completes the batch transparently."""
         if self._closed:
             raise ClusterError("worker pool is closed")
-        executor = self._ensure_executor()
-        futures = [
-            (shard_id, executor.submit(_worker_call, (shard_id, payload)))
-            for shard_id, payload in tasks
+        slots: list[tuple[Any, Any]] = [
+            (key, payload) for key, payload in tasks
         ]
-        results = []
+        results: list[Any] = [None] * len(slots)
+        pending = list(range(len(slots)))
         first_error: ClusterError | None = None
-        for shard_id, future in futures:
-            try:
-                results.append(future.result())
-            except BrokenProcessPool as exc:
-                # A worker died (killed, OOM, segfault): the executor is
-                # unusable. Drop it so the next batch gets a fresh pool,
-                # and fail this batch with the shard that surfaced it.
-                self._executor = None
-                first_error = first_error or ClusterError(
-                    f"worker process died while serving shard {shard_id} "
-                    "(pool restarted; re-submit the batch)"
-                )
-                first_error.__cause__ = exc
-            except ClusterError as exc:
-                first_error = first_error or exc
-            except Exception as exc:
-                first_error = first_error or ClusterError(
-                    f"shard {shard_id} failed in a pool worker: {exc}"
-                )
-                first_error.__cause__ = exc
-        if first_error is not None:
+        for attempt in range(self.attempts):
+            if not pending:
+                break
+            if attempt:
+                if self.backoff:
+                    time.sleep(self.backoff * attempt)
+                if self._failover is not None:
+                    for i in pending:
+                        alternate = self._failover(slots[i][0], attempt)
+                        if alternate is not None:
+                            slots[i] = (alternate, slots[i][1])
+            executor = self._ensure_executor()
+            futures = [
+                (i, executor.submit(_worker_call, slots[i]))
+                for i in pending
+            ]
+            failed: list[int] = []
+            first_error = None
+            for i, future in futures:
+                key = slots[i][0]
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool as exc:
+                    # A worker died (killed, OOM, segfault): the executor
+                    # is unusable. Drop it so the retry (or the next
+                    # batch) gets a fresh pool.
+                    self._executor = None
+                    failed.append(i)
+                    if first_error is None:
+                        first_error = ClusterError(
+                            "worker process died while serving shard "
+                            f"{_shard_label(key)} (pool restarted; "
+                            "re-submit the batch)"
+                        )
+                        first_error.__cause__ = exc
+                except ClusterError as exc:
+                    failed.append(i)
+                    first_error = first_error or exc
+                except Exception as exc:
+                    failed.append(i)
+                    if first_error is None:
+                        first_error = ClusterError(
+                            f"shard {_shard_label(key)} failed in a pool "
+                            f"worker: {exc}"
+                        )
+                        first_error.__cause__ = exc
+            pending = failed
+        if pending:
+            assert first_error is not None
             raise first_error
         return results
 
@@ -270,13 +362,28 @@ def make_pool(
     *,
     n_shards: int,
     workers: int | None = None,
+    attempts: int = 1,
+    backoff: float = 0.05,
+    failover: Callable[[Any, int], Any] | None = None,
 ):
-    """Build the pool named by ``kind`` (``"serial"`` or ``"process"``)."""
+    """Build the pool named by ``kind`` (``"serial"`` or ``"process"``).
+
+    ``attempts``/``backoff``/``failover`` configure per-task retries
+    (see the module docstring); the defaults keep the historical
+    fail-fast behaviour."""
     if kind == "serial":
-        return SerialPool(opener, runner)
+        return SerialPool(
+            opener, runner,
+            attempts=attempts, backoff=backoff, failover=failover,
+        )
     if kind == "process":
         return ProcessPool(
-            opener, runner, workers or default_workers(n_shards)
+            opener,
+            runner,
+            workers or default_workers(n_shards),
+            attempts=attempts,
+            backoff=backoff,
+            failover=failover,
         )
     raise ValueError(
         f"unknown pool kind {kind!r}; choose from {POOL_KINDS}"

@@ -1,0 +1,144 @@
+"""Online re-sharding: split or merge a deployment's shards live.
+
+``reshard(manifest, new_n_shards)`` rebuilds a sharded deployment at a
+different shard count while queries keep flowing:
+
+1. **Materialize.** Every object is read back through a read-only
+   sharded session over the current manifest — i.e. through the same
+   recovery path queries use, so a shard whose writer crashed
+   mid-batch contributes exactly its WAL-committed state, and replicas
+   / the primary agree by the shipping invariant.
+2. **Repartition & bulk-load.** The objects are re-placed under the
+   (possibly new) policy and each new shard is STR bulk-loaded into a
+   fresh index file of the *next generation* —
+   ``<prefix>.g<G+1>.shard-NN.gauss`` — beside the old files, never
+   touching them. Replica clones are created per new shard.
+3. **Cut over atomically.** One ``os.replace`` of the manifest (with
+   ``generation`` and the placement epoch bumped) publishes the new
+   layout. A session opened before the cutover keeps its open file
+   descriptors on the old generation and finishes its queries on a
+   consistent snapshot; a session opened after it sees only the new
+   one. There is no in-between: the manifest is the single switch.
+
+Old-generation files are deliberately left on disk — deleting them
+would yank pages from under pre-cutover sessions. Remove them once no
+reader of the old generation remains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.core.database import PFVDatabase
+from repro.cluster.backend import ClusterError
+from repro.cluster.partition import (
+    MANIFEST_SUFFIX,
+    PARTITION_POLICIES,
+    ShardInfo,
+    ShardManifest,
+    load_manifest,
+    partition_database,
+)
+
+__all__ = ["reshard"]
+
+
+def _generation_prefix(manifest_path: str, generation: int) -> str:
+    """Shard-file prefix of one manifest generation (generation 0 keeps
+    the original ``build_shards`` names, so resharding back and forth
+    never collides with them)."""
+    base = os.path.abspath(manifest_path)
+    if base.endswith(MANIFEST_SUFFIX):
+        base = base[: -len(MANIFEST_SUFFIX)]
+    return base if generation == 0 else f"{base}.g{generation}"
+
+
+def reshard(
+    manifest_path,
+    new_n_shards: int,
+    *,
+    policy: str | None = None,
+    page_size: int = 8192,
+    replicas: int | None = None,
+) -> ShardManifest:
+    """Re-shard a deployment to ``new_n_shards`` shards, cutting over
+    atomically via the manifest.
+
+    ``policy`` defaults to the deployment's current policy,
+    ``replicas`` to its current per-shard replica count. Returns the
+    new manifest (``source_path`` set). Safe under concurrent readers:
+    they either see the old generation or the new one, never a mix.
+    """
+    from repro.engine.backends import create_backend
+    from repro.gausstree.bulkload import bulk_load
+    from repro.storage.layout import PageLayout
+    from repro.storage.ship import create_replica, replica_path
+
+    if new_n_shards < 1:
+        raise ValueError(f"new_n_shards must be >= 1, got {new_n_shards}")
+    manifest_path = os.fspath(manifest_path)
+    old = load_manifest(manifest_path)
+    new_policy = policy if policy is not None else old.policy
+    if new_policy not in PARTITION_POLICIES:
+        raise ValueError(
+            f"unknown partition policy {new_policy!r}; "
+            f"choose from {PARTITION_POLICIES}"
+        )
+    if replicas is None:
+        replicas = max((len(s.replicas) for s in old.shards), default=0)
+
+    # 1. Materialize through a read-only sharded session: recovery and
+    # replica routing included, exactly what queries would answer from.
+    backend = create_backend("sharded", manifest_path, options={})
+    try:
+        db: PFVDatabase = backend.database()
+    finally:
+        backend.close()
+    if old.total_objects and len(db) != old.total_objects:
+        raise ClusterError(
+            f"reshard materialized {len(db)} objects but the manifest "
+            f"records {old.total_objects} — refusing to cut over"
+        )
+
+    # 2. Build the next generation beside the old files.
+    generation = old.generation + 1
+    prefix = _generation_prefix(manifest_path, generation)
+    parts = partition_database(db, new_n_shards, new_policy)
+    infos: list[ShardInfo] = []
+    for i, part in enumerate(parts):
+        if len(part) == 0:
+            infos.append(ShardInfo(path=None, objects=0))
+            continue
+        shard_file = f"{prefix}.shard-{i:02d}.gauss"
+        layout = PageLayout(dims=part.dims, page_size=page_size)
+        tree = bulk_load(
+            part.vectors, layout=layout, sigma_rule=part.sigma_rule
+        )
+        tree.save(shard_file)
+        replica_names = tuple(
+            os.path.basename(
+                create_replica(shard_file, replica_path(shard_file, k))
+            )
+            for k in range(1, replicas + 1)
+        )
+        infos.append(
+            ShardInfo(
+                path=os.path.basename(shard_file),
+                objects=len(part),
+                replicas=replica_names,
+            )
+        )
+
+    # 3. Atomic cutover: one manifest replace flips every future open.
+    new_manifest = ShardManifest(
+        policy=new_policy,
+        n_shards=new_n_shards,
+        sigma_rule=old.sigma_rule,
+        shards=tuple(infos),
+        source_path=None,
+        placement_epoch=len(db),
+        generation=generation,
+    )
+    new_manifest.save(manifest_path)
+    return dataclasses.replace(new_manifest, source_path=manifest_path)

@@ -28,13 +28,15 @@ since the session pool replaced the old single execution lock, query
 *execution* overlaps too — each request checks a free session out of
 the pool and runs on it without any global lock. Sessions of a pool
 must be interchangeable views of the same data (``repro serve
---sessions N`` opens N sessions over the same index/manifest).  With a
-writable primary, replica sessions serve the last *checkpointed* state
-of the index (the single-writer WAL is private to the writer), so
-reads may trail writes until a flush — and because reader snapshot
-isolation does not exist yet, the writer must not *checkpoint* while
-replicas serve live (flush with the server stopped, or use one
-session). Both trade-offs are documented in ``docs/wire-protocol.md``.
+--sessions N`` opens N sessions over the same index/manifest). With a
+writable primary, every accepted insert flushes the primary (shipping
+replicas / publishing a checkpoint generation) and bumps the pool's
+data version; a replica slot acquired afterwards notices it is stale
+and is reopened through the session factory before serving — so reads
+through any slot are read-your-writes consistent. Checkpoints publish
+new index generations by atomic rename, so a replica mid-query keeps
+its snapshot while the writer flushes (reader snapshot isolation).
+See ``docs/wire-protocol.md``.
 """
 
 from __future__ import annotations
@@ -87,6 +89,13 @@ class SessionPool:
         self.waits = 0
         self.peak_in_use = 0
         self._per_slot_batches = [0] * len(self._sessions)
+        #: Data version: bumped after every accepted write. A replica
+        #: slot whose recorded version lags is *stale* — it still reads
+        #: its pre-write snapshot (checkpoints/shipping publish new file
+        #: generations; open descriptors keep the old one) and must be
+        #: reopened before it serves again.
+        self._version = 0
+        self._slot_versions = [0] * len(self._sessions)
 
     def __len__(self) -> int:
         """Number of sessions in the pool."""
@@ -136,6 +145,41 @@ class SessionPool:
                 "waits": self.waits,
                 "batches_per_session": list(self._per_slot_batches),
             }
+
+    def bump_version(self) -> None:
+        """Record that the data changed (called after a write lands).
+
+        The primary took the write, so its slot is current by
+        definition; every other slot becomes stale until refreshed.
+        """
+        with self._cond:
+            self._version += 1
+            self._slot_versions[0] = self._version
+
+    def stale(self, slot: int) -> bool:
+        """Whether a (checked-out) slot predates the latest write."""
+        with self._cond:
+            return self._slot_versions[slot] < self._version
+
+    def refresh(self, slot: int, factory: Callable[[], Session]) -> Session:
+        """Reopen a stale checked-out slot through ``factory``.
+
+        On success the old session is closed and the fresh one (which
+        sees the shipped/checkpointed state) takes the slot, marked
+        current. If the factory fails — a replica file mid-resync, say —
+        the slot keeps its old session and stays marked stale, so the
+        next acquire retries: serving a slightly stale answer beats
+        failing the request.
+        """
+        try:
+            session = factory()
+        except Exception:
+            return self._sessions[slot]
+        with self._cond:
+            old, self._sessions[slot] = self._sessions[slot], session
+            self._slot_versions[slot] = self._version
+        old.close()
+        return session
 
     def close_replicas(self) -> None:
         """Close every pooled session except the primary (which the
@@ -312,6 +356,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             started = time.perf_counter()
             slot, session = qs.pool.acquire()
+            # A replica slot that predates the last write still reads
+            # its pre-write snapshot; reopen it so every slot is
+            # read-your-writes consistent.
+            if (
+                slot != 0
+                and qs.session_factory is not None
+                and qs.pool.stale(slot)
+            ):
+                session = qs.pool.refresh(slot, qs.session_factory)
             rs = session.execute_many(specs)
             elapsed = time.perf_counter() - started
         except Exception as exc:  # surface, don't kill the handler thread
@@ -359,6 +412,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             inserted = session.insert_many(vectors)
+            if len(qs.pool) > 1:
+                # Publish for the replica slots: flush ships replica
+                # files / checkpoints a new index generation, and the
+                # version bump makes stale slots reopen onto it before
+                # they serve again (read-your-writes through any slot).
+                session.flush()
+                qs.pool.bump_version()
             objects = len(session)
             elapsed = time.perf_counter() - started
         except Exception as exc:  # surface, don't kill the handler thread

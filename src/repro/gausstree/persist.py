@@ -51,8 +51,10 @@ commits one WAL transaction holding the dirtied page images, appended
 keys and the new header — and ``GaussTree.insert_many`` coalesces a
 whole batch into *one* such transaction (group commit: one fsync,
 page images deduplicated, recovery all-or-nothing per batch); the main
-file is rewritten only at a checkpoint
-(``tree.flush()`` / ``tree.close()``). Opening a file whose WAL holds
+file is republished (a new generation, swapped in by atomic rename so
+already-open readers keep their pre-checkpoint snapshot) only at a
+checkpoint (``tree.flush()`` / ``tree.close()``). Opening a file whose
+WAL holds
 committed transactions — a crashed writer — replays them first, so
 readers and writers always see the last committed state. Free pages from
 node deletes are reused by later splits via the header's free-page list
@@ -147,10 +149,11 @@ class _IndexLock:
     it around its replay. This is what keeps a read-only open from
     truncating the WAL of a *live* writer in another process (the
     reader then reads the main file's last-checkpoint state instead).
-    Open-time protection only: a checkpoint racing an *already-open*
-    reader can still rewrite pages under it — reader snapshot isolation
-    is a ROADMAP item. Without ``fcntl`` (non-POSIX) the lock degrades
-    to a no-op.
+    Checkpoints and recovery publish a *new* main-file generation via
+    an atomic rename, so an already-open reader keeps its descriptor on
+    the pre-checkpoint inode: reader snapshot isolation holds without
+    the reader taking any lock. Without ``fcntl`` (non-POSIX) the lock
+    degrades to a no-op.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
@@ -644,8 +647,12 @@ def recover_index(
     2. fold the transactions into the latest image per page, the key
        appends (re-based on a ``CKPT_BASE`` snapshot if a checkpoint was
        interrupted), and the final header image;
-    3. write pages, key table and header into the main file (data
-       fsynced before the header), then truncate the WAL.
+    3. build a *new generation* of the main file beside it (old bytes,
+       folded pages, key table, patched header), fsync it, and publish
+       it with an atomic rename, then truncate the WAL. Already-open
+       readers of the previous generation keep their inode and are
+       never touched — replica apply (``storage/ship.py``) relies on
+       this to refresh a replica under live readers.
     """
     wal_path = wal_path_for(path) if wal_path is None else wal_path
     # Cheap read-only pre-checks before any filesystem write (creating
@@ -733,22 +740,48 @@ def recover_index(
     patched[_KT_FIELDS_OFFSET : _KT_FIELDS_OFFSET + _KT_FIELDS.size] = (
         _KT_FIELDS.pack(kt_offset, len(table))
     )
-    f = file_factory(path, "r+b")
+    # Apply into a fresh generation published by atomic rename:
+    # already-open readers of the old file keep their inode untouched
+    # (replica apply under live readers depends on this), and a crash
+    # mid-apply leaves the old generation plus the sealed WAL intact.
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(path)}.rec.{os.getpid()}"
+    )
+    out = file_factory(tmp_path, "w+b")
     try:
+        with open(path, "rb") as src:
+            remaining = kt_offset
+            while remaining > 0:
+                chunk = src.read(min(1 << 20, remaining))
+                if not chunk:
+                    break
+                out.write(chunk)
+                remaining -= len(chunk)
+        if remaining > 0:
+            # Pages appended past the old EOF: zero-fill, the folded
+            # images below cover every page written since the last
+            # checkpoint.
+            out.write(b"\x00" * remaining)
         for pid in sorted(pages):
-            f.seek(pid * page_size)
-            f.write(pages[pid])
-        f.seek(kt_offset)
-        f.write(table)
-        f.truncate(kt_offset + len(table))
-        f.flush()
-        os.fsync(f.fileno())
-        f.seek(0)
-        f.write(bytes(patched))
-        f.flush()
-        os.fsync(f.fileno())
-    finally:
-        f.close()
+            out.seek(pid * page_size)
+            out.write(pages[pid])
+        out.seek(kt_offset)
+        out.write(table)
+        out.truncate(kt_offset + len(table))
+        out.seek(0)
+        out.write(bytes(patched))
+        out.flush()
+        os.fsync(out.fileno())
+        out.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            out.close()
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        raise
     # The main file now holds everything; retire the WAL.
     wal = WriteAheadLog(wal_path, file_factory=file_factory)
     try:
@@ -926,12 +959,19 @@ class TreeWriter:
     # -- checkpoint ----------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Transfer committed state into the main file; then empty the WAL.
+        """Publish committed state as a new main-file generation; then
+        empty the WAL.
 
-        fsync ordering: WAL (with a ``CKPT_BASE`` key-table snapshot that
-        makes replay independent of the main file's tail) strictly before
-        data pages, data pages before the header, header before the WAL
-        truncate.
+        fsync ordering: WAL (with a ``CKPT_BASE`` key-table snapshot
+        that makes replay independent of the main file) strictly before
+        the new generation's bytes, those before the atomic rename that
+        publishes them, the rename before the WAL truncate. The rename
+        (via :meth:`FilePageStore.publish_checkpoint`) is what seals
+        *reader snapshot isolation*: a read-only session that opened the
+        index before this checkpoint keeps its file descriptor on the
+        pre-checkpoint inode and never observes pages changing under it.
+        A crash anywhere before the rename leaves the old generation
+        plus a replayable WAL; after it, replay is idempotent.
         """
         store, wal = self.store, self.wal
         # Marks left behind by a commit that failed mid-WAL-append: the
@@ -955,14 +995,7 @@ class TreeWriter:
         wal.commit()
         if not wal.fsync:
             wal.sync()  # checkpoint ordering is non-negotiable
-        for pid in sorted(images):
-            store.write_page_to_file(pid, images[pid])
-        kt_offset = (store.page_count + 1) * store.page_size
-        store.write_raw(kt_offset, table)
-        store.truncate_file(kt_offset + len(table))
-        store.sync()  # data pages durable before the header flips
-        store.write_raw(0, header_page)
-        store.sync()  # header durable before the WAL is discarded
+        store.publish_checkpoint(images, table, header_page)
         wal.reset()
         store.mark_all_clean()
 

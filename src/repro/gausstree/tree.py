@@ -550,9 +550,10 @@ class GaussTree:
     def flush(self) -> None:
         """Checkpoint a writable disk-opened tree (no-op otherwise).
 
-        Transfers every committed page image, the key table and the
-        header into the main file with fsync ordering (WAL before data
-        pages before header), then empties the WAL.
+        Publishes every committed page image, the key table and the
+        header as a new main-file generation (atomic rename — readers
+        already open keep their pre-checkpoint snapshot), then empties
+        the WAL.
         """
         if self._writer is not None:
             self._writer.checkpoint()

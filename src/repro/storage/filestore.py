@@ -31,10 +31,14 @@ of a write-ahead protocol (see :mod:`repro.storage.wal`):
 * :meth:`allocate` reuses ids from the free-page list (populated by node
   deletes and persisted in the v2 header) before growing the file.
 
-The checkpoint itself — transferring dirty images, key table and header
-into the file with the right fsync ordering — is driven by
-:class:`repro.gausstree.persist.TreeWriter` through the raw-IO helpers
-(:meth:`write_page_to_file`, :meth:`write_raw`, :meth:`sync`).
+The checkpoint itself is driven by
+:class:`repro.gausstree.persist.TreeWriter` through
+:meth:`publish_checkpoint`, which writes the dirty images, key table
+and header as a complete sibling file and atomically renames it over
+the index — readers that already hold the file open keep serving the
+pre-checkpoint generation (reader snapshot isolation). The raw-IO
+helpers (:meth:`write_page_to_file`, :meth:`write_raw`, :meth:`sync`)
+remain for in-place surgery paths.
 """
 
 from __future__ import annotations
@@ -294,6 +298,67 @@ class FilePageStore(PageStore):
         for page_id in self.buffer.dirty_pages:
             self.buffer.mark_clean(page_id)
         self._pending.clear()
+
+    def publish_checkpoint(
+        self, images: dict[int, bytes], table: bytes, header_page: bytes
+    ) -> None:
+        """Publish a checkpoint as a whole new file *generation*.
+
+        Builds a sibling temp file — the current generation's page
+        region, overlaid with the dirty ``images``, the key ``table``
+        behind the last page and ``header_page`` in slot 0 — fsyncs it
+        and atomically renames it over :attr:`path`. A reader that
+        already has the index open keeps its file descriptor on the old
+        inode and is never touched (reader snapshot isolation); this
+        store's own handle is re-opened onto the new generation, with
+        every cache intact (page ids and images are unchanged — the
+        caller still runs :meth:`mark_all_clean` afterwards). A crash
+        anywhere before the rename leaves the old generation and the
+        WAL exactly as they were.
+        """
+        self._assert_writable()
+        page_size = self.page_size
+        kt_offset = (self.page_count + 1) * page_size
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        tmp_path = os.path.join(
+            directory, f".{os.path.basename(self.path)}.ckpt.{os.getpid()}"
+        )
+        out = self._file_factory(tmp_path, "w+b")
+        try:
+            # Clean pages keep their current-generation bytes; pages
+            # allocated past the old EOF are all dirty (they have never
+            # been checkpointed), so zero-filling the gap is safe.
+            self._file.seek(0)
+            remaining = kt_offset
+            while remaining > 0:
+                chunk = self._file.read(min(1 << 20, remaining))
+                if not chunk:
+                    break
+                out.write(chunk)
+                remaining -= len(chunk)
+            if remaining > 0:
+                out.write(b"\x00" * remaining)
+            for pid in sorted(images):
+                out.seek(pid * page_size)
+                out.write(images[pid])
+            out.seek(kt_offset)
+            out.write(table)
+            out.truncate(kt_offset + len(table))
+            out.seek(0)
+            out.write(header_page)
+            out.flush()
+            os.fsync(out.fileno())
+            out.close()
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                out.close()
+            finally:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+            raise
+        self._file.close()
+        self._file = self._file_factory(self.path, "r+b")
 
     def rebind(self, allocated_pages: int) -> None:
         """Adopt a freshly rewritten file generation at the same path.

@@ -18,10 +18,12 @@ Durability protocol (redo-only, physical logging):
   all-or-nothing: a crash anywhere inside the group's append tears the
   whole batch away, never a partial one.
 * A checkpoint first logs a ``CKPT_BASE`` record holding the *entire*
-  key table (making replay independent of the main file's soon-to-be
-  overwritten tail), then transfers the dirty pages, key table and
-  header into the main file with ``fsync`` ordering *WAL before data
-  pages before header*, and only then truncates the WAL.
+  key table (making replay independent of the main file), then builds a
+  new main-file generation (old bytes + dirty pages + key table +
+  header), fsyncs it and publishes it by atomic rename, and only then
+  truncates the WAL — ``fsync`` ordering *WAL before the new
+  generation before its rename before the truncate*. Already-open
+  readers keep the pre-checkpoint inode (reader snapshot isolation).
 * Recovery (:func:`repro.gausstree.persist.recover_index`) scans the WAL,
   keeps the longest prefix of checksum-valid records, applies everything
   up to the last ``COMMIT`` and discards the torn tail — so a crash at
@@ -200,6 +202,40 @@ class WriteAheadLog:
         except FileNotFoundError:
             return False
         return False
+
+    @staticmethod
+    def committed_length(path: str | os.PathLike) -> int:
+        """Byte offset just past the last COMMIT record (streaming).
+
+        Walks record headers like :meth:`has_committed` — seeking over
+        payloads, no CRC work, O(1) memory — so WAL shipping
+        (:mod:`repro.storage.ship`) can locate the durable prefix of a
+        multi-hundred-MB log without materializing any payload. Returns
+        ``len(WAL_MAGIC)`` for a missing, magic-less or commit-free log.
+        Header-only walking cannot detect a checksum-corrupt committed
+        record; the replica's own recovery scan (which does verify CRCs)
+        discards such a tail on apply.
+        """
+        committed_end = len(WAL_MAGIC)
+        try:
+            with open(path, "rb") as f:
+                if f.read(len(WAL_MAGIC)) != WAL_MAGIC:
+                    return committed_end
+                f.seek(0, os.SEEK_END)
+                total = f.tell()
+                offset = len(WAL_MAGIC)
+                while offset + _REC_HEAD.size <= total:
+                    f.seek(offset)
+                    length, rtype = _REC_HEAD.unpack(f.read(_REC_HEAD.size))
+                    end = offset + _REC_HEAD.size + length + _CRC.size
+                    if length > _MAX_PAYLOAD or end > total:
+                        break  # torn tail
+                    if rtype == REC_COMMIT:
+                        committed_end = end
+                    offset = end
+        except FileNotFoundError:
+            pass
+        return committed_end
 
     @staticmethod
     def iter_committed(path: str | os.PathLike):

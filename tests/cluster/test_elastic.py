@@ -1,0 +1,521 @@
+"""Elasticity: WAL shipping, replica failover and online re-sharding.
+
+The PR-7 contract, pinned end to end:
+
+* **Shipping** — a replica is always a durable *committed prefix* of its
+  primary: :func:`~repro.storage.ship.create_replica` clones, an
+  incremental :meth:`~repro.storage.ship.WALShipper.ship` forwards only
+  newly committed WAL bytes (applied through the ordinary recovery
+  path), and a primary checkpoint the shipper was not told about forces
+  a full resync instead of corrupting the replica.
+* **Failover** — a pool worker killed mid-batch costs a retry on the
+  shard's next replica, not the batch: a 64-query MLIQ batch answered
+  under a kill is *bit-identical* to the fault-free run.
+* **Re-sharding** — ``reshard`` rebuilds the deployment at a new shard
+  count beside the old generation and cuts over via one atomic manifest
+  replace; queries running throughout never see a wrong or partial
+  answer.
+* **The property** — a random interleaved write+query workload with
+  injected worker losses and replica failovers answers within 1e-9 of a
+  single in-memory tree over the same objects.
+"""
+
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterError, load_manifest, reshard
+from repro.cluster.backend import ShardedBackend, _run_shard_payload
+from repro.cluster.partition import build_shards
+from repro.cluster.pool import default_workers
+from repro.core.pfv import PFV
+from repro.core.queries import MLIQuery
+from repro.engine import MLIQ, connect
+from repro.engine.session import Session
+from repro.gausstree.tree import GaussTree
+from repro.storage.fault import WorkerKillSwitch, killing_runner
+from repro.storage.ship import WALShipper, create_replica, replica_path
+from repro.storage.wal import WAL_MAGIC, WriteAheadLog
+
+from tests.conftest import make_random_db, make_random_query
+
+
+# ---------------------------------------------------------------------------
+# default_workers: the "never below 2" contract
+# ---------------------------------------------------------------------------
+
+
+def test_default_workers_never_drops_below_two(monkeypatch):
+    """A single-shard deployment still gets 2 workers (a dying worker's
+    replacement overlaps its healthy sibling), and the count stays
+    bounded by shards above that."""
+    assert default_workers(1) == 2
+    assert default_workers(2) == 2
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert default_workers(1) == 2
+    assert default_workers(5) == 5
+    assert default_workers(64) == 8
+    # Exotic hosts that report one (or no) core keep the floor of 2.
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert default_workers(1) == 2
+    assert default_workers(16) == 2
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert default_workers(4) == 2
+
+
+# ---------------------------------------------------------------------------
+# WAL shipping units
+# ---------------------------------------------------------------------------
+
+
+def _saved_tree(path, vectors, d=3):
+    tree = GaussTree(dims=d, degree=3)
+    tree.extend(vectors)
+    tree.save(path)
+    return tree
+
+
+def _keys(path):
+    tree = GaussTree.open(path)
+    try:
+        return sorted((v.key for v in tree), key=repr)
+    finally:
+        tree.close()
+
+
+def test_committed_length_tracks_commits_not_torn_tails(tmp_path):
+    path = str(tmp_path / "cl.gauss")
+    db = make_random_db(n=10, seed=80)
+    _saved_tree(path, list(db))
+    wal_file = path + ".wal"
+    assert WriteAheadLog.committed_length(wal_file) == len(WAL_MAGIC)
+
+    writer = GaussTree.open(path, writable=True)
+    try:
+        writer.insert(PFV([0.5] * 3, [0.1] * 3, key="one"))
+        committed = WriteAheadLog.committed_length(wal_file)
+        assert committed == os.path.getsize(wal_file) > len(WAL_MAGIC)
+        # A torn record appended behind the last COMMIT is not counted.
+        with open(wal_file, "ab") as f:
+            f.write(b"\x40\x00\x00\x00\x01torn")
+        assert WriteAheadLog.committed_length(wal_file) == committed
+    finally:
+        writer.close(checkpoint=False)
+
+
+def test_create_replica_clones_committed_state(tmp_path):
+    path = str(tmp_path / "p.gauss")
+    db = make_random_db(n=12, seed=81)
+    _saved_tree(path, list(db))
+    writer = GaussTree.open(path, writable=True)
+    try:
+        writer.insert_many(
+            [PFV([0.3] * 3, [0.1] * 3, key=("w", i)) for i in range(4)]
+        )
+        # The primary's main file is stale (state rides in the WAL); the
+        # replica must still come out current and self-contained.
+        rp = create_replica(path, replica_path(path, 1))
+        assert rp == path + ".r1"
+        assert _keys(rp) == sorted(
+            [v.key for v in db] + [("w", i) for i in range(4)], key=repr
+        )
+        # Replica WAL is drained: its main file alone serves the state.
+        assert WriteAheadLog.scan(rp + ".wal") == []
+    finally:
+        writer.close(checkpoint=False)
+
+
+def test_shipper_forwards_increments_and_resyncs_after_foreign_reset(
+    tmp_path,
+):
+    path = str(tmp_path / "s.gauss")
+    db = make_random_db(n=10, seed=82)
+    _saved_tree(path, list(db))
+    shipper = WALShipper(path, [replica_path(path, 1)])
+    rp = replica_path(path, 1)
+    assert _keys(rp) == sorted(v.key for v in db)
+
+    writer = GaussTree.open(path, writable=True)
+    try:
+        writer.insert(PFV([0.2] * 3, [0.1] * 3, key="a"))
+        assert shipper.ship() == 1
+        assert "a" in _keys(rp)
+        assert shipper.ship() == 0  # nothing newly committed: no-op
+
+        writer.insert(PFV([0.4] * 3, [0.1] * 3, key="b"))
+        assert shipper.ship() == 1
+        assert {"a", "b"} <= set(_keys(rp))
+
+        # A checkpoint the shipper was NOT told about resets the primary
+        # WAL under it; the next ship detects offset > committed length
+        # and falls back to a full resync instead of mis-applying.
+        writer.insert(PFV([0.6] * 3, [0.1] * 3, key="c"))
+        writer.flush()
+        assert shipper.ship() == 1
+        assert {"a", "b", "c"} <= set(_keys(rp))
+
+        # note_reset: the owner shipped first, then checkpointed — the
+        # replicas are logically current and the offsets restart cheaply.
+        writer.insert(PFV([0.8] * 3, [0.1] * 3, key="d"))
+        shipper.ship()
+        writer.flush()
+        shipper.note_reset()
+        assert shipper.ship() == 0  # current, no resync copy
+        assert {"a", "b", "c", "d"} <= set(_keys(rp))
+    finally:
+        writer.close(checkpoint=False)
+
+
+def test_lost_replica_file_is_rebuilt_on_next_ship(tmp_path):
+    path = str(tmp_path / "lost.gauss")
+    db = make_random_db(n=8, seed=83)
+    _saved_tree(path, list(db))
+    rp = replica_path(path, 1)
+    shipper = WALShipper(path, [rp])
+    os.unlink(rp)
+    assert shipper.ship() == 1  # full resync recreates the replica
+    assert _keys(rp) == sorted(v.key for v in db)
+
+
+# ---------------------------------------------------------------------------
+# Failover: a worker killed mid-batch answers bit-identically
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method required")
+def test_worker_killed_mid_batch_answers_bit_identical(tmp_path):
+    """Kill one pool worker mid-way through a 64-query MLIQ batch: the
+    retry lands on the shard's replica and the merged answers are
+    bit-identical to the fault-free run — same keys, same probability
+    and log-density floats."""
+    db = make_random_db(n=60, seed=90)
+    manifest = build_shards(db, 2, str(tmp_path / "kill"), replicas=1)
+    specs = [MLIQ(make_random_query(seed=900 + i), 5) for i in range(64)]
+
+    with connect(manifest.source_path, backend="sharded") as ref:
+        expected = [list(matches) for matches in ref.execute_many(specs)]
+
+    switch = WorkerKillSwitch(str(tmp_path / "kill.sentinel"))
+    backend = ShardedBackend(
+        manifest.shard_paths(),
+        [s.objects for s in manifest.shards],
+        inner="disk",
+        pool_kind="process",
+        workers=2,
+        inner_options={"mliq_tolerance": 1e-12},
+        manifest=manifest,
+        replicas=manifest.replica_paths(),
+        runner=killing_runner(_run_shard_payload, switch),
+    )
+    session = Session(backend)
+    try:
+        switch.arm()
+        got = [list(matches) for matches in session.execute_many(specs)]
+    finally:
+        session.close()
+    assert not switch.armed, "no worker consumed the kill sentinel"
+    assert len(got) == len(expected) == 64
+    for exp, act in zip(expected, got):
+        assert [m.key for m in exp] == [m.key for m in act]
+        for a, b in zip(exp, act):
+            assert b.probability == a.probability  # bit-identical
+            assert b.log_density == a.log_density
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method required")
+def test_replicaless_deployment_still_fails_loudly_on_kill(tmp_path):
+    """Without replicas there is no failover target: the kill surfaces
+    as the historical ClusterError, and the *next* batch works again
+    (the broken executor is dropped)."""
+    db = make_random_db(n=30, seed=91)
+    manifest = build_shards(db, 2, str(tmp_path / "nokill"))
+    switch = WorkerKillSwitch(str(tmp_path / "nokill.sentinel"))
+    backend = ShardedBackend(
+        manifest.shard_paths(),
+        [s.objects for s in manifest.shards],
+        inner="disk",
+        pool_kind="process",
+        workers=2,
+        inner_options={"mliq_tolerance": 1e-12},
+        manifest=manifest,
+        runner=killing_runner(_run_shard_payload, switch),
+    )
+    session = Session(backend)
+    try:
+        q = make_random_query(seed=92)
+        switch.arm()
+        with pytest.raises(ClusterError, match="worker process died"):
+            session.execute(MLIQ(q, 4))
+        assert len(session.execute(MLIQ(q, 4)).matches) == 4
+    finally:
+        session.close()
+
+
+def test_read_only_sessions_rotate_reads_across_replicas(tmp_path):
+    db = make_random_db(n=20, seed=93)
+    manifest = build_shards(db, 2, str(tmp_path / "rot"), replicas=2)
+    with connect(manifest.source_path, backend="sharded") as s:
+        backend = s._backend
+        keys = {backend._task_key(i) for i in range(2)}
+        assert keys == {(0, 1), (1, 1)}  # rotation 0: first replica
+        backend._rotation += 1
+        assert backend._task_key(0) == (0, 2)
+        # Failover cycles replicas first, primary as the last resort.
+        assert backend._failover_target((0, 1), 1) == (0, 2)
+        assert backend._failover_target((0, 2), 2) == (0, 0)
+        assert backend._failover_target((0, 0), 3) == (0, 1)
+        # Queries through replica routing still answer correctly.
+        q = make_random_query(seed=94)
+        with connect(db, backend="tree") as ref:
+            expected = {
+                m.key: m.probability
+                for m in ref.execute(MLIQ(q, 8)).matches
+            }
+        got = {m.key: m.probability for m in s.execute(MLIQ(q, 8)).matches}
+        assert set(got) == set(expected)
+        for key, p in got.items():
+            assert p == pytest.approx(expected[key], abs=1e-9)
+
+
+def test_writes_reach_replicas_without_a_checkpoint(tmp_path):
+    """insert_many ships the committed WAL tail immediately: a fresh
+    read-only session (which routes reads to replicas) sees the batch
+    even though the primary was never flushed."""
+    db = make_random_db(n=16, seed=95)
+    manifest = build_shards(db, 2, str(tmp_path / "shipw"), replicas=1)
+    fresh = [
+        PFV([0.45, 0.45, 0.45 + 0.01 * i], [0.1] * 3, key=("live", i))
+        for i in range(5)
+    ]
+    writer = connect(manifest.source_path, backend="sharded", writable=True)
+    try:
+        writer.insert_many(fresh)
+        with connect(manifest.source_path, backend="sharded") as reader:
+            assert len(reader) == 21
+            got = {
+                m.key for m in reader.execute(MLIQ(fresh[0], 21)).matches
+            }
+            assert {("live", i) for i in range(5)} <= got
+    finally:
+        writer.close()
+
+
+# ---------------------------------------------------------------------------
+# Online re-sharding
+# ---------------------------------------------------------------------------
+
+
+def test_reshard_2_to_4_under_concurrent_queries(tmp_path):
+    """Queries flowing throughout a 2→4 reshard never see a wrong or
+    partial answer: every fresh session answers the full reference
+    result, whether it opened on the old generation or the new one."""
+    db = make_random_db(n=80, seed=96)
+    manifest = build_shards(db, 2, str(tmp_path / "live"))
+    q = make_random_query(seed=97)
+    with connect(db, backend="tree") as ref:
+        expected = {
+            m.key: m.probability for m in ref.execute(MLIQ(q, 12)).matches
+        }
+
+    stop = threading.Event()
+    errors: list = []
+    answered = [0]
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                with connect(
+                    manifest.source_path, backend="sharded"
+                ) as s:
+                    got = {
+                        m.key: m.probability
+                        for m in s.execute(MLIQ(q, 12)).matches
+                    }
+                if set(got) != set(expected):
+                    raise AssertionError(
+                        f"wrong/partial answer during reshard: {sorted(got)}"
+                    )
+                for key, p in got.items():
+                    if abs(p - expected[key]) > 1e-9:
+                        raise AssertionError(f"posterior drift on {key}")
+                answered[0] += 1
+            except Exception as exc:  # pragma: no cover - failure report
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=hammer)
+    thread.start()
+    try:
+        new_manifest = reshard(manifest.source_path, 4)
+    finally:
+        stop.set()
+        thread.join(timeout=60)
+    assert not errors, errors[0]
+    assert answered[0] >= 1
+    assert new_manifest.generation == 1
+    assert new_manifest.n_shards == 4
+    assert new_manifest.total_objects == 80
+    # The cutover is on disk: a fresh load sees the new generation and
+    # its answers still match the single-tree reference.
+    reloaded = load_manifest(manifest.source_path)
+    assert reloaded.generation == 1
+    assert len([p for p in reloaded.shard_paths() if p]) == 4
+    with connect(manifest.source_path, backend="sharded") as s:
+        got = {m.key: m.probability for m in s.execute(MLIQ(q, 12)).matches}
+    assert set(got) == set(expected)
+    for key, p in got.items():
+        assert p == pytest.approx(expected[key], abs=1e-9)
+    # Old-generation files were left alone for pre-cutover readers.
+    assert os.path.exists(str(tmp_path / "live.shard-00.gauss"))
+
+
+def test_reshard_preserves_replica_count_and_serves_writes_after(tmp_path):
+    db = make_random_db(n=24, seed=98)
+    manifest = build_shards(db, 2, str(tmp_path / "rr"), replicas=1)
+    new_manifest = reshard(manifest.source_path, 3)
+    assert all(
+        len(s.replicas) == 1 for s in new_manifest.shards if s.objects
+    )
+    # The new generation takes writes like any deployment.
+    fresh = PFV([0.5] * 3, [0.1] * 3, key="post-reshard")
+    with connect(
+        manifest.source_path, backend="sharded", writable=True
+    ) as s:
+        s.insert(fresh)
+        assert len(s) == 25
+    with connect(manifest.source_path, backend="sharded") as s:
+        got = {m.key for m in s.execute(MLIQ(fresh, 25)).matches}
+    assert "post-reshard" in got
+
+
+def test_reshard_refuses_cutover_on_count_mismatch(tmp_path):
+    import json
+
+    db = make_random_db(n=10, seed=99)
+    manifest = build_shards(db, 2, str(tmp_path / "bad"))
+    with open(manifest.source_path) as f:
+        doc = json.load(f)
+    doc["shards"][0]["objects"] += 3  # lie about the count
+    with open(manifest.source_path, "w") as f:
+        json.dump(doc, f)
+    with pytest.raises(ClusterError, match="refusing to cut over"):
+        reshard(manifest.source_path, 4)
+    # The sabotaged manifest was not replaced (no cutover happened).
+    assert load_manifest(manifest.source_path).generation == 0
+
+
+def test_reshard_validates_arguments(tmp_path):
+    db = make_random_db(n=6, seed=100)
+    manifest = build_shards(db, 2, str(tmp_path / "val"))
+    with pytest.raises(ValueError, match="new_n_shards"):
+        reshard(manifest.source_path, 0)
+    with pytest.raises(ValueError, match="unknown partition policy"):
+        reshard(manifest.source_path, 3, policy="modulo")
+
+
+# ---------------------------------------------------------------------------
+# The elasticity property
+# ---------------------------------------------------------------------------
+
+
+class _InjectedLoss(RuntimeError):
+    pass
+
+
+class _FlakyRunner:
+    """Serial-pool stand-in for a worker loss: while the sentinel file
+    exists, the first shard task to run claims it (unlink is atomic) and
+    fails — exercising the same failover hook a dead process does."""
+
+    def __init__(self, sentinel: str) -> None:
+        self.sentinel = sentinel
+
+    def __call__(self, session, payload):
+        try:
+            os.unlink(self.sentinel)
+        except FileNotFoundError:
+            pass
+        else:
+            raise _InjectedLoss("injected worker loss")
+        return _run_shard_payload(session, payload)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_base=st.integers(6, 16),
+    ops=st.lists(
+        st.sampled_from(["write", "flush", "query", "kill+query"]),
+        min_size=2,
+        max_size=7,
+    ),
+)
+def test_interleaved_workload_with_failovers_matches_single_tree(
+    tmp_path_factory, seed, n_base, ops
+):
+    """Random interleaving of writes, checkpoints, queries and injected
+    worker losses (failing over between two replicas) answers within
+    1e-9 of one in-memory tree over the same surviving objects."""
+    tmp = tmp_path_factory.mktemp("elastic")
+    db = make_random_db(n=n_base, seed=seed)
+    manifest = build_shards(
+        db, 2, str(tmp / "prop"), policy="round-robin", replicas=2
+    )
+    sentinel = str(tmp / "loss.sentinel")
+    alive = list(db)
+    serial = 0
+    writer = connect(manifest.source_path, backend="sharded", writable=True)
+    try:
+        for op in ops:
+            if op == "write":
+                batch = [
+                    PFV(
+                        [0.1 + 0.02 * ((serial + j) % 40)] * 3,
+                        [0.12] * 3,
+                        key=("prop", serial + j),
+                    )
+                    for j in range(2)
+                ]
+                serial += len(batch)
+                writer.insert_many(batch)
+                alive.extend(batch)
+                continue
+            if op == "flush":
+                writer.flush()
+                continue
+            if op == "kill+query":
+                with open(sentinel, "w"):
+                    pass
+            fresh = load_manifest(manifest.source_path)
+            backend = ShardedBackend(
+                fresh.shard_paths(),
+                [s.objects for s in fresh.shards],
+                inner="disk",
+                pool_kind="serial",
+                workers=None,
+                inner_options={"mliq_tolerance": 1e-12},
+                manifest=fresh,
+                replicas=fresh.replica_paths(),
+                runner=_FlakyRunner(sentinel),
+            )
+            reader = Session(backend)
+            try:
+                q = make_random_query(seed=seed + serial + 1)
+                k = min(5, len(alive))
+                got = reader.execute(MLIQ(q, k)).matches
+            finally:
+                reader.close()
+            assert not os.path.exists(sentinel)
+            reference = GaussTree(dims=3, degree=3)
+            reference.extend(alive)
+            exp, _ = reference.mliq(MLIQuery(q, k))
+            assert {m.key for m in got} == {m.key for m in exp}
+            exp_p = {m.key: m.probability for m in exp}
+            for m in got:
+                assert m.probability == pytest.approx(
+                    exp_p[m.key], abs=1e-9
+                )
+    finally:
+        writer.close()

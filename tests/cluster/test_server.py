@@ -386,6 +386,58 @@ def test_write_spec_wire_round_trip():
         assert list(back.v.sigma) == list(spec.v.sigma)
 
 
+def test_insert_is_read_your_writes_through_replica_sessions(tmp_path):
+    """Replica-backed pools are read-your-writes (regression): an
+    accepted ``/insert`` flushes the primary, WAL-ships the shards'
+    replicas and marks every pooled replica session stale, so a query
+    served by *any* pool slot — refreshed on acquire — sees the write.
+    Before the fix, replica slots served pre-insert snapshots."""
+    from repro.cluster.partition import build_shards
+    from repro.core.pfv import PFV
+
+    db = make_random_db(n=20, seed=73)
+    manifest = build_shards(db, 2, str(tmp_path / "ryw"), replicas=1)
+    primary = connect(manifest.source_path, backend="sharded", writable=True)
+    factory = lambda: connect(manifest.source_path, backend="sharded")  # noqa: E731
+    with serve(
+        primary, port=0, session_factory=factory, pool_size=3
+    ) as server:
+        client = ServeClient(server.url, timeout=30)
+        fresh = [
+            PFV([0.45, 0.45, 0.45 + 0.01 * i], [0.1] * 3, key=("ryw", i))
+            for i in range(4)
+        ]
+        assert client.insert(fresh)["objects"] == 24
+        expected = {("ryw", i) for i in range(4)}
+        results: list = [None] * 9
+        errors: list = []
+
+        def hit(i):
+            try:
+                answer = client.query(MLIQ(fresh[0], 24))
+                results[i] = {
+                    tuple(k) if isinstance(k, list) else k
+                    for k in answer.keys()[0]
+                }
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        # Concurrent queries spread over all three pool slots; every
+        # slot (primary and both replica sessions) must see the insert.
+        threads = [
+            threading.Thread(target=hit, args=(i,))
+            for i in range(len(results))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        for seen in results:
+            assert expected <= seen
+    primary.close()
+
+
 def test_restarted_server_reopens_fresh_replicas():
     """shutdown() closes the replica sessions; a restarted server must
     not hand queries to those closed sessions (regression)."""

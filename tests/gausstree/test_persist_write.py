@@ -789,6 +789,46 @@ class TestSaveFlushesWal:
         finally:
             recovered.close()
 
+    def test_reader_keeps_pre_checkpoint_snapshot_across_flush(
+        self, tmp_path
+    ):
+        """Reader snapshot isolation (regression): a checkpoint racing an
+        open read-only session must not swap pages under the reader. The
+        checkpoint publishes a *new generation* by atomic rename, so the
+        reader's open descriptor keeps the pre-checkpoint image and its
+        answers stay frozen; only a fresh open sees the new state."""
+        path = str(tmp_path / "snap.gauss")
+        rng = np.random.default_rng(22)
+        base = make_vectors(rng, 20, 2, "b")
+        build_saved(path, base, 2)
+        writer = GaussTree.open(path, writable=True)
+        reader = GaussTree.open(path)
+        try:
+            extra = make_vectors(rng, 10, 2, "x")
+            writer.insert_many(extra)
+            writer.flush()  # checkpoint while the reader is open
+            # The reader is sealed to its snapshot: same object set and
+            # same answers as before the checkpoint, page for page.
+            assert len(reader) == 20
+            reader.check_invariants()
+            pre = GaussTree(dims=2, degree=3)
+            pre.extend(base)
+            assert_same_answers(pre, reader, 2, seed=23)
+            # Concurrently, the writer's view includes the new batch...
+            assert len(writer) == 30
+        finally:
+            reader.close()
+            writer.close()
+        # ...and so does every session opened after the checkpoint.
+        fresh = GaussTree.open(path)
+        try:
+            assert len(fresh) == 30
+            post = GaussTree(dims=2, degree=3)
+            post.extend(base + extra)
+            assert_same_answers(post, fresh, 2, seed=24)
+        finally:
+            fresh.close()
+
     def test_read_only_open_writes_no_sidecar_files(self, tmp_path):
         """Regression: opening a clean index read-only must not create
         lock (or any other) files — PR-1 read-only opens worked from

@@ -150,6 +150,7 @@ EXPECTED_CLUSTER_EXPORTS = {
     "SerialPool",
     "ProcessPool",
     "make_pool",
+    "reshard",
     "QueryServer",
     "SessionPool",
     "serve",
@@ -167,8 +168,12 @@ EXPECTED_CLUSTER_EXPORTS = {
 
 EXPECTED_CLUSTER_SIGNATURES = {
     "build_shards": "(db: 'PFVDatabase', n_shards: 'int', out_prefix, *, "
-    "policy: 'str' = 'hash', page_size: 'int' = 8192) -> 'ShardManifest'",
+    "policy: 'str' = 'hash', page_size: 'int' = 8192, "
+    "replicas: 'int' = 0) -> 'ShardManifest'",
     "load_manifest": "(path) -> 'ShardManifest'",
+    "reshard": "(manifest_path, new_n_shards: 'int', *, "
+    "policy: 'str | None' = None, page_size: 'int' = 8192, "
+    "replicas: 'int | None' = None) -> 'ShardManifest'",
     "partition_database": "(db: 'PFVDatabase', n_shards: 'int', "
     "policy: 'str' = 'hash') -> 'list[PFVDatabase]'",
     "shard_of": "(v: 'PFV', position: 'int', n_shards: 'int', "
@@ -179,7 +184,9 @@ EXPECTED_CLUSTER_SIGNATURES = {
     "pool_size: 'int' = 1) -> 'QueryServer'",
     "make_pool": "(kind: 'str', opener: 'Callable[[int], Any]', "
     "runner: 'Callable[[Any, Any], Any]', *, n_shards: 'int', "
-    "workers: 'int | None' = None)",
+    "workers: 'int | None' = None, attempts: 'int' = 1, "
+    "backoff: 'float' = 0.05, "
+    "failover: 'Callable[[Any, int], Any] | None' = None)",
 }
 
 
