@@ -309,7 +309,24 @@ def _cmd_reshard(args: argparse.Namespace) -> None:
     )
     print(
         "cutover is atomic: sessions opened before it keep serving the "
-        "old generation; delete its files once they are gone"
+        "old generation; run `repro reshard-gc` once they are gone"
+    )
+
+
+def _cmd_reshard_gc(args: argparse.Namespace) -> None:
+    from repro.cluster import reshard_gc
+
+    report = reshard_gc(args.manifest, dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    for path in report["deleted"]:
+        print(f"{verb} {path}")
+    for path in report["busy"]:
+        print(f"busy (still open by a pre-cutover session): {path}")
+    mib = report["reclaimed_bytes"] / (1024 * 1024)
+    print(
+        f"{verb} {len(report['deleted'])} old-generation file(s) "
+        f"({mib:.1f} MiB), {len(report['busy'])} busy; current "
+        f"generation {report['generation']} untouched"
     )
 
 
@@ -345,6 +362,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         if args.sessions > 1
         else None
     )
+    if args.use_async:
+        _serve_async_foreground(args, session, factory)
+        return
     server = QueryServer(
         session,
         args.host,
@@ -364,6 +384,53 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        server.shutdown()
+        session.close()
+
+
+def _serve_async_foreground(args, session, factory) -> None:
+    """The `repro serve --async` path: asyncio front end with admission
+    control and request coalescing (docs/serving.md)."""
+    from repro.serve import AdmissionConfig, AsyncQueryServer, CoalesceConfig
+
+    server = AsyncQueryServer(
+        session,
+        args.host,
+        args.port,
+        session_factory=factory,
+        pool_size=args.sessions,
+        admission=AdmissionConfig(
+            max_queue=args.max_queue,
+            max_queue_per_client=args.max_queue_per_client,
+        ),
+        coalesce=CoalesceConfig(
+            max_batch=args.max_batch,
+            max_delay_seconds=args.max_delay_ms / 1e3,
+            coalesce_reads=not args.no_coalesce,
+            coalesce_writes=not args.no_coalesce,
+        ),
+        drain_timeout=args.drain_timeout,
+        verbose=args.verbose,
+    ).serve_in_background()
+    host, port = server.address
+    coalesce_note = (
+        "coalescing off"
+        if args.no_coalesce
+        else f"coalescing <= {args.max_batch} per batch, "
+        f"{args.max_delay_ms:g} ms window"
+    )
+    print(
+        f"serving http://{host}:{port} with {args.sessions} session(s) "
+        f"(async: pipelined JSONL + HTTP, {coalesce_note}, queue "
+        f"{args.max_queue}) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining")
     finally:
         server.shutdown()
         session.close()
@@ -693,6 +760,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_reshard)
 
     p = sub.add_parser(
+        "reshard-gc",
+        help="delete old-generation shard files left behind by reshard "
+        "cutovers, once flock probes show no live readers",
+    )
+    p.add_argument(
+        "manifest", help=".shards.json manifest of the deployment"
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="only list what would be deleted (and what is busy)",
+    )
+    p.set_defaults(func=_cmd_reshard_gc)
+
+    p = sub.add_parser(
         "serve",
         help="serve an index (or shard manifest) as a concurrent JSON "
         "HTTP endpoint",
@@ -746,6 +828,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="log every HTTP request to stderr",
+    )
+    p.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve through the asyncio tier: pipelined JSONL + HTTP "
+        "on one event loop, bounded admission queues (429 + "
+        "Retry-After under overload) and request coalescing into "
+        "the engine's batch entry points (docs/serving.md)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="async only: most engine operations fused into one "
+        "coalesced batch (default 16)",
+    )
+    p.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="async only: how long a free session waits for stragglers "
+        "before executing an underfull batch (default 2 ms)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=512,
+        help="async only: global admission-queue bound; requests over "
+        "it answer 429 (default 512)",
+    )
+    p.add_argument(
+        "--max-queue-per-client",
+        type=int,
+        default=64,
+        help="async only: per-connection admission bound (default 64)",
+    )
+    p.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="async only: disable request coalescing (each request "
+        "executes alone, as the threaded server would)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="async only: seconds shutdown waits for admitted requests "
+        "to finish (default 10)",
     )
     p.set_defaults(func=_cmd_serve)
     return parser

@@ -35,7 +35,13 @@ clones (:mod:`repro.storage.ship`), read-only sessions rotate reads
 across them and the pools retry a failed task on the next replica — a
 worker killed mid-batch costs a retry, not the batch. :func:`reshard`
 (CLI: ``repro reshard``) rebuilds the deployment at a new shard count
-and cuts over atomically via the manifest while queries keep flowing.
+and cuts over atomically via the manifest while queries keep flowing;
+:func:`reshard_gc` (CLI: ``repro reshard-gc``) later deletes the
+superseded generation's files once flock probes show no live readers.
+
+The high-concurrency front end lives in :mod:`repro.serve` (CLI:
+``repro serve --async``): an asyncio event loop with admission control
+and request coalescing in front of the same session pool.
 
 Importing this package registers the ``"sharded"`` backend with the
 engine registry (``repro`` imports it eagerly, so ``connect(...,
@@ -55,7 +61,7 @@ from repro.cluster.partition import (
     stable_shard_hash,
 )
 from repro.cluster.pool import POOL_KINDS, ProcessPool, SerialPool, make_pool
-from repro.cluster.reshard import reshard
+from repro.cluster.reshard import reshard, reshard_gc
 from repro.cluster.server import QueryServer, SessionPool, serve
 from repro.cluster.wire import (
     WireError,
@@ -83,6 +89,7 @@ __all__ = [
     "ProcessPool",
     "make_pool",
     "reshard",
+    "reshard_gc",
     "QueryServer",
     "SessionPool",
     "serve",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -65,6 +66,17 @@ class ServeClient:
     an ``/insert`` whose response got lost, and an HTTP error status is
     an answer, not an outage. Useful while a serving endpoint restarts
     during failover or a reshard cutover.
+
+    Backpressure (HTTP 429 from the async serving tier's admission
+    control) is handled separately and is on by default: the client
+    backs off and retries rather than failing on first rejection,
+    honouring the server's ``Retry-After`` hint when present and
+    otherwise doubling from ``retry_backoff`` up to ``max_busy_backoff``
+    seconds, with jitter so a rejected thundering herd does not retry
+    in lockstep. A 429 retry is safe for *writes* too — the server
+    rejected the request before executing anything. Disable with
+    ``retry_busy=False`` (429 then raises :class:`RemoteError` like any
+    other error status) or bound it with ``max_busy_retries``.
     """
 
     def __init__(
@@ -74,13 +86,27 @@ class ServeClient:
         *,
         retries: int = 0,
         retry_backoff: float = 0.2,
+        retry_busy: bool = True,
+        max_busy_retries: int = 8,
+        max_busy_backoff: float = 2.0,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if max_busy_retries < 0:
+            raise ValueError(
+                f"max_busy_retries must be >= 0, got {max_busy_retries}"
+            )
+        if max_busy_backoff < 0:
+            raise ValueError(
+                f"max_busy_backoff must be >= 0, got {max_busy_backoff}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.retry_busy = retry_busy
+        self.max_busy_retries = max_busy_retries
+        self.max_busy_backoff = max_busy_backoff
 
     # -- plumbing ------------------------------------------------------------
 
@@ -95,15 +121,23 @@ class ServeClient:
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
         attempts = 1 + (self.retries if retries is None else retries)
-        for attempt in range(attempts):
-            if attempt and self.retry_backoff:
-                time.sleep(self.retry_backoff * attempt)
+        attempt = 0  # transport failures, bounded by `attempts`
+        busy_retries = 0  # 429 backoff, bounded by max_busy_retries
+        while True:
             try:
                 with urllib.request.urlopen(
                     request, timeout=self.timeout
                 ) as response:
                     payload = json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
+                if (
+                    exc.code == 429
+                    and self.retry_busy
+                    and busy_retries < self.max_busy_retries
+                ):
+                    time.sleep(self._busy_delay(exc, busy_retries))
+                    busy_retries += 1
+                    continue
                 try:
                     detail = json.loads(exc.read().decode("utf-8")).get(
                         "error", ""
@@ -116,13 +150,30 @@ class ServeClient:
                     status=exc.code,
                 ) from exc
             except (urllib.error.URLError, OSError) as exc:
-                if attempt + 1 < attempts:
+                attempt += 1
+                if attempt < attempts:
+                    if self.retry_backoff:
+                        time.sleep(self.retry_backoff * attempt)
                     continue
                 raise RemoteError(f"cannot reach {url}: {exc}") from exc
             if not isinstance(payload, dict):
                 raise RemoteError(f"{url} answered non-object JSON")
             return payload
-        raise AssertionError("unreachable")  # the loop returns or raises
+
+    def _busy_delay(self, exc: urllib.error.HTTPError, busy_retries: int) -> float:
+        """Seconds to back off after one 429: the server's Retry-After
+        if sent, else capped exponential from ``retry_backoff`` —
+        jittered either way (uniform over [50%, 100%])."""
+        retry_after = exc.headers.get("Retry-After") if exc.headers else None
+        if retry_after is not None:
+            try:
+                delay = float(retry_after)
+            except ValueError:
+                delay = self.retry_backoff
+        else:
+            delay = self.retry_backoff * (2.0**busy_retries)
+        delay = min(delay, self.max_busy_backoff)
+        return delay * (0.5 + random.random() / 2.0)
 
     # -- endpoints -----------------------------------------------------------
 
@@ -168,8 +219,9 @@ class ServeClient:
             vectors = [vectors]
         if not vectors:
             raise ValueError("insert() needs at least one pfv")
-        # Never auto-retry writes: a lost response would re-send (and
-        # re-apply) the whole batch.
+        # Never auto-retry writes on *transport* failures: a lost
+        # response would re-send (and re-apply) the whole batch. 429
+        # backoff still applies — the server rejects before executing.
         return self._request(
             "/insert",
             {"vectors": [pfv_to_json(v) for v in vectors]},

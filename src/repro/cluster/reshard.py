@@ -21,13 +21,16 @@ different shard count while queries keep flowing:
    one. There is no in-between: the manifest is the single switch.
 
 Old-generation files are deliberately left on disk — deleting them
-would yank pages from under pre-cutover sessions. Remove them once no
-reader of the old generation remains.
+would yank pages from under pre-cutover sessions. :func:`reshard_gc`
+removes them once no reader of the old generation remains (probed via
+the per-index lock sidecars; see
+:func:`repro.gausstree.persist.index_files_in_use`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import glob
 import os
 
 from repro.core.database import PFVDatabase
@@ -41,7 +44,7 @@ from repro.cluster.partition import (
     partition_database,
 )
 
-__all__ = ["reshard"]
+__all__ = ["reshard", "reshard_gc"]
 
 
 def _generation_prefix(manifest_path: str, generation: int) -> str:
@@ -142,3 +145,75 @@ def reshard(
     )
     new_manifest.save(manifest_path)
     return dataclasses.replace(new_manifest, source_path=manifest_path)
+
+
+#: Lock/WAL sidecar suffixes that ride along with a shard index file.
+_SIDECAR_SUFFIXES = (".wal", ".lock", ".readers.lock")
+
+
+def reshard_gc(manifest_path, *, dry_run: bool = False) -> dict:
+    """Garbage-collect shard files of superseded manifest generations.
+
+    For every generation older than the manifest's current one, finds
+    the leftover ``*.shard-NN.gauss`` files (and their replicas) that
+    the cutover left on disk, probes each for live readers/writers via
+    its flock sidecars (:func:`~repro.gausstree.persist.index_files_in_use`)
+    and deletes the unreferenced, unused ones together with their WAL
+    and lock sidecars. Files still held open by a pre-cutover session —
+    or indistinguishable from held on a platform without ``fcntl`` —
+    are reported as busy and left alone; re-run once those sessions
+    close. ``dry_run=True`` only lists.
+
+    Returns a report dict: ``generation`` (the current, surviving one),
+    ``deleted`` and ``busy`` (sorted path lists), ``reclaimed_bytes``
+    (size of the deleted index files plus sidecars, or of the
+    candidates on a dry run) and ``dry_run``.
+    """
+    from repro.gausstree.persist import index_files_in_use
+
+    manifest_path = os.path.abspath(os.fspath(manifest_path))
+    manifest = load_manifest(manifest_path)
+    live: set[str] = set()
+    for p in manifest.shard_paths():
+        if p is not None:
+            live.add(os.path.realpath(p))
+    for replicas in manifest.replica_paths():
+        live.update(os.path.realpath(p) for p in replicas)
+
+    deleted: list[str] = []
+    busy: list[str] = []
+    reclaimed = 0
+    for generation in range(manifest.generation):
+        prefix = _generation_prefix(manifest_path, generation)
+        pattern = glob.escape(prefix) + ".shard-*.gauss*"
+        for candidate in sorted(glob.glob(pattern)):
+            if candidate.endswith(_SIDECAR_SUFFIXES):
+                continue  # sidecars go with their index file
+            if os.path.realpath(candidate) in live:
+                continue  # still referenced (e.g. unchanged replicas)
+            if index_files_in_use(candidate):
+                busy.append(candidate)
+                continue
+            doomed = [candidate] + [
+                candidate + suffix
+                for suffix in _SIDECAR_SUFFIXES
+                if os.path.exists(candidate + suffix)
+            ]
+            for path in doomed:
+                try:
+                    reclaimed += os.path.getsize(path)
+                except OSError:
+                    pass
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:
+                        pass
+            deleted.append(candidate)
+    return {
+        "generation": manifest.generation,
+        "deleted": deleted,
+        "busy": busy,
+        "reclaimed_bytes": reclaimed,
+        "dry_run": dry_run,
+    }

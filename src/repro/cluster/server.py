@@ -188,8 +188,13 @@ class SessionPool:
             session.close()
 
 
-class _ServingStats:
-    """Cumulative counters behind ``GET /stats`` (lock-protected)."""
+class ServingStats:
+    """Cumulative counters behind ``GET /stats`` (lock-protected).
+
+    Shared with the asyncio serving tier (:mod:`repro.serve`), which
+    extends the same snapshot with admission/coalescing counters — one
+    ``/stats`` vocabulary across both servers.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -481,7 +486,7 @@ class QueryServer:
         self.verbose = verbose
         self.session_factory = session_factory
         self.pool_size = pool_size
-        self.stats = _ServingStats()
+        self.stats = ServingStats()
         #: Filled at :meth:`start` (replicas are opened there, not in
         #: the constructor, so a never-started server opens nothing).
         self.pool = SessionPool([session])

@@ -47,7 +47,15 @@ __all__ = [
     "result_to_json",
     "load_jsonl",
     "dump_jsonl",
+    "REQUEST_OPS",
+    "request_from_json",
+    "response_to_json",
 ]
+
+#: Operations a pipelined-JSONL request envelope may name. ``query``
+#: and ``insert`` mirror the HTTP POST endpoints; ``healthz`` and
+#: ``stats`` the GET ones.
+REQUEST_OPS = frozenset({"query", "insert", "healthz", "stats"})
 
 
 class WireError(ValueError):
@@ -220,6 +228,43 @@ def result_to_json(rs: ResultSet) -> dict:
             for name, s in rs.provenance
         ]
     return payload
+
+
+def request_from_json(data: object) -> tuple:
+    """Validate one pipelined-JSONL request envelope.
+
+    The async serving tier (``docs/serving.md``) frames requests as one
+    JSON object per line: ``{"op": "query"|"insert"|"healthz"|"stats",
+    "id": .., ...payload}``. Returns ``(id, op, data)``; ``id`` is the
+    client's correlation token (echoed verbatim on the response, so
+    pipelined responses may arrive out of order), ``op`` selects the
+    operation and the remaining keys are the op's payload — the same
+    shapes the HTTP endpoints take (``"queries"`` for ``query``,
+    ``"vectors"`` for ``insert``).
+    """
+    if not isinstance(data, dict):
+        raise WireError(f"a request must be a JSON object, got {data!r}")
+    op = data.get("op")
+    if op not in REQUEST_OPS:
+        raise WireError(
+            f"unknown op {op!r} (expected one of {sorted(REQUEST_OPS)})"
+        )
+    rid = data.get("id")
+    if rid is not None and not isinstance(rid, (bool, int, float, str)):
+        raise WireError(
+            f"request id must be a JSON scalar, got {rid!r}"
+        )
+    return rid, op, data
+
+
+def response_to_json(rid: object, status: int, payload: dict) -> dict:
+    """Stamp one response envelope: the payload plus the echoed request
+    ``id`` and an HTTP-alike ``status`` (200 success, 4xx/5xx carrying
+    ``{"error": ..}`` and — for 429/503 — a ``retry_after`` hint)."""
+    out = dict(payload)
+    out["id"] = rid
+    out["status"] = int(status)
+    return out
 
 
 def load_jsonl(f: IO[str]) -> list[Query]:

@@ -181,6 +181,100 @@ class _IndexLock:
             self._fd = None
 
 
+def readers_lock_path_for(path: str | os.PathLike) -> str:
+    """The reader-presence sidecar of an index
+    (``<index>.readers.lock``, resolved through symlinks)."""
+    return os.path.realpath(os.fspath(path)) + ".readers.lock"
+
+
+class _ReaderLock:
+    """Shared advisory mark "a reader has this index open".
+
+    Every read-only :func:`open_tree` takes a *shared* flock on the
+    sidecar ``<index>.readers.lock`` for the tree's lifetime (a separate
+    file from the exclusive writer lock, so writable-open semantics are
+    untouched). ``repro reshard-gc`` probes old-generation shard files
+    with a non-blocking *exclusive* flock on the same sidecar: while any
+    pre-cutover reader is alive the probe fails and the file survives.
+    Best-effort by design — without ``fcntl``, or if the sidecar cannot
+    be created (read-only media), the reader just goes unregistered:
+    POSIX keeps an open descriptor valid after unlink, so a GC'd file
+    under a live unmarked reader degrades to deferred space
+    reclamation, never to a read error. The last reader out removes the
+    sidecar again (read-only opens must leave no trace on disk — a
+    PR-1 invariant the persist tests pin).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = readers_lock_path_for(path)
+        self._fd: int | None = None
+
+    def acquire(self) -> bool:
+        if _fcntl is None:
+            return False
+        try:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            return False
+        try:
+            _fcntl.flock(fd, _fcntl.LOCK_SH | _fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            try:
+                # Sole holder? Then tidy up the sidecar. If another
+                # reader still shares the lock the upgrade fails and
+                # the file stays for them.
+                _fcntl.flock(self._fd, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+            except OSError:
+                pass
+            else:
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+            _fcntl.flock(self._fd, _fcntl.LOCK_UN)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+
+def index_files_in_use(path: str | os.PathLike) -> bool:
+    """Whether any process holds the index open (writer or reader).
+
+    Probes both lock sidecars with non-blocking exclusive flocks: the
+    writer lock (``<index>.lock``, held exclusively by a writable open)
+    and the reader-presence lock (``<index>.readers.lock``, held shared
+    by every read-only open). Conservative without ``fcntl``: answers
+    ``True``, so GC never deletes on a platform where it cannot probe.
+    """
+    if _fcntl is None:
+        return True
+    real = os.path.realpath(os.fspath(path))
+    for lock_path in (real + ".lock", real + ".readers.lock"):
+        if not os.path.exists(lock_path):
+            continue
+        try:
+            fd = os.open(lock_path, os.O_RDWR)
+        except OSError:
+            return True
+        try:
+            _fcntl.flock(fd, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+            _fcntl.flock(fd, _fcntl.LOCK_UN)
+        except OSError:
+            return True
+        finally:
+            os.close(fd)
+    return False
+
+
 # -- key table ---------------------------------------------------------------
 
 
@@ -1227,4 +1321,9 @@ def _open_tree_locked(
         )
     else:
         tree.read_only = True
+        # Register reader presence for `repro reshard-gc` (best-effort;
+        # released by tree.close()).
+        reader_lock = _ReaderLock(path)
+        if reader_lock.acquire():
+            tree._reader_lock = reader_lock
     return tree

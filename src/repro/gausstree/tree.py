@@ -113,6 +113,10 @@ class GaussTree:
         # Nodes whose pages the current mutation dirtied; None when no
         # writer is attached (in-memory trees pay one `is None` check).
         self._dirty_nodes: set[Node] | None = None
+        # Reader-presence mark held by read-only opens so
+        # `repro reshard-gc` can see live readers; set by open_tree,
+        # released in close().
+        self._reader_lock = None
 
     # -- capacities (Definition 4) ------------------------------------------
 
@@ -570,9 +574,14 @@ class GaussTree:
             if self._writer is not None:
                 self._writer.close(checkpoint=checkpoint)
         finally:
-            close = getattr(self.store, "close", None)
-            if close is not None:
-                close()
+            try:
+                close = getattr(self.store, "close", None)
+                if close is not None:
+                    close()
+            finally:
+                if self._reader_lock is not None:
+                    self._reader_lock.release()
+                    self._reader_lock = None
 
     # -- queries ------------------------------------------------------------------
 

@@ -1,0 +1,138 @@
+"""Pipelined JSONL client for the async serving tier.
+
+A deliberately thin, stdlib-only counterpart to the HTTP
+:class:`~repro.cluster.client.ServeClient`: one TCP connection, one
+JSON object per line in each direction, many requests in flight at
+once. Responses echo the request ``id`` and may arrive out of order —
+:meth:`JsonlClient.recv_for` buffers strays so callers can interleave
+sends and receives freely. Responses carry an HTTP-alike ``status``
+field instead of raising: backpressure (429) is an expected answer the
+caller reacts to, not an exception (the load generator in
+``benchmarks/bench_serve.py`` is the canonical consumer).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Sequence
+
+from repro.cluster.client import RemoteError
+from repro.cluster.wire import pfv_to_json, spec_to_json
+from repro.core.pfv import PFV
+from repro.engine.spec import Query
+
+__all__ = ["JsonlClient"]
+
+
+class JsonlClient:
+    """One pipelined JSONL connection to an :class:`AsyncQueryServer`.
+
+    The low-level surface is :meth:`send` (returns the auto-assigned
+    request id immediately) plus :meth:`recv` / :meth:`recv_for`; the
+    convenience methods (:meth:`query`, :meth:`insert`, :meth:`healthz`,
+    :meth:`stats`) each send one request and block for its response
+    dict, ``status`` field included. Not thread-safe — use one client
+    per thread, which is also one fairness domain on the server.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._stashed: dict[object, dict] = {}
+
+    def send(self, op: str, **payload: object) -> int:
+        """Write one request line; returns its ``id`` without waiting."""
+        self._next_id += 1
+        rid = self._next_id
+        envelope = {"op": op, "id": rid, **payload}
+        try:
+            self._file.write(json.dumps(envelope).encode("utf-8") + b"\n")
+            self._file.flush()
+        except (OSError, ValueError) as exc:
+            raise RemoteError(f"send failed: {exc}") from exc
+        return rid
+
+    def recv(self) -> dict:
+        """Read the next response line (any request's), as a dict."""
+        if self._stashed:
+            _, resp = self._stashed.popitem()
+            return resp
+        return self._read_response()
+
+    def recv_for(self, rid: object) -> dict:
+        """Read until the response for ``rid`` arrives, stashing any
+        other responses for later :meth:`recv`/:meth:`recv_for` calls."""
+        if rid in self._stashed:
+            return self._stashed.pop(rid)
+        while True:
+            resp = self._read_response()
+            if resp.get("id") == rid:
+                return resp
+            self._stashed[resp.get("id")] = resp
+
+    def _read_response(self) -> dict:
+        try:
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            raise RemoteError(f"recv failed: {exc}") from exc
+        if not line:
+            raise RemoteError("server closed the connection")
+        try:
+            resp = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RemoteError(f"bad response line: {exc}") from exc
+        if not isinstance(resp, dict):
+            raise RemoteError(f"bad response payload: {resp!r}")
+        return resp
+
+    def request(self, op: str, **payload: object) -> dict:
+        """Send one request and block for its response dict."""
+        return self.recv_for(self.send(op, **payload))
+
+    def query(self, specs: Sequence[Query]) -> dict:
+        """Run read specs; the response dict mirrors ``POST /query``
+        (plus ``status`` and the echoed ``id``)."""
+        return self.request(
+            "query", queries=[spec_to_json(s) for s in specs]
+        )
+
+    def insert(self, vectors: Sequence[PFV]) -> dict:
+        """Insert vectors; the response dict mirrors ``POST /insert``.
+        A 200 means the shared group-commit fsync completed."""
+        return self.request(
+            "insert", vectors=[pfv_to_json(v) for v in vectors]
+        )
+
+    def healthz(self) -> dict:
+        """The server's liveness payload (``GET /healthz`` shape, except
+        ``status`` is the envelope's numeric one — 200 when healthy)."""
+        return self.request("healthz")
+
+    def stats(self) -> dict:
+        """The server's counters (``GET /stats`` shape, including the
+        ``admission`` and ``coalescing`` sections)."""
+        return self.request("stats")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "JsonlClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

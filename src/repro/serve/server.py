@@ -1,0 +1,884 @@
+"""The asyncio serving tier: pipelined JSONL + HTTP shim over a pool.
+
+One event loop owns every connection; query execution runs on a small
+``ThreadPoolExecutor`` with exactly one worker per pool session, so the
+thread count is fixed at startup no matter how many clients connect —
+concurrency is bounded by :class:`~repro.serve.admission.AdmissionQueue`
+(429 + ``Retry-After`` beyond the bound), never by thread exhaustion.
+
+Two protocols share each listening socket, sniffed per connection from
+the first line:
+
+* **Pipelined JSONL** (lines starting with ``{``): one request envelope
+  per line — ``{"op": "query", "id": 7, "queries": [spec, ...]}`` — with
+  responses echoing ``id`` and possibly arriving out of order, so a
+  client may keep many requests in flight on one keep-alive connection.
+* **HTTP/1.1 shim** (anything else): the exact endpoint contract of the
+  threaded :class:`~repro.cluster.server.QueryServer` (``POST /query``,
+  ``POST /insert``, ``GET /healthz``, ``GET /stats``), so the stdlib
+  :class:`~repro.cluster.client.ServeClient` works unchanged. Requests
+  on one HTTP connection are answered in order (responses to *different*
+  connections interleave freely).
+
+The dispatcher implements **request coalescing**: it first waits for a
+free pool session, then collects a round-robin batch of queued read
+requests (plus a ``max_delay`` window for stragglers) and fuses them
+into one ``execute_many`` call — concurrent singleton clients reach the
+engine's batch entry points (~2x traversal amortization) without
+batching client-side. Results demultiplex back per request. Concurrent
+``insert`` requests coalesce the same way into one ``insert_many`` —
+a single group-commit WAL transaction whose one fsync is shared by
+every client acked from it. Waiting for the session *before* forming
+the batch is what makes batch size track load: while every session is
+busy the queues grow, so the next batch is bigger exactly when
+amortization pays most.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Awaitable, Callable, Sequence
+
+from repro.cluster.server import MAX_BODY_BYTES, ServingStats
+from repro.cluster.wire import (
+    WireError,
+    pfv_from_json,
+    request_from_json,
+    response_to_json,
+    result_to_json,
+    spec_from_json,
+)
+from repro.engine.result import ResultSet
+from repro.engine.session import Session
+from repro.engine.spec import is_write_spec
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionError,
+    AdmissionQueue,
+)
+from repro.serve.coalesce import CoalesceConfig
+
+__all__ = ["AsyncQueryServer", "serve_async"]
+
+#: Longest accepted JSONL request line / HTTP header line. Also the
+#: asyncio stream reader's buffer limit.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _Pending:
+    """One admitted request waiting in the queue.
+
+    ``respond`` is a coroutine function ``(status, payload) -> None``
+    bound to the originating connection/protocol; the batch that serves
+    the request calls it on the event loop. ``weight`` is the number of
+    engine operations the request contributes to a coalesced batch.
+    """
+
+    __slots__ = ("op", "specs", "vectors", "respond", "done")
+
+    def __init__(self, op, specs=None, vectors=None, respond=None):
+        self.op = op
+        self.specs = specs
+        self.vectors = vectors
+        self.respond = respond
+        self.done: asyncio.Future | None = None
+
+    @property
+    def weight(self) -> int:
+        if self.op == "query":
+            return max(1, len(self.specs))
+        return max(1, len(self.vectors))
+
+
+class AsyncQueryServer:
+    """The asyncio serving endpoint (see the module docstring).
+
+    Parameters mirror :class:`~repro.cluster.server.QueryServer`
+    (``session`` is pool slot 0 and takes every write; ``session_factory``
+    opens the ``pool_size - 1`` read replicas at start), plus the
+    serving-tier knobs: ``admission`` bounds the request queues and
+    ``coalesce`` sets the batching window (``repro serve --async``
+    surfaces both). ``drain_timeout`` caps how long :meth:`shutdown`
+    waits for admitted requests to finish.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 8631,
+        *,
+        session_factory: Callable[[], Session] | None = None,
+        pool_size: int = 1,
+        admission: AdmissionConfig | None = None,
+        coalesce: CoalesceConfig | None = None,
+        drain_timeout: float = 10.0,
+        verbose: bool = False,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if pool_size > 1 and session_factory is None:
+            raise ValueError(
+                "pool_size > 1 needs a session_factory to open the "
+                "replica sessions"
+            )
+        self.session = session
+        self.host = host
+        self.port = port
+        self.session_factory = session_factory
+        self.pool_size = pool_size
+        self.admission_config = admission or AdmissionConfig()
+        self.coalesce = coalesce or CoalesceConfig()
+        self.drain_timeout = drain_timeout
+        self.verbose = verbose
+        self.stats = ServingStats()
+        # Serving-tier counters (event-loop confined).
+        self.read_batches = 0
+        self.coalesced_reads = 0
+        self.write_batches = 0
+        self.coalesced_inserts = 0
+        # Runtime state, created on the event loop in _main().
+        self._sessions: list[Session] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._admission: AdmissionQueue | None = None
+        self._bound: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._stop_requested = threading.Event()
+        self._drained = threading.Event()
+
+    # -- public lifecycle ----------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (serve first)."""
+        if self._bound is None:
+            raise RuntimeError("server is not started")
+        return self._bound
+
+    @property
+    def url(self) -> str:
+        """``http://host:port`` of the bound endpoint (the HTTP shim
+        accepts ServeClient there; JSONL clients use :attr:`address`)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Run the event loop in the calling thread until shutdown
+        (the ``repro serve --async`` foreground mode)."""
+        asyncio.run(self._main())
+
+    def serve_in_background(self) -> "AsyncQueryServer":
+        """Run the event loop in a daemon thread; returns once the
+        listening socket is bound (tests, benchmarks, embedding)."""
+        if self._thread is not None:
+            raise RuntimeError("server is already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-async", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"async server failed to start: {self._start_error}"
+            ) from self._start_error
+        if not self._started.is_set():
+            raise RuntimeError("async server did not start within 30s")
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop admitting (new requests answer 503),
+        finish every admitted request, close connections and replica
+        sessions, stop the loop. Idempotent; thread-safe."""
+        self._stop_requested.set()
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._kick)
+            self._drained.wait(timeout=self.drain_timeout + 10)
+        if self._thread is not None:
+            self._thread.join(timeout=self.drain_timeout + 10)
+            self._thread = None
+
+    def __enter__(self) -> "AsyncQueryServer":
+        if self._thread is None:
+            self.serve_in_background()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- event-loop main -----------------------------------------------------
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface to serve_in_background
+            if not self._started.is_set():
+                self._start_error = exc
+                self._started.set()
+        finally:
+            self._drained.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._admission = AdmissionQueue(self.admission_config)
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._client_ids = itertools.count(1)
+        # Pool bookkeeping lives in asyncio-land; the executor has one
+        # worker per session so a checked-out slot always has a thread.
+        self._sessions = [self.session]
+        if self.pool_size > 1:
+            self._sessions += [
+                self.session_factory() for _ in range(self.pool_size - 1)
+            ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.pool_size, thread_name_prefix="repro-serve"
+        )
+        self._free_slots = set(range(self.pool_size))
+        self._slot_cond = asyncio.Condition()
+        self._pool_acquires = 0
+        self._pool_waits = 0
+        self._pool_peak = 0
+        self._per_slot_batches = [0] * self.pool_size
+        self._version = 0
+        self._slot_versions = [0] * self.pool_size
+
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._bound = (sockname[0], sockname[1])
+        dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._started.set()
+        try:
+            while not self._stop_requested.is_set():
+                self._wake.clear()
+                if self._stop_requested.is_set():
+                    break
+                await self._wake.wait()
+        finally:
+            await self._drain(dispatcher)
+
+    def _kick(self) -> None:
+        """Wake both the main waiter and the dispatcher (loop-side)."""
+        self._wake.set()
+
+    async def _drain(self, dispatcher: asyncio.Task) -> None:
+        self._admission.begin_drain()
+        self._server.close()
+        self._wake.set()
+        deadline = self._loop.time() + self.drain_timeout
+        while (
+            self._admission.pending or self._inflight
+        ) and self._loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        dispatcher.cancel()
+        for task in list(self._inflight):
+            task.cancel()
+        for writer in list(self._conns):
+            writer.close()
+        await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+        for session in self._sessions[1:]:
+            try:
+                session.close()
+            except Exception:
+                pass
+
+    # -- pool slots ----------------------------------------------------------
+
+    async def _acquire_slot(self, slot: int | None) -> int:
+        async with self._slot_cond:
+            self._pool_acquires += 1
+
+            def available() -> bool:
+                if slot is not None:
+                    return slot in self._free_slots
+                return bool(self._free_slots)
+
+            if not available():
+                self._pool_waits += 1
+                await self._slot_cond.wait_for(available)
+            taken = slot if slot is not None else min(self._free_slots)
+            self._free_slots.discard(taken)
+            in_use = self.pool_size - len(self._free_slots)
+            self._pool_peak = max(self._pool_peak, in_use)
+            self._per_slot_batches[taken] += 1
+            return taken
+
+    async def _release_slot(self, slot: int) -> None:
+        async with self._slot_cond:
+            self._free_slots.add(slot)
+            self._slot_cond.notify_all()
+
+    def _pool_snapshot(self) -> dict:
+        return {
+            "size": self.pool_size,
+            "in_use": self.pool_size - len(self._free_slots),
+            "peak_in_use": self._pool_peak,
+            "acquires": self._pool_acquires,
+            "waits": self._pool_waits,
+            "batches_per_session": list(self._per_slot_batches),
+        }
+
+    # -- dispatcher: slot first, then the batch ------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            head = self._admission.peek()
+            if head is None:
+                if self._admission.draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            want_write = head.op == "insert"
+            if want_write and 0 not in self._free_slots:
+                # Writes serialize on slot 0; while it is busy, don't
+                # head-of-line-block reads that a free replica could
+                # serve right now.
+                if self._free_slots and self._admission.has(
+                    lambda it: it.op == "query"
+                ):
+                    want_write = False
+            slot = await self._acquire_slot(0 if want_write else None)
+            op = "insert" if want_write else "query"
+            items = self._collect(op)
+            if (
+                items
+                and sum(it.weight for it in items) < self._batch_limit(op)
+                and self.coalesce.max_delay_seconds > 0
+                and self._coalescing(op)
+                and not self._admission.draining
+            ):
+                # The batching window: hold the session briefly for
+                # stragglers so near-simultaneous singletons fuse.
+                await asyncio.sleep(self.coalesce.max_delay_seconds)
+                items += self._collect(op, already=items)
+            if not items:
+                await self._release_slot(slot)
+                continue
+            if op == "insert":
+                task = asyncio.ensure_future(
+                    self._run_insert_batch(slot, items)
+                )
+            else:
+                task = asyncio.ensure_future(
+                    self._run_read_batch(slot, items)
+                )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    def _coalescing(self, op: str) -> bool:
+        return (
+            self.coalesce.coalesce_writes
+            if op == "insert"
+            else self.coalesce.coalesce_reads
+        )
+
+    def _batch_limit(self, op: str) -> int:
+        return self.coalesce.max_batch if self._coalescing(op) else 1
+
+    def _collect(self, op: str, already: list | None = None) -> list:
+        limit = self._batch_limit(op)
+        if already:
+            limit -= sum(it.weight for it in already)
+            if limit < 1:
+                return []
+        if self._coalescing(op):
+            return self._admission.take_run(
+                lambda it: it.op == op, limit, weight=lambda it: it.weight
+            )
+        # Coalescing disabled: one request per batch, served verbatim.
+        return self._admission.take_run(lambda it: it.op == op, 1)
+
+    # -- batch execution -----------------------------------------------------
+
+    async def _run_read_batch(self, slot: int, items: list) -> None:
+        specs = [s for it in items for s in it.specs]
+        try:
+            session = await self._reading_session(slot)
+            started = time.perf_counter()
+            rs: ResultSet = await self._loop.run_in_executor(
+                self._executor, session.execute_many, specs
+            )
+            elapsed = time.perf_counter() - started
+        except asyncio.CancelledError:
+            await self._release_slot(slot)
+            raise
+        except Exception as exc:
+            await self._release_slot(slot)
+            message = f"{type(exc).__name__}: {exc}"
+            for it in items:
+                await self._answer(it, 500, {"error": message})
+            return
+        await self._release_slot(slot)
+        self.stats.record(specs, rs.stats, elapsed)
+        self.read_batches += 1
+        if len(items) > 1:
+            self.coalesced_reads += len(items)
+        payload = result_to_json(rs)
+        provenance = payload.get("provenance")
+        offset = 0
+        for it in items:
+            n = len(it.specs)
+            part = {
+                "backend": payload["backend"],
+                "n_queries": n,
+                "results": payload["results"][offset : offset + n],
+                # Stats are the *batch's* merged counters: work shared
+                # by every request coalesced into this execute_many.
+                "stats": payload["stats"],
+                "execute_seconds": round(elapsed, 6),
+                "coalesced": len(items),
+            }
+            if provenance is not None:
+                part["provenance"] = provenance
+            offset += n
+            await self._answer(it, 200, part)
+
+    async def _reading_session(self, slot: int) -> Session:
+        """The slot's session, refreshed first if it predates the last
+        accepted write (read-your-writes through every slot)."""
+        if (
+            slot != 0
+            and self.session_factory is not None
+            and self._slot_versions[slot] < self._version
+        ):
+            target = self._version
+            try:
+                fresh = await self._loop.run_in_executor(
+                    self._executor, self.session_factory
+                )
+            except Exception:
+                # Keep serving the (slightly stale) old session; the
+                # slot stays marked stale so the next batch retries.
+                return self._sessions[slot]
+            old, self._sessions[slot] = self._sessions[slot], fresh
+            self._slot_versions[slot] = target
+            try:
+                old.close()
+            except Exception:
+                pass
+        return self._sessions[slot]
+
+    async def _run_insert_batch(self, slot: int, items: list) -> None:
+        vectors = [v for it in items for v in it.vectors]
+
+        def apply() -> int:
+            # One insert_many = one group-commit WAL transaction per
+            # touched index: every coalesced client shares its fsync.
+            count = self.session.insert_many(vectors)
+            if self.pool_size > 1:
+                self.session.flush()
+            return count
+
+        try:
+            started = time.perf_counter()
+            await self._loop.run_in_executor(self._executor, apply)
+            objects = len(self.session)
+            elapsed = time.perf_counter() - started
+        except asyncio.CancelledError:
+            await self._release_slot(slot)
+            raise
+        except Exception as exc:
+            await self._release_slot(slot)
+            message = f"{type(exc).__name__}: {exc}"
+            for it in items:
+                await self._answer(it, 500, {"error": message})
+            return
+        if self.pool_size > 1:
+            self._version += 1
+            self._slot_versions[0] = self._version
+        await self._release_slot(slot)
+        self.stats.record_inserts(len(vectors), elapsed)
+        self.write_batches += 1
+        if len(items) > 1:
+            self.coalesced_inserts += len(vectors)
+        for it in items:
+            # Acked only after the shared fsync returned.
+            await self._answer(
+                it,
+                200,
+                {
+                    "inserted": len(it.vectors),
+                    "objects": objects,
+                    "execute_seconds": round(elapsed, 6),
+                    "coalesced": len(items),
+                },
+            )
+
+    async def _answer(self, it: _Pending, status: int, payload: dict) -> None:
+        if status >= 400 and status not in (429, 503):
+            self.stats.record_error()
+        try:
+            await it.respond(status, payload)
+        except (ConnectionError, RuntimeError, OSError):
+            pass  # client went away; the work is done regardless
+        if it.done is not None and not it.done.done():
+            it.done.set_result(None)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client_id = next(self._client_ids)
+        write_lock = asyncio.Lock()
+        self._conns.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._write_jsonl(
+                        writer,
+                        write_lock,
+                        response_to_json(
+                            None,
+                            400,
+                            {"error": "request line over limit"},
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if stripped.startswith(b"{"):
+                    await self._handle_jsonl(
+                        stripped, client_id, writer, write_lock
+                    )
+                else:
+                    keep = await self._handle_http(
+                        stripped, reader, writer, write_lock
+                    )
+                    if not keep:
+                        break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            BrokenPipeError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Drain cancels handlers after admitted work finished; exit
+            # cleanly so loop shutdown doesn't log phantom errors.
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- JSONL protocol ------------------------------------------------------
+
+    async def _write_jsonl(self, writer, lock, obj: dict) -> None:
+        data = json.dumps(obj).encode("utf-8") + b"\n"
+        async with lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _handle_jsonl(
+        self, line: bytes, client_id, writer, lock
+    ) -> None:
+        try:
+            data = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._write_jsonl(
+                writer,
+                lock,
+                response_to_json(
+                    None, 400, {"error": f"request is not JSON: {exc}"}
+                ),
+            )
+            return
+        try:
+            rid, op, payload = request_from_json(data)
+        except WireError as exc:
+            await self._write_jsonl(
+                writer,
+                lock,
+                response_to_json(data.get("id") if isinstance(data, dict)
+                                 else None, 400, {"error": str(exc)}),
+            )
+            return
+
+        async def respond(status: int, body: dict) -> None:
+            await self._write_jsonl(
+                writer, lock, response_to_json(rid, status, body)
+            )
+
+        await self._submit(client_id, op, payload, respond)
+
+    # -- HTTP/1.1 shim -------------------------------------------------------
+
+    async def _write_http(
+        self, writer, lock, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive",
+        ]
+        retry_after = payload.get("retry_after")
+        if retry_after is not None:
+            headers.append(f"Retry-After: {retry_after}")
+        head = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+        async with lock:
+            writer.write(head + body)
+            await writer.drain()
+
+    async def _handle_http(
+        self, request_line: bytes, reader, writer, lock
+    ) -> bool:
+        """Serve one HTTP request; returns False to close the connection."""
+        try:
+            parts = request_line.decode("latin-1").split()
+            method, path = parts[0], parts[1]
+        except (UnicodeDecodeError, IndexError):
+            await self._write_http(
+                writer, lock, 400, {"error": "malformed request line"}
+            )
+            return False
+        headers: dict[str, str] = {}
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            await self._write_http(
+                writer, lock, 400, {"error": "bad Content-Length"}
+            )
+            return False
+        if length > MAX_BODY_BYTES:
+            await self._write_http(
+                writer,
+                lock,
+                413,
+                {"error": f"request body over {MAX_BODY_BYTES} bytes"},
+            )
+            return False
+        body = await reader.readexactly(length) if length > 0 else b""
+
+        op = {
+            ("GET", "/healthz"): "healthz",
+            ("GET", "/stats"): "stats",
+            ("POST", "/query"): "query",
+            ("POST", "/insert"): "insert",
+        }.get((method, path))
+        if op is None:
+            await self._write_http(
+                writer, lock, 404, {"error": f"unknown path {path!r}"}
+            )
+            return headers.get("connection", "").lower() != "close"
+        if op in ("query", "insert"):
+            if not body:
+                await self._write_http(
+                    writer, lock, 400, {"error": "empty request body"}
+                )
+                return False
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                await self._write_http(
+                    writer,
+                    lock,
+                    400,
+                    {"error": f"request body is not JSON: {exc}"},
+                )
+                return False
+        else:
+            payload = {}
+
+        done: asyncio.Future = self._loop.create_future()
+
+        async def respond(status: int, answer: dict) -> None:
+            await self._write_http(writer, lock, status, answer)
+            if not done.done():
+                done.set_result(None)
+
+        # HTTP pipelining requires in-order responses: serve one request
+        # at a time per connection (coalescing happens across
+        # connections, matching how ServeClient opens them).
+        await self._submit(
+            f"http-{id(writer)}", op, payload, respond, done=done
+        )
+        await done
+        return headers.get("connection", "").lower() != "close"
+
+    # -- request routing (shared by both protocols) --------------------------
+
+    async def _submit(
+        self,
+        client_id,
+        op: str,
+        payload: dict,
+        respond: Callable[[int, dict], Awaitable[None]],
+        *,
+        done: asyncio.Future | None = None,
+    ) -> None:
+        """Answer ``healthz``/``stats`` inline; queue ``query``/``insert``
+        through admission (responding 4xx immediately when rejected or
+        malformed)."""
+
+        async def reply(status: int, body: dict) -> None:
+            if status >= 400 and status not in (429, 503):
+                self.stats.record_error()
+            await respond(status, body)
+            if done is not None and not done.done():
+                done.set_result(None)
+
+        if op == "healthz":
+            await reply(
+                200,
+                {
+                    "status": "ok",
+                    "backend": self.session.backend_name,
+                    "objects": len(self.session),
+                    "uptime_seconds": round(
+                        time.time() - self.stats.started_at, 3
+                    ),
+                    "serving": "async",
+                },
+            )
+            return
+        if op == "stats":
+            await reply(200, self._stats_payload())
+            return
+
+        if op == "query":
+            try:
+                raw = payload.get("queries")
+                if raw is None:
+                    raw = [payload]
+                if not isinstance(raw, list):
+                    raise WireError('"queries" must be a list of specs')
+                specs = [spec_from_json(item) for item in raw]
+            except WireError as exc:
+                await reply(400, {"error": str(exc)})
+                return
+            if not specs:
+                await reply(400, {"error": "no queries in request"})
+                return
+            if any(is_write_spec(s) for s in specs):
+                await reply(
+                    400,
+                    {
+                        "error": "write specs are not served by query; "
+                        "send the vectors through insert (writes "
+                        "serialize on the primary session)"
+                    },
+                )
+                return
+            item = _Pending("query", specs=specs, respond=respond)
+        else:  # insert
+            if not self.session.writable:
+                await reply(
+                    403,
+                    {
+                        "error": "server session is read-only; restart "
+                        "`repro serve` with --writable to accept inserts"
+                    },
+                )
+                return
+            try:
+                raw = payload.get("vectors")
+                if not isinstance(raw, list):
+                    raise WireError(
+                        'insert body must be {"vectors": [pfv, ...]}'
+                    )
+                vectors = [pfv_from_json(v) for v in raw]
+            except WireError as exc:
+                await reply(400, {"error": str(exc)})
+                return
+            if not vectors:
+                await reply(400, {"error": "no vectors in request"})
+                return
+            item = _Pending("insert", vectors=vectors, respond=respond)
+
+        item.done = done
+        try:
+            self._admission.offer(client_id, item)
+        except AdmissionError as exc:
+            await reply(
+                exc.status,
+                {"error": str(exc), "retry_after": exc.retry_after},
+            )
+            return
+        self._wake.set()
+
+    def _stats_payload(self) -> dict:
+        payload = self.stats.snapshot()
+        payload["backend"] = self.session.backend_name
+        payload["objects"] = len(self.session)
+        payload["session_pool"] = self._pool_snapshot()
+        payload["admission"] = self._admission.snapshot()
+        payload["coalescing"] = {
+            "read_batches": self.read_batches,
+            "coalesced_reads": self.coalesced_reads,
+            "write_batches": self.write_batches,
+            "coalesced_inserts": self.coalesced_inserts,
+            "max_batch": self.coalesce.max_batch,
+            "max_delay_seconds": self.coalesce.max_delay_seconds,
+            "reads": self.coalesce.coalesce_reads,
+            "writes": self.coalesce.coalesce_writes,
+        }
+        return payload
+
+
+def serve_async(
+    session: Session,
+    host: str = "127.0.0.1",
+    port: int = 8631,
+    *,
+    session_factory: Callable[[], Session] | None = None,
+    pool_size: int = 1,
+    admission: AdmissionConfig | None = None,
+    coalesce: CoalesceConfig | None = None,
+    drain_timeout: float = 10.0,
+    verbose: bool = False,
+) -> AsyncQueryServer:
+    """Start the asyncio serving tier in a background thread; returns
+    the running :class:`AsyncQueryServer` (use as a context manager to
+    drain and stop). The async twin of :func:`repro.cluster.serve`."""
+    return AsyncQueryServer(
+        session,
+        host,
+        port,
+        session_factory=session_factory,
+        pool_size=pool_size,
+        admission=admission,
+        coalesce=coalesce,
+        drain_timeout=drain_timeout,
+        verbose=verbose,
+    ).serve_in_background()

@@ -66,6 +66,16 @@ class DiskCostModel:
         Modeled per-branch cost of fanning a batch out to one shard of a
         sharded deployment (serialize the sub-batch, enqueue, collect —
         default 500 us, roughly one small RPC).
+    coalesce_dispatch_seconds:
+        Modeled per-request cost of the async serving tier's coalescing
+        dispatcher (admission, demultiplexing one request's slice of a
+        fused batch — default 200 us).
+    batch_shared_fraction:
+        Fraction of a query's engine work that batch execution shares
+        across a fused batch (root descent, common node expansions).
+        The default 0.5 reproduces the ~2x ``execute_many``
+        amortization the engine benchmarks measure; see
+        :meth:`coalesce_amortization`.
     """
 
     seek_seconds: float = 0.008
@@ -76,6 +86,8 @@ class DiskCostModel:
     cpu_per_vectorized_refinement_seconds: float = 1e-6
     cpu_per_page_seconds: float = 100e-6
     fanout_dispatch_seconds: float = 500e-6
+    coalesce_dispatch_seconds: float = 200e-6
+    batch_shared_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.seek_seconds < 0 or self.rotational_seconds < 0:
@@ -92,6 +104,13 @@ class DiskCostModel:
             raise ValueError("CPU costs must be non-negative")
         if self.fanout_dispatch_seconds < 0:
             raise ValueError("fan-out dispatch cost must be non-negative")
+        if self.coalesce_dispatch_seconds < 0:
+            raise ValueError("coalesce dispatch cost must be non-negative")
+        if not 0.0 <= self.batch_shared_fraction < 1.0:
+            raise ValueError(
+                "batch_shared_fraction must be in [0, 1), got "
+                f"{self.batch_shared_fraction}"
+            )
 
     def modeled_cpu_seconds(
         self,
@@ -169,6 +188,37 @@ class DiskCostModel:
             fsyncs * (self.seek_seconds + self.rotational_seconds)
             + wal_bytes / self.transfer_bytes_per_second
         )
+
+    def coalesce_amortization(self, batch: int) -> float:
+        """Per-query speedup from fusing ``batch`` queries into one call.
+
+        A fraction ``f = batch_shared_fraction`` of each query's work is
+        shared across the batch (paid once), the rest is per-query, so
+        the per-query cost shrinks by ``batch / (f + (1 - f) * batch)``
+        — an Amdahl curve rising from 1 (no batch) toward ``1 / f``
+        asymptotically. The default ``f = 0.5`` saturates at 2x, which
+        is what the engine's ``execute_many`` benchmarks measure.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        f = self.batch_shared_fraction
+        return batch / (f + (1.0 - f) * batch)
+
+    def coalesced_batch_seconds(
+        self, single_seconds: float, batch: int
+    ) -> float:
+        """Per-query seconds when ``batch`` queries fuse into one call
+        (``single_seconds`` divided by :meth:`coalesce_amortization`)."""
+        if single_seconds < 0:
+            raise ValueError("single_seconds must be non-negative")
+        return single_seconds / self.coalesce_amortization(batch)
+
+    def expected_coalesce_wait_seconds(self, window_seconds: float) -> float:
+        """Expected queueing delay a request pays inside one batching
+        window (arrivals uniform over the window → half of it)."""
+        if window_seconds < 0:
+            raise ValueError("window_seconds must be non-negative")
+        return window_seconds / 2.0
 
     def sequential_read_seconds(self, pages: int) -> float:
         """Cost of one sequential run over ``pages`` contiguous pages.

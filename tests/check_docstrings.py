@@ -2,7 +2,8 @@
 """Docstring coverage gate for the snapshot-pinned public surface.
 
 `tests/test_api_surface.py` pins the exported names and signatures of
-``repro.engine`` and ``repro.cluster``; this script pins their
+``repro.engine``, ``repro.cluster`` and ``repro.serve``; this script
+pins their
 *documentation*: every pinned export, every public method it defines,
 and both package docstrings must carry a docstring. CI runs it as a
 dedicated step (``python tests/check_docstrings.py``), and it doubles
@@ -49,8 +50,9 @@ def iter_surface():
     """Yield ``(qualified_name, object)`` for everything the gate covers."""
     import repro.cluster as cluster
     import repro.engine as engine
+    import repro.serve as serve
 
-    for module in (engine, cluster):
+    for module in (engine, cluster, serve):
         yield module.__name__, module
         for name in module.__all__:
             obj = getattr(module, name)

@@ -1,0 +1,135 @@
+"""Old-generation garbage collection: ``reshard_gc`` lifecycle.
+
+``reshard`` deliberately leaves the previous generation's shard files on
+disk so pre-cutover sessions keep answering; ``reshard_gc`` is the
+deferred reclaim. Its safety contract, pinned here:
+
+* a shard file still held open by a live pre-cutover reader is reported
+  ``busy``, never deleted (the flock probe covers both the writer lock
+  and the shared reader-presence lock);
+* ``--dry-run`` reports the same decisions without touching disk;
+* once the last reader closes, the files (and their WAL/lock sidecars)
+  go, the current generation keeps serving bit-identical answers, and a
+  second pass is an idempotent no-op.
+"""
+
+import fcntl  # noqa: F401 - skip the module when flock is unavailable
+import os
+
+import pytest
+
+from repro.cluster import load_manifest, reshard, reshard_gc
+from repro.cluster.partition import build_shards
+from repro.engine import MLIQ, connect
+
+from tests.conftest import make_random_db, make_random_query
+
+
+def _old_generation_files(tmp_path, stem):
+    return sorted(
+        name
+        for name in os.listdir(tmp_path)
+        if name.startswith(f"{stem}.shard-")
+        and not name.startswith(f"{stem}.gen")
+    )
+
+
+def test_reshard_gc_lifecycle_respects_live_readers(tmp_path):
+    db = make_random_db(n=60, seed=131)
+    manifest = build_shards(db, 2, str(tmp_path / "gc"))
+    q = make_random_query(seed=132)
+    with connect(db, backend="tree") as ref:
+        expected = {
+            m.key: m.probability for m in ref.execute(MLIQ(q, 10)).matches
+        }
+
+    # A pre-cutover reader: shard sessions open lazily, so it must run
+    # a query to actually hold the generation-0 files open.
+    reader = connect(manifest.source_path, backend="sharded")
+    assert {
+        m.key for m in reader.execute(MLIQ(q, 10)).matches
+    } == set(expected)
+
+    reshard(manifest.source_path, 3)
+
+    # Dry run: the held files are busy, nothing is deleted.
+    report = reshard_gc(manifest.source_path, dry_run=True)
+    assert report["dry_run"] is True
+    assert report["deleted"] == []
+    assert len(report["busy"]) >= 1
+    old_files = _old_generation_files(tmp_path, "gc")
+    assert any(name.endswith(".shard-00.gauss") for name in old_files)
+
+    # A real pass while the reader lives makes the same call.
+    report = reshard_gc(manifest.source_path)
+    assert report["deleted"] == []
+    assert len(report["busy"]) >= 1
+    # ... and the reader still answers correctly afterwards.
+    got = {
+        m.key: m.probability for m in reader.execute(MLIQ(q, 10)).matches
+    }
+    assert set(got) == set(expected)
+    for key, p in got.items():
+        assert p == pytest.approx(expected[key], abs=1e-9)
+
+    reader.close()
+
+    # Last reader gone: the old generation (sidecars included) is
+    # reclaimed and the report accounts for real bytes.
+    report = reshard_gc(manifest.source_path)
+    assert report["busy"] == []
+    assert len(report["deleted"]) >= 1
+    assert report["reclaimed_bytes"] > 0
+    remaining = _old_generation_files(tmp_path, "gc")
+    live = {
+        os.path.basename(p)
+        for p in load_manifest(manifest.source_path).shard_paths()
+    }
+    assert set(remaining) <= live
+
+    # Idempotent: a second pass finds nothing.
+    report = reshard_gc(manifest.source_path)
+    assert report["deleted"] == []
+    assert report["busy"] == []
+    assert report["reclaimed_bytes"] == 0
+
+    # The surviving generation serves bit-identical answers.
+    with connect(manifest.source_path, backend="sharded") as session:
+        got = {
+            m.key: m.probability
+            for m in session.execute(MLIQ(q, 10)).matches
+        }
+    assert set(got) == set(expected)
+    for key, p in got.items():
+        assert p == pytest.approx(expected[key], abs=1e-9)
+
+
+def test_reshard_gc_without_prior_reshard_is_a_noop(tmp_path):
+    db = make_random_db(n=20, seed=133)
+    manifest = build_shards(db, 2, str(tmp_path / "noop"))
+    report = reshard_gc(manifest.source_path)
+    assert report == {
+        "generation": 0,
+        "deleted": [],
+        "busy": [],
+        "reclaimed_bytes": 0,
+        "dry_run": False,
+    }
+
+
+def test_reshard_gc_reclaims_replicas_of_old_generations(tmp_path):
+    db = make_random_db(n=30, seed=134)
+    manifest = build_shards(db, 2, str(tmp_path / "repl"), replicas=1)
+    reshard(manifest.source_path, 3)
+    report = reshard_gc(manifest.source_path)
+    deleted = {os.path.basename(p) for p in report["deleted"]}
+    # Both the primaries and their .r1 replicas of generation 0 go.
+    assert any(name.endswith(".gauss") for name in deleted)
+    assert any(".gauss.r" in name for name in deleted)
+    reloaded = load_manifest(manifest.source_path)
+    live = [p for p in reloaded.shard_paths() if p]
+    for group in reloaded.replica_paths():
+        live.extend(group if isinstance(group, (list, tuple)) else [group])
+    for path in report["deleted"]:
+        assert path not in {os.path.realpath(p) for p in live}
+        assert not os.path.exists(path)

@@ -1,0 +1,129 @@
+"""AdmissionQueue unit tests: bounds, fairness, drain — no event loop.
+
+The queue is deliberately plain single-threaded code (the asyncio
+server only touches it from its loop), so these tests drive it directly
+and assert the exact dequeue orders the fairness guarantee promises.
+"""
+
+import pytest
+
+from repro.serve import AdmissionConfig, AdmissionError, AdmissionQueue
+
+
+def _drain_all(q, limit=10_000):
+    return q.take_run(lambda item: True, limit)
+
+
+class TestBounds:
+    def test_global_cap_rejects_with_429(self):
+        q = AdmissionQueue(AdmissionConfig(max_queue=3, max_queue_per_client=99))
+        for i in range(3):
+            q.offer("a", i)
+        with pytest.raises(AdmissionError) as info:
+            q.offer("b", 99)
+        assert info.value.status == 429
+        assert info.value.retry_after == q.config.retry_after_seconds
+        assert q.pending == 3
+        assert q.snapshot()["rejected"] == 1
+
+    def test_per_client_cap_rejects_only_the_greedy_client(self):
+        q = AdmissionQueue(AdmissionConfig(max_queue=100, max_queue_per_client=2))
+        q.offer("greedy", 1)
+        q.offer("greedy", 2)
+        with pytest.raises(AdmissionError):
+            q.offer("greedy", 3)
+        q.offer("polite", 1)  # other clients unaffected
+        assert q.pending == 3
+
+    def test_rejection_does_not_lose_queued_items(self):
+        q = AdmissionQueue(AdmissionConfig(max_queue=2))
+        q.offer("a", "x")
+        q.offer("a", "y")
+        with pytest.raises(AdmissionError):
+            q.offer("a", "z")
+        assert _drain_all(q) == ["x", "y"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_per_client=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(retry_after_seconds=-1)
+
+
+class TestFairness:
+    def test_round_robin_interleaves_clients(self):
+        q = AdmissionQueue()
+        for i in range(10):
+            q.offer("greedy", f"g{i}")
+        for i in range(2):
+            q.offer("polite", f"p{i}")
+        # One item per client per ring pass: the polite client's two
+        # requests land in the first two passes, not after all ten
+        # greedy ones.
+        assert q.take_run(lambda item: True, 4) == ["g0", "p0", "g1", "p1"]
+        assert _drain_all(q) == [f"g{i}" for i in range(2, 10)]
+
+    def test_per_client_fifo_is_preserved(self):
+        q = AdmissionQueue()
+        for i in range(5):
+            q.offer("a", ("a", i))
+            q.offer("b", ("b", i))
+        taken = _drain_all(q)
+        assert [x for x in taken if x[0] == "a"] == [("a", i) for i in range(5)]
+        assert [x for x in taken if x[0] == "b"] == [("b", i) for i in range(5)]
+
+    def test_non_matching_head_blocks_only_that_client(self):
+        # Client a's head is a write; a read run must take b's reads
+        # and leave a untouched (per-client FIFO: never skip a head).
+        q = AdmissionQueue()
+        q.offer("a", ("write", 1))
+        q.offer("a", ("read", 2))
+        q.offer("b", ("read", 3))
+        reads = q.take_run(lambda item: item[0] == "read", 10)
+        assert reads == [("read", 3)]
+        assert q.peek() == ("write", 1)
+        assert q.pending == 2
+
+    def test_weighted_limit_counts_operations_not_requests(self):
+        q = AdmissionQueue()
+        q.offer("a", 5)  # weights are the items themselves here
+        q.offer("b", 5)
+        q.offer("c", 5)
+        taken = q.take_run(lambda item: True, 8, weight=lambda item: item)
+        # First always fits; second reaches the limit (10 >= 8); stop.
+        assert taken == [5, 5]
+        assert q.pending == 1
+
+    def test_oversized_first_item_still_dequeues(self):
+        q = AdmissionQueue()
+        q.offer("a", 100)
+        assert q.take_run(lambda item: True, 8, weight=lambda item: item) == [100]
+
+
+class TestDrain:
+    def test_drain_rejects_new_but_serves_queued(self):
+        q = AdmissionQueue()
+        q.offer("a", 1)
+        q.begin_drain()
+        with pytest.raises(AdmissionError) as info:
+            q.offer("a", 2)
+        assert info.value.status == 503
+        assert _drain_all(q) == [1]
+        assert q.snapshot()["rejected_draining"] == 1
+
+    def test_peek_skips_emptied_clients(self):
+        q = AdmissionQueue()
+        q.offer("a", 1)
+        assert _drain_all(q) == [1]
+        assert q.peek() is None
+        q.offer("b", 2)
+        assert q.peek() == 2
+
+    def test_has_checks_heads_only(self):
+        q = AdmissionQueue()
+        q.offer("a", ("w", 1))
+        q.offer("a", ("r", 2))
+        assert q.has(lambda item: item[0] == "w")
+        assert not q.has(lambda item: item[0] == "r")  # behind the write

@@ -62,7 +62,8 @@ EXPECTED_SIGNATURES = {
 EXPECTED_SESSION_METHODS = {
     "execute": "(self, query: 'Spec') -> 'ResultSet'",
     "execute_many": "(self, queries: 'Iterable[Spec]') -> 'ResultSet'",
-    "explain": "(self, query: 'Query | Sequence[Query]') -> 'Plan'",
+    "explain": "(self, query: 'Query | Sequence[Query]', *, "
+    "coalesce: 'object | None' = None) -> 'Plan'",
     "insert": "(self, v: 'PFV') -> 'None'",
     "insert_many": "(self, vectors: 'Iterable[PFV]') -> 'int'",
     "delete": "(self, v: 'PFV') -> 'bool'",
@@ -151,6 +152,7 @@ EXPECTED_CLUSTER_EXPORTS = {
     "ProcessPool",
     "make_pool",
     "reshard",
+    "reshard_gc",
     "QueryServer",
     "SessionPool",
     "serve",
@@ -174,6 +176,7 @@ EXPECTED_CLUSTER_SIGNATURES = {
     "reshard": "(manifest_path, new_n_shards: 'int', *, "
     "policy: 'str | None' = None, page_size: 'int' = 8192, "
     "replicas: 'int | None' = None) -> 'ShardManifest'",
+    "reshard_gc": "(manifest_path, *, dry_run: 'bool' = False) -> 'dict'",
     "partition_database": "(db: 'PFVDatabase', n_shards: 'int', "
     "policy: 'str' = 'hash') -> 'list[PFVDatabase]'",
     "shard_of": "(v: 'PFV', position: 'int', n_shards: 'int', "
@@ -267,3 +270,82 @@ def test_cost_model_prices_vectorized_refinement():
     vectorized = model.modeled_cpu_seconds(1000, 0, vectorized=True)
     assert vectorized < scalar
     assert vectorized == 1000 * model.cpu_per_vectorized_refinement_seconds
+
+
+def test_cost_model_prices_coalesced_batches():
+    # The serving tier's explain() pricing: amortization is an Amdahl
+    # curve in the shared fraction, saturating at 1/f (2x by default —
+    # what execute_many measures).
+    from repro.storage.costmodel import DiskCostModel
+
+    model = DiskCostModel()
+    assert model.coalesce_amortization(1) == 1.0
+    a16 = model.coalesce_amortization(16)
+    assert 1.0 < a16 < 1.0 / model.batch_shared_fraction
+    assert model.coalesce_amortization(256) > a16  # monotone in batch
+    assert model.coalesced_batch_seconds(1.0, 16) == 1.0 / a16
+    assert model.expected_coalesce_wait_seconds(0.004) == 0.002
+
+
+# ---------------------------------------------------------------------------
+# repro.serve: the async serving tier
+# ---------------------------------------------------------------------------
+
+EXPECTED_SERVE_EXPORTS = {
+    "AdmissionConfig",
+    "AdmissionError",
+    "AdmissionQueue",
+    "AsyncQueryServer",
+    "CoalesceConfig",
+    "JsonlClient",
+    "serve_async",
+}
+
+
+def test_serve_export_names_are_pinned():
+    import repro.serve as serve
+
+    assert set(serve.__all__) == EXPECTED_SERVE_EXPORTS
+    for name in serve.__all__:
+        assert hasattr(serve, name), f"__all__ names missing export {name}"
+
+
+def test_serve_config_defaults_are_pinned():
+    # The CLI flags (`repro serve --async`) document these defaults;
+    # changing them must be a deliberate, test-visible act.
+    from repro.serve import AdmissionConfig, CoalesceConfig
+
+    admission = AdmissionConfig()
+    assert admission.max_queue == 512
+    assert admission.max_queue_per_client == 64
+    assert admission.retry_after_seconds == 0.05
+    coalesce = CoalesceConfig()
+    assert coalesce.max_batch == 16
+    assert coalesce.max_delay_seconds == 0.002
+    assert coalesce.coalesce_reads and coalesce.coalesce_writes
+
+
+def test_plan_exposes_coalesce_pricing_fields():
+    import dataclasses
+
+    fields = {f.name for f in dataclasses.fields(engine.Plan)}
+    assert {
+        "estimated_queue_seconds",
+        "coalesce_batch",
+        "coalesce_amortization",
+    } <= fields
+    plan = engine.Plan(
+        backend="tree",
+        query_kind="mliq",
+        n_queries=1,
+        strategy="batched",
+        lowering=(),
+        estimated_pages=4,
+        estimated_io_seconds=0.01,
+        estimated_cpu_seconds=0.002,
+        notes=(),
+        estimated_queue_seconds=0.001,
+        coalesce_batch=16,
+        coalesce_amortization=1.88,
+    )
+    assert "coalesce" in plan.describe()
