@@ -198,6 +198,7 @@ class XTreePFVIndex:
             modeled_cpu_seconds=self.store.cost_model.modeled_cpu_seconds(
                 refined, self.store.log.pages_accessed
             ),
+            buffer_evictions=self.store.log.evictions,
         )
 
     def __repr__(self) -> str:

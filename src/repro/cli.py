@@ -330,6 +330,19 @@ def _cmd_reshard_gc(args: argparse.Namespace) -> None:
     )
 
 
+def _serve_registry(args):
+    """The server's metrics registry from the CLI flags: ``None``
+    (instrument with a private default registry) unless ``--no-metrics``
+    asked for the no-op mode — which also silences the process-global
+    registry (WAL / cluster / buffer series)."""
+    if not args.no_metrics:
+        return None
+    from repro.obs import NullRegistry, set_global_registry
+
+    set_global_registry(NullRegistry())
+    return NullRegistry()
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.cluster import QueryServer
     from repro.engine import connect
@@ -372,12 +385,15 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         verbose=args.verbose,
         session_factory=factory,
         pool_size=args.sessions,
+        registry=_serve_registry(args),
+        slow_query_log=args.slow_query_log,
+        slow_query_ms=args.slow_query_ms,
     ).start()
     host, port = server.address
     print(
         f"serving http://{host}:{port} with {args.sessions} session(s) "
         f"(POST /query{', POST /insert' if args.writable else ''}, "
-        "GET /healthz, GET /stats) — Ctrl-C to stop",
+        "GET /healthz, GET /stats, GET /metrics) — Ctrl-C to stop",
         flush=True,
     )
     try:
@@ -412,6 +428,9 @@ def _serve_async_foreground(args, session, factory) -> None:
         ),
         drain_timeout=args.drain_timeout,
         verbose=args.verbose,
+        registry=_serve_registry(args),
+        slow_query_log=args.slow_query_log,
+        slow_query_ms=args.slow_query_ms,
     ).serve_in_background()
     host, port = server.address
     coalesce_note = (
@@ -434,6 +453,162 @@ def _serve_async_foreground(args, session, factory) -> None:
     finally:
         server.shutdown()
         session.close()
+
+
+# Series `repro top` surfaces, in display order: (metric, short label).
+# Histograms render their _count/_sum as "N @ mean"; everything else is
+# the raw value.
+_TOP_ROWS = (
+    ("repro_serve_queries_total", "queries"),
+    ("repro_serve_inserts_total", "inserts"),
+    ("repro_serve_errors_total", "errors"),
+    ("repro_serve_queue_depth", "queue depth"),
+    ("repro_serve_queue_depth_peak", "queue peak"),
+    ("repro_serve_admitted_total", "admitted"),
+    ("repro_serve_shed_total", "shed (429)"),
+    ("repro_serve_read_batches_total", "read batches"),
+    ("repro_serve_coalesced_reads_total", "coalesced reads"),
+    ("repro_serve_write_batches_total", "write batches"),
+    ("repro_serve_coalesced_inserts_total", "coalesced inserts"),
+    ("repro_serve_batch_size", "batch size"),
+    ("repro_serve_admission_wait_seconds", "admission wait"),
+    ("repro_serve_execute_seconds", "execute"),
+    ("repro_serve_pool_in_use", "pool in use"),
+    ("repro_serve_pool_size", "pool size"),
+    ("repro_serve_pool_waits_total", "pool waits"),
+    ("repro_cluster_fanouts_total", "cluster fan-outs"),
+    ("repro_cluster_fanout_seconds", "fan-out latency"),
+    ("repro_cluster_retry_total", "cluster retries"),
+    ("repro_cluster_failover_total", "cluster failovers"),
+    ("repro_buffer_hit_ratio", "buffer hit ratio"),
+    ("repro_buffer_evictions_total", "buffer evictions"),
+    ("repro_wal_commits_total", "WAL commits"),
+    ("repro_wal_fsync_seconds", "WAL fsync"),
+)
+
+
+def _parse_exposition(text: str) -> dict[str, dict[str, float]]:
+    """Prometheus text -> {metric: {labelled sample name: value}}.
+
+    Histogram samples fold under their base name (``_bucket`` dropped,
+    ``_sum``/``_count`` kept as pseudo-labels); labelled series keep
+    their ``{...}`` suffix as the sample key.
+    """
+    series: dict[str, dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            continue
+        name, _, labels = name_part.partition("{")
+        base = name
+        sample = "{" + labels if labels else ""
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                sample = suffix.lstrip("_") + sample
+                break
+        series.setdefault(base, {})[sample] = value
+    return series
+
+
+def _format_top(series: dict[str, dict[str, float]]) -> list[str]:
+    lines = []
+    for metric, label in _TOP_ROWS:
+        samples = series.get(metric)
+        if not samples:
+            continue
+        if "count" in samples:  # histogram: render count @ mean
+            count = samples.get("count", 0.0)
+            total = samples.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            if metric.endswith("_seconds"):
+                value = f"{int(count)} @ {mean * 1e3:.2f} ms mean"
+            else:
+                value = f"{int(count)} @ {mean:.1f} mean"
+        elif "" in samples and len(samples) == 1:
+            v = samples[""]
+            value = f"{v:g}" if v != int(v) else f"{int(v)}"
+        else:  # labelled family: show each label set
+            value = "  ".join(
+                f"{k or 'total'}={v:g}" for k, v in sorted(samples.items())
+            )
+        lines.append(f"  {label:<18} {value}")
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> None:
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/")
+    if not url.startswith("http"):
+        url = "http://" + url
+    try:
+        with urllib.request.urlopen(
+            url + "/metrics", timeout=args.timeout
+        ) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise SystemExit(f"cannot scrape {url}/metrics: {exc}")
+    series = _parse_exposition(text)
+    lines = _format_top(series)
+    print(f"{url}  ({len(series)} series)")
+    if lines:
+        print("\n".join(lines))
+    else:
+        print("  (no repro_* series exposed yet — drive some traffic)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.obs import format_span_tree
+
+    def render(entry: dict, index: int) -> None:
+        trace = entry.get("trace") or (
+            entry if "spans" in entry else None
+        )
+        header = []
+        if "elapsed_ms" in entry:
+            header.append(f"{entry['elapsed_ms']:.1f} ms")
+        if entry.get("source"):
+            header.append(str(entry["source"]))
+        if trace and trace.get("id"):
+            header.append(f"trace {trace['id']}")
+        print(f"-- entry {index}" + (f" ({', '.join(header)})" if header else ""))
+        if trace:
+            print(format_span_tree(trace))
+        else:
+            print("  (no span tree in this entry)")
+        if args.plan and entry.get("plan"):
+            print(entry["plan"])
+
+    source = sys.stdin if args.file == "-" else open(args.file)
+    shown = 0
+    try:
+        for i, line in enumerate(source):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"-- entry {i}: unparseable line ({exc})")
+                continue
+            render(entry, i)
+            shown += 1
+            if args.limit and shown >= args.limit:
+                break
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    if not shown:
+        print("no entries")
 
 
 def _cmd_insert(args: argparse.Namespace) -> None:
@@ -878,7 +1053,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="async only: seconds shutdown waits for admitted requests "
         "to finish (default 10)",
     )
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=250.0,
+        help="slow-query threshold: requests whose end-to-end time "
+        "(queue wait included) crosses this log one JSONL entry with "
+        "span tree and explain() plan (default 250; needs "
+        "--slow-query-log)",
+    )
+    p.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        default=None,
+        help="append slow-query entries to this JSONL file "
+        "(render with `repro trace PATH`)",
+    )
+    p.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable instrumentation: /metrics serves an empty "
+        "exposition and every registry call becomes a no-op",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="scrape a serving endpoint's GET /metrics and render the "
+        "key series as a compact table",
+    )
+    p.add_argument(
+        "url",
+        help="endpoint base URL (host:port or http://host:port)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=5.0, help="scrape timeout"
+    )
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "trace",
+        help="render the span trees in a slow-query log (or any JSONL "
+        "file of traced responses)",
+    )
+    p.add_argument(
+        "file",
+        help="slow-query log path from `serve --slow-query-log` "
+        "(- reads stdin)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="show at most this many entries (0 = all)",
+    )
+    p.add_argument(
+        "--plan",
+        action="store_true",
+        help="also print each entry's explain() plan text",
+    )
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -73,7 +73,10 @@ import bisect
 import dataclasses
 import math
 import os
+import time
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.core.database import PFVDatabase
 from repro.core.gaussian import logsumexp
 from repro.core.pfv import PFV
@@ -470,7 +473,38 @@ class ShardedBackend(BackendAdapter):
     def _fan_out(self, payload) -> list[tuple[int, ShardReply]]:
         tasks = [(self._task_key(i), payload) for i in self._active]
         self._rotation += 1
-        replies = self._pool.run(tasks)
+        active_trace = _obs_trace.current_trace()
+        started = time.perf_counter()
+        if active_trace is not None:
+            with active_trace.span(
+                "cluster.fanout", count=len(tasks)
+            ) as fanout_span:
+                replies = self._pool.run(tasks)
+                # Per-shard spans are synthesized on the coordinator
+                # from the replies (a process pool cannot carry live
+                # spans across its boundary); a serial pool
+                # additionally nests the shard sessions' own spans
+                # here, since it runs in the calling thread.
+                done = active_trace.now()
+                for shard_id, reply in zip(self._active, replies):
+                    active_trace.add(
+                        "shard",
+                        start=fanout_span.start,
+                        dur=done - fanout_span.start,
+                        shard=f"{shard_id:02d}",
+                        pages=reply.stats.pages_accessed,
+                    )
+        else:
+            replies = self._pool.run(tasks)
+        elapsed = time.perf_counter() - started
+        _obs_metrics.counter(
+            "repro_cluster_fanouts_total",
+            "Batches fanned out across the active shards.",
+        ).inc()
+        _obs_metrics.histogram(
+            "repro_cluster_fanout_seconds",
+            "Wall time of one whole-cluster fan-out (all shards).",
+        ).observe(elapsed)
         for shard_id, reply in zip(self._active, replies):
             self._pending_provenance.append(
                 (f"shard-{shard_id:02d}:{self.inner}", reply.stats)

@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.cluster.wire import pfv_to_json, spec_to_json
 from repro.core.pfv import PFV
 from repro.engine.spec import Query
+from repro.obs.trace import mint_trace_id
 
 __all__ = ["ServeClient", "RemoteAnswer", "RemoteError"]
 
@@ -49,6 +50,9 @@ class RemoteAnswer:
     stats: dict
     execute_seconds: float
     provenance: list[dict]
+    #: The request's span tree (``Trace.to_dict()`` shape) when the
+    #: query was traced; ``None`` otherwise.
+    trace: dict | None = None
 
     def keys(self) -> list[list]:
         """Per-query matched keys, in rank order."""
@@ -111,15 +115,22 @@ class ServeClient:
     # -- plumbing ------------------------------------------------------------
 
     def _request(
-        self, path: str, body: dict | None = None, *, retries: int | None = None
+        self,
+        path: str,
+        body: dict | None = None,
+        *,
+        retries: int | None = None,
+        headers: dict | None = None,
     ) -> dict:
         url = self.base_url + path
         data = None
-        headers = {"Accept": "application/json"}
+        all_headers = {"Accept": "application/json"}
+        if headers:
+            all_headers.update(headers)
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
+            all_headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=all_headers)
         attempts = 1 + (self.retries if retries is None else retries)
         attempt = 0  # transport failures, bounded by `attempts`
         busy_retries = 0  # 429 backoff, bounded by max_busy_retries
@@ -188,15 +199,49 @@ class ServeClient:
         """``GET /stats`` — cumulative serving counters."""
         return self._request("/stats")
 
-    def query(self, specs: Sequence[Query] | Query) -> RemoteAnswer:
-        """``POST /query`` with one spec or a batch of specs."""
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus exposition text."""
+        url = self.base_url + "/metrics"
+        try:
+            with urllib.request.urlopen(
+                url, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise RemoteError(
+                f"{url} answered HTTP {exc.code}", status=exc.code
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise RemoteError(f"cannot reach {url}: {exc}") from exc
+
+    def query(
+        self,
+        specs: Sequence[Query] | Query,
+        *,
+        trace: bool | str = False,
+    ) -> RemoteAnswer:
+        """``POST /query`` with one spec or a batch of specs.
+
+        A truthy ``trace`` requests the span tree of the execution
+        (sent as the ``X-Repro-Trace`` header; a string supplies the
+        trace ID, ``True`` lets the server mint one). The tree comes
+        back as :attr:`RemoteAnswer.trace`.
+        """
         if not isinstance(specs, (list, tuple)):
             specs = [specs]
         if not specs:
             raise ValueError("query() needs at least one spec")
+        headers = {}
+        if trace:
+            # The header always carries a concrete ID (headers are
+            # strings); ``True`` mints one client-side.
+            headers["X-Repro-Trace"] = (
+                trace if isinstance(trace, str) else mint_trace_id()
+            )
         payload = self._request(
             "/query",
             {"queries": [spec_to_json(spec) for spec in specs]},
+            headers=headers,
         )
         return RemoteAnswer(
             backend=payload.get("backend", "?"),
@@ -204,6 +249,7 @@ class ServeClient:
             stats=payload.get("stats", {}),
             execute_seconds=float(payload.get("execute_seconds", 0.0)),
             provenance=payload.get("provenance", []),
+            trace=payload.get("trace"),
         )
 
     def insert(self, vectors: Sequence[PFV] | PFV) -> dict:

@@ -49,6 +49,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
+from repro.obs import metrics as _obs_metrics
+
 __all__ = [
     "ClusterError",
     "SerialPool",
@@ -63,7 +65,36 @@ POOL_KINDS = ("serial", "process")
 class ClusterError(RuntimeError):
     """A sharded-serving failure: bad manifest, unopenable shard, or a
     worker that raised/died mid-batch. Always carries enough context to
-    name the shard involved."""
+    name the shard involved: beyond the message, ``shard`` holds the
+    shard label (or ``None`` for non-shard failures) and ``attempts``
+    how many execution rounds were spent before giving up — so the
+    trace/metrics path can count failovers instead of only surviving
+    them."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: str | None = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+
+
+def _count_retry() -> None:
+    _obs_metrics.counter(
+        "repro_cluster_retry_total",
+        "Shard tasks re-executed after a failed attempt.",
+    ).inc()
+
+
+def _count_failover() -> None:
+    _obs_metrics.counter(
+        "repro_cluster_failover_total",
+        "Shard tasks re-targeted to another replica by the failover hook.",
+    ).inc()
 
 
 def default_workers(n_shards: int) -> int:
@@ -125,7 +156,8 @@ class SerialPool:
                 raise
             except Exception as exc:
                 raise ClusterError(
-                    f"cannot open shard {_shard_label(shard_id)}: {exc}"
+                    f"cannot open shard {_shard_label(shard_id)}: {exc}",
+                    shard=_shard_label(shard_id),
                 ) from exc
             self._sessions[shard_id] = session
         return session
@@ -135,12 +167,14 @@ class SerialPool:
         last_error: ClusterError | None = None
         for attempt in range(self.attempts):
             if attempt:
+                _count_retry()
                 if self.backoff:
                     time.sleep(self.backoff * attempt)
                 if self._failover is not None:
                     alternate = self._failover(key, attempt)
                     if alternate is not None:
                         key = alternate
+                        _count_failover()
             try:
                 session = self.session(key)
                 return self._runner(session, payload)
@@ -149,10 +183,14 @@ class SerialPool:
             except Exception as exc:
                 last_error = ClusterError(
                     f"shard {_shard_label(key)} failed executing its "
-                    f"batch: {exc}"
+                    f"batch: {exc}",
+                    shard=_shard_label(key),
                 )
                 last_error.__cause__ = exc
         assert last_error is not None
+        if last_error.shard is None:
+            last_error.shard = _shard_label(key)
+        last_error.attempts = self.attempts
         raise last_error
 
     def run(self, tasks: Sequence[tuple[Any, Any]]) -> list[Any]:
@@ -299,6 +337,8 @@ class ProcessPool:
             if not pending:
                 break
             if attempt:
+                for _ in pending:
+                    _count_retry()
                 if self.backoff:
                     time.sleep(self.backoff * attempt)
                 if self._failover is not None:
@@ -306,6 +346,7 @@ class ProcessPool:
                         alternate = self._failover(slots[i][0], attempt)
                         if alternate is not None:
                             slots[i] = (alternate, slots[i][1])
+                            _count_failover()
             executor = self._ensure_executor()
             futures = [
                 (i, executor.submit(_worker_call, slots[i]))
@@ -327,23 +368,28 @@ class ProcessPool:
                         first_error = ClusterError(
                             "worker process died while serving shard "
                             f"{_shard_label(key)} (pool restarted; "
-                            "re-submit the batch)"
+                            "re-submit the batch)",
+                            shard=_shard_label(key),
                         )
                         first_error.__cause__ = exc
                 except ClusterError as exc:
                     failed.append(i)
+                    if exc.shard is None:
+                        exc.shard = _shard_label(key)
                     first_error = first_error or exc
                 except Exception as exc:
                     failed.append(i)
                     if first_error is None:
                         first_error = ClusterError(
                             f"shard {_shard_label(key)} failed in a pool "
-                            f"worker: {exc}"
+                            f"worker: {exc}",
+                            shard=_shard_label(key),
                         )
                         first_error.__cause__ = exc
             pending = failed
         if pending:
             assert first_error is not None
+            first_error.attempts = self.attempts
             raise first_error
         return results
 

@@ -22,6 +22,9 @@ clients:
     Cumulative serving counters (batches, queries per kind, inserts,
     pages, refinements) plus the per-session-pool utilisation snapshot
     (see :class:`SessionPool`) since startup.
+``GET /metrics``
+    Prometheus text exposition: the server's private registry plus the
+    process-global storage/cluster series (``docs/observability.md``).
 
 Concurrency model: handler threads always overlapped on network IO;
 since the session pool replaced the old single execution lock, query
@@ -52,9 +55,17 @@ from repro.cluster.wire import (
     pfv_from_json,
     result_to_json,
     spec_from_json,
+    spec_to_json,
 )
 from repro.engine.session import Session
 from repro.engine.spec import is_write_spec
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    get_global_registry,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs import trace as obs_trace
 
 __all__ = ["QueryServer", "SessionPool", "serve"]
 
@@ -270,11 +281,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.query_server.stats.record_error()
         self._send_json(status, {"error": message})
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         qs = self.query_server
-        if self.path == "/healthz":
+        if self.path == "/metrics":
+            self._send_text(200, qs.metrics_text(), CONTENT_TYPE)
+        elif self.path == "/healthz":
             self._send_json(
                 200,
                 {
@@ -357,7 +378,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         qs = self.query_server
+        req_trace = self._request_trace(data)
         slot = None
+        plan = None
         try:
             started = time.perf_counter()
             slot, session = qs.pool.acquire()
@@ -370,8 +393,20 @@ class _Handler(BaseHTTPRequestHandler):
                 and qs.pool.stale(slot)
             ):
                 session = qs.pool.refresh(slot, qs.session_factory)
-            rs = session.execute_many(specs)
+            with obs_trace.tracing(req_trace):
+                with obs_trace.span("request", count=len(specs)):
+                    rs = session.execute_many(specs)
             elapsed = time.perf_counter() - started
+            if (
+                qs.slow_log is not None
+                and elapsed >= qs.slow_log.threshold_seconds
+            ):
+                # Price the plan while still holding the slot so the
+                # log entry compares estimates against observed stats.
+                try:
+                    plan = session.explain(specs).describe()
+                except Exception:
+                    plan = None
         except Exception as exc:  # surface, don't kill the handler thread
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
             return
@@ -379,9 +414,33 @@ class _Handler(BaseHTTPRequestHandler):
             if slot is not None:
                 qs.pool.release(slot)
         qs.stats.record(specs, rs.stats, elapsed)
+        qs.m_execute.observe(elapsed)
         payload = result_to_json(rs)
         payload["execute_seconds"] = round(elapsed, 6)
+        if req_trace is not None:
+            # Re-render after the request span closed (the ResultSet
+            # captured the tree while it was still open).
+            payload["trace"] = req_trace.to_dict()
+        if qs.slow_log is not None:
+            qs.slow_log.maybe_log(
+                elapsed,
+                queries=[spec_to_json(s) for s in specs],
+                trace=payload.get("trace"),
+                plan=plan,
+                stats=payload["stats"],
+                source="serve",
+            )
         self._send_json(200, payload)
+
+    def _request_trace(self, data) -> "obs_trace.Trace | None":
+        """The request's Trace when asked for — a truthy ``trace`` body
+        field (a string supplies the ID) or an ``X-Repro-Trace`` header."""
+        req = data.get("trace") if isinstance(data, dict) else None
+        if not req:
+            req = self.headers.get("X-Repro-Trace")
+        if not req:
+            return None
+        return obs_trace.Trace(req if isinstance(req, str) else None)
 
     def _do_insert(self) -> None:
         data = self._read_json_body()
@@ -403,6 +462,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, "no vectors in request")
             return
         qs = self.query_server
+        req_trace = self._request_trace(data)
         # Writes always serialize on the primary slot: single-writer
         # discipline, whatever the pool size.
         slot = None
@@ -416,14 +476,17 @@ class _Handler(BaseHTTPRequestHandler):
                     "with --writable to accept inserts",
                 )
                 return
-            inserted = session.insert_many(vectors)
-            if len(qs.pool) > 1:
-                # Publish for the replica slots: flush ships replica
-                # files / checkpoints a new index generation, and the
-                # version bump makes stale slots reopen onto it before
-                # they serve again (read-your-writes through any slot).
-                session.flush()
-                qs.pool.bump_version()
+            with obs_trace.tracing(req_trace):
+                with obs_trace.span("request", count=len(vectors)):
+                    inserted = session.insert_many(vectors)
+                    if len(qs.pool) > 1:
+                        # Publish for the replica slots: flush ships
+                        # replica files / checkpoints a new index
+                        # generation, and the version bump makes stale
+                        # slots reopen onto it before they serve again
+                        # (read-your-writes through any slot).
+                        session.flush()
+                        qs.pool.bump_version()
             objects = len(session)
             elapsed = time.perf_counter() - started
         except Exception as exc:  # surface, don't kill the handler thread
@@ -433,14 +496,15 @@ class _Handler(BaseHTTPRequestHandler):
             if slot is not None:
                 qs.pool.release(slot)
         qs.stats.record_inserts(inserted, elapsed)
-        self._send_json(
-            200,
-            {
-                "inserted": inserted,
-                "objects": objects,
-                "execute_seconds": round(elapsed, 6),
-            },
-        )
+        qs.m_execute.observe(elapsed)
+        payload = {
+            "inserted": inserted,
+            "objects": objects,
+            "execute_seconds": round(elapsed, 6),
+        }
+        if req_trace is not None:
+            payload["trace"] = req_trace.to_dict()
+        self._send_json(200, payload)
 
 
 class QueryServer:
@@ -461,6 +525,15 @@ class QueryServer:
     pool_size:
         Total sessions serving queries concurrently (default 1 — the
         primary alone, equivalent to the old single-lock behaviour).
+    registry:
+        The server's private :class:`~repro.obs.metrics.MetricsRegistry`
+        behind ``GET /metrics`` (a fresh one by default; pass a
+        :class:`~repro.obs.metrics.NullRegistry` to disable the
+        serving-tier series).
+    slow_query_log:
+        A path or an open :class:`~repro.obs.slowlog.SlowQueryLog`;
+        requests slower than ``slow_query_ms`` are appended with their
+        specs, span tree and ``explain()`` plan.
     """
 
     def __init__(
@@ -472,6 +545,9 @@ class QueryServer:
         verbose: bool = False,
         session_factory: Callable[[], Session] | None = None,
         pool_size: int = 1,
+        registry: MetricsRegistry | None = None,
+        slow_query_log: SlowQueryLog | str | None = None,
+        slow_query_ms: float = 250.0,
     ) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -487,12 +563,76 @@ class QueryServer:
         self.session_factory = session_factory
         self.pool_size = pool_size
         self.stats = ServingStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if isinstance(slow_query_log, SlowQueryLog):
+            self.slow_log: SlowQueryLog | None = slow_query_log
+            self._owns_slow_log = False
+        elif slow_query_log is not None:
+            self.slow_log = SlowQueryLog(
+                slow_query_log, threshold_ms=slow_query_ms
+            )
+            self._owns_slow_log = True
+        else:
+            self.slow_log = None
+            self._owns_slow_log = False
         #: Filled at :meth:`start` (replicas are opened there, not in
         #: the constructor, so a never-started server opens nothing).
         self.pool = SessionPool([session])
+        self._register_metrics()
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._serving = False
+
+    def _register_metrics(self) -> None:
+        """Install the serving-tier series: callback-backed counters
+        over :class:`ServingStats` and the session pool (the single
+        sources of truth), one directly-observed latency histogram."""
+        m = self.registry
+        self.m_execute = m.histogram(
+            "repro_serve_execute_seconds",
+            "Engine wall time per request.",
+        )
+        m.counter(
+            "repro_serve_queries_total",
+            "Query specs executed (batch members counted singly).",
+            callback=lambda: self.stats.queries,
+        )
+        m.counter(
+            "repro_serve_inserts_total",
+            "Vectors inserted.",
+            callback=lambda: self.stats.inserts,
+        )
+        m.counter(
+            "repro_serve_errors_total",
+            "Requests answered with an error status.",
+            callback=lambda: self.stats.errors,
+        )
+        m.gauge(
+            "repro_serve_pool_size",
+            "Pool sessions.",
+            callback=lambda: len(self.pool),
+        )
+        m.gauge(
+            "repro_serve_pool_in_use",
+            "Pool sessions currently checked out.",
+            callback=lambda: self.pool.snapshot()["in_use"],
+        )
+        m.counter(
+            "repro_serve_pool_acquires_total",
+            "Pool slot acquisitions.",
+            callback=lambda: self.pool.acquires,
+        )
+        m.counter(
+            "repro_serve_pool_waits_total",
+            "Slot acquisitions that had to wait for a busy pool.",
+            callback=lambda: self.pool.waits,
+        )
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition behind ``GET /metrics``: this
+        server's registry concatenated with the process-global one
+        (WAL, cluster and buffer series)."""
+        return self.registry.render() + get_global_registry().render()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -566,6 +706,8 @@ class QueryServer:
         # closed: shrink the pool back to the primary so the next
         # start() opens fresh replicas through the factory.
         self.pool = SessionPool([self.session])
+        if self._owns_slow_log and self.slow_log is not None:
+            self.slow_log.close()
 
     def __enter__(self) -> "QueryServer":
         if self._httpd is None:
@@ -584,6 +726,9 @@ def serve(
     verbose: bool = False,
     session_factory: Callable[[], Session] | None = None,
     pool_size: int = 1,
+    registry: MetricsRegistry | None = None,
+    slow_query_log: SlowQueryLog | str | None = None,
+    slow_query_ms: float = 250.0,
 ) -> QueryServer:
     """Start serving ``session`` in background threads; returns the
     running :class:`QueryServer` (use as a context manager to stop).
@@ -596,4 +741,7 @@ def serve(
         verbose=verbose,
         session_factory=session_factory,
         pool_size=pool_size,
+        registry=registry,
+        slow_query_log=slow_query_log,
+        slow_query_ms=slow_query_ms,
     ).serve_in_background()

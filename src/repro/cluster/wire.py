@@ -53,9 +53,10 @@ __all__ = [
 ]
 
 #: Operations a pipelined-JSONL request envelope may name. ``query``
-#: and ``insert`` mirror the HTTP POST endpoints; ``healthz`` and
-#: ``stats`` the GET ones.
-REQUEST_OPS = frozenset({"query", "insert", "healthz", "stats"})
+#: and ``insert`` mirror the HTTP POST endpoints; ``healthz``,
+#: ``stats`` and ``metrics`` the GET ones (``metrics`` answers with
+#: the Prometheus exposition text in a ``{"text": ..}`` payload).
+REQUEST_OPS = frozenset({"query", "insert", "healthz", "stats", "metrics"})
 
 
 class WireError(ValueError):
@@ -216,8 +217,12 @@ def result_to_json(rs: ResultSet) -> dict:
             "cpu_seconds": stats.cpu_seconds,
             "io_seconds": stats.io_seconds,
             "modeled_cpu_seconds": stats.modeled_cpu_seconds,
+            "buffer_evictions": stats.buffer_evictions,
+            "buffer_hit_ratio": round(stats.buffer_hit_ratio, 6),
         },
     }
+    if rs.trace is not None:
+        payload["trace"] = rs.trace
     if rs.provenance:
         payload["provenance"] = [
             {

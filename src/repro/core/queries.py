@@ -108,11 +108,21 @@ class QueryStats:
     cpu_seconds: float = 0.0
     io_seconds: float = 0.0
     modeled_cpu_seconds: float = 0.0
+    buffer_evictions: int = 0
 
     @property
     def total_seconds(self) -> float:
         """Measured CPU plus modelled disk IO."""
         return self.cpu_seconds + self.io_seconds
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """Observed buffer hit ratio for this query (0 when no pages
+        were accessed) — comparable against ``explain()``'s estimate
+        in the slow-query log."""
+        if not self.pages_accessed:
+            return 0.0
+        return (self.pages_accessed - self.page_faults) / self.pages_accessed
 
     @property
     def modeled_total_seconds(self) -> float:
@@ -128,3 +138,4 @@ class QueryStats:
         self.cpu_seconds += other.cpu_seconds
         self.io_seconds += other.io_seconds
         self.modeled_cpu_seconds += other.modeled_cpu_seconds
+        self.buffer_evictions += other.buffer_evictions

@@ -26,7 +26,9 @@ class ResultSet:
     directly.
     """
 
-    __slots__ = ("queries", "backend", "stats", "provenance", "_per_query")
+    __slots__ = (
+        "queries", "backend", "stats", "provenance", "trace", "_per_query"
+    )
 
     def __init__(
         self,
@@ -35,6 +37,7 @@ class ResultSet:
         stats: QueryStats,
         backend: str,
         provenance: Sequence[tuple[str, QueryStats]] = (),
+        trace: dict | None = None,
     ) -> None:
         if len(queries) != len(per_query):
             raise ValueError(
@@ -51,6 +54,10 @@ class ResultSet:
         self.provenance: tuple[tuple[str, QueryStats], ...] = tuple(
             provenance
         )
+        #: Span tree of the request, as ``Trace.to_dict()`` — set when a
+        #: trace was active (``repro.obs.tracing``) while executing, or
+        #: when a traced wire request asked for one; ``None`` otherwise.
+        self.trace: dict | None = trace
 
     # -- per-query access ----------------------------------------------------
 

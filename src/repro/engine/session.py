@@ -33,6 +33,7 @@ from repro.engine.backends import (
 from repro.engine.planner import Plan, build_plan
 from repro.engine.result import ResultSet
 from repro.engine.spec import Query, Spec, is_write_spec, spec_kind
+from repro.obs import trace as _obs_trace
 
 __all__ = ["Session", "connect", "session_for"]
 
@@ -106,12 +107,23 @@ class Session:
         # Composite backends (e.g. the sharded fan-out) expose a
         # per-component stats breakdown; attach it as provenance.
         take = getattr(self._backend, "take_provenance", None)
+        # Tracing rides the ambient contextvar (repro.obs.tracing), not
+        # a parameter, so the pinned Session signature stays unchanged
+        # and untraced calls pay one ContextVar read.
+        active = _obs_trace.current_trace()
         try:
-            for write_run, indices in _ordered_runs(specs):
-                if write_run:
-                    self._apply_write_run(specs, indices, per_query)
-                else:
-                    self._run_queries(specs, indices, per_query, total)
+            with _obs_trace.span("session.execute", count=len(specs)):
+                for write_run, indices in _ordered_runs(specs):
+                    if write_run:
+                        with _obs_trace.span(
+                            "run.write", count=len(indices)
+                        ):
+                            self._apply_write_run(specs, indices, per_query)
+                    else:
+                        with _obs_trace.span(
+                            "run.query", count=len(indices)
+                        ):
+                            self._run_queries(specs, indices, per_query, total)
         except BaseException:
             # A run that failed after an earlier run succeeded must not
             # leak the partial breakdown into the next result.
@@ -124,6 +136,7 @@ class Session:
             total,
             self._backend.name,
             provenance=take() if take is not None else (),
+            trace=active.to_dict() if active is not None else None,
         )
 
     def _run_queries(

@@ -194,4 +194,5 @@ def _stats(state: SearchState, store, started: float) -> QueryStats:
             state.objects_refined - vectorized, store.log.pages_accessed
         )
         + cost.modeled_cpu_seconds(vectorized, 0, vectorized=True),
+        buffer_evictions=store.log.evictions,
     )

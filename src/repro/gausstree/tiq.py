@@ -139,6 +139,7 @@ def gausstree_tiq(
             state.objects_refined - vectorized, store.log.pages_accessed
         )
         + cost.modeled_cpu_seconds(vectorized, 0, vectorized=True),
+        buffer_evictions=store.log.evictions,
     )
     return matches, stats
 

@@ -1,0 +1,60 @@
+"""Observability: metrics registry, request tracing, slow-query log.
+
+The cross-cutting layer every serving stack needs three views from:
+
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges and
+  fixed-bucket histograms with Prometheus text exposition, instrumented
+  at the coarse seams (admission, coalescing, session pool, shard
+  fan-out, page buffer, WAL) and served by ``GET /metrics`` on both
+  serving tiers;
+* **tracing** (:mod:`repro.obs.trace`) — per-request span trees
+  propagated by contextvar from the wire down to WAL commit, attached
+  to ``ResultSet.trace`` and returned on the wire when a request
+  carries a ``trace`` field (JSONL) or ``X-Repro-Trace`` header (HTTP);
+* **the slow-query log** (:mod:`repro.obs.slowlog`) — JSONL entries
+  (spec + span tree + ``explain()`` plan + observed stats) for queries
+  over a configurable threshold, rendered by ``repro trace <file>``.
+
+Instrumentation is on by default and costs <2% on the serving headline
+(asserted by ``benchmarks/bench_serve.py``); :class:`NullRegistry`
+turns it off entirely. The metric catalogue and span taxonomy live in
+``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_global_registry,
+    set_global_registry,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    Span,
+    Trace,
+    current_trace,
+    format_span_tree,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "current_trace",
+    "format_span_tree",
+    "get_global_registry",
+    "set_global_registry",
+    "span",
+    "tracing",
+]

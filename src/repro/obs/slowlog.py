@@ -1,0 +1,107 @@
+"""Structured slow-query log: JSONL entries over a latency threshold.
+
+Each entry is self-contained — wall-clock timestamp, elapsed time, the
+query specs as received on the wire, the span tree (when the request
+was traced), the ``explain()`` plan text, and the observed
+``QueryStats`` — so "why was this one query slow" is answerable from
+the log alone: compare the plan's *estimated* page count against the
+observed ``pages_accessed`` and ``buffer_hit_ratio``, and read the span
+tree to see which stage (admission wait, shard fan-out, WAL commit)
+ate the time. ``repro trace <file>`` renders the span trees.
+
+The log is append-only JSONL, one entry per line, flushed per entry;
+writers serialize on an internal lock so both serving tiers can share
+one instance.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Append-only JSONL log of queries slower than a threshold.
+
+    ``maybe_log`` is the single entry point: it returns immediately
+    (and costs one float compare) for fast queries, and serializes one
+    JSON line for slow ones. The file is opened lazily on the first
+    slow query, so configuring a log costs nothing until it fires.
+    """
+
+    def __init__(self, path: str, threshold_ms: float = 250.0) -> None:
+        if threshold_ms < 0:
+            raise ValueError(
+                f"threshold_ms must be non-negative, got {threshold_ms}"
+            )
+        self.path = path
+        self.threshold_ms = float(threshold_ms)
+        self._lock = threading.Lock()
+        self._file = None
+        self.entries_written = 0
+
+    @property
+    def threshold_seconds(self) -> float:
+        """The threshold in seconds (for callers timing with
+        ``time.perf_counter``)."""
+        return self.threshold_ms / 1e3
+
+    def maybe_log(
+        self,
+        elapsed_seconds: float,
+        *,
+        queries=None,
+        trace: dict | None = None,
+        plan: str | None = None,
+        stats: dict | None = None,
+        source: str | None = None,
+    ) -> bool:
+        """Write one entry if ``elapsed_seconds`` crosses the threshold.
+
+        ``queries`` is the wire-format spec list, ``trace`` a
+        ``Trace.to_dict()`` payload, ``plan`` the ``explain()`` text,
+        ``stats`` the observed counters dict, ``source`` a free-form
+        origin tag (e.g. ``"async"``/``"http"``). Returns whether an
+        entry was written.
+        """
+        if elapsed_seconds * 1e3 < self.threshold_ms:
+            return False
+        entry: dict = {
+            "ts": time.time(),
+            "elapsed_ms": round(elapsed_seconds * 1e3, 3),
+            "threshold_ms": self.threshold_ms,
+        }
+        if source is not None:
+            entry["source"] = source
+        if queries is not None:
+            entry["queries"] = queries
+        if trace is not None:
+            entry["trace"] = trace
+        if plan is not None:
+            entry["plan"] = plan
+        if stats is not None:
+            entry["stats"] = stats
+        line = json.dumps(entry) + "\n"
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(line)
+            self._file.flush()
+            self.entries_written += 1
+        return True
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "SlowQueryLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

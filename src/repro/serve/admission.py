@@ -218,7 +218,13 @@ class AdmissionQueue:
         return items
 
     def snapshot(self) -> dict:
-        """Admission counters for ``GET /stats``."""
+        """Admission counters for ``GET /stats``.
+
+        ``per_client_pending`` maps each client with a non-empty queue
+        to its current depth — the fairness view (``docs/serving.md``):
+        a single hot client shows up as one deep queue, not as a vague
+        global ``pending``.
+        """
         return {
             "pending": self._pending,
             "peak_pending": self.peak_pending,
@@ -228,4 +234,7 @@ class AdmissionQueue:
             "clients_seen": self.clients_seen,
             "max_queue": self.config.max_queue,
             "max_queue_per_client": self.config.max_queue_per_client,
+            "per_client_pending": {
+                str(cid): len(q) for cid, q in self._queues.items() if q
+            },
         }

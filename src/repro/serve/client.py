@@ -96,19 +96,30 @@ class JsonlClient:
         """Send one request and block for its response dict."""
         return self.recv_for(self.send(op, **payload))
 
-    def query(self, specs: Sequence[Query]) -> dict:
+    def query(
+        self, specs: Sequence[Query], *, trace: bool | str = False
+    ) -> dict:
         """Run read specs; the response dict mirrors ``POST /query``
-        (plus ``status`` and the echoed ``id``)."""
-        return self.request(
-            "query", queries=[spec_to_json(s) for s in specs]
-        )
+        (plus ``status`` and the echoed ``id``). A truthy ``trace``
+        asks the server for the request's span tree (a string supplies
+        the trace ID, ``True`` lets the server mint one); it comes back
+        under the response's ``"trace"`` key."""
+        payload: dict = {"queries": [spec_to_json(s) for s in specs]}
+        if trace:
+            payload["trace"] = trace
+        return self.request("query", **payload)
 
-    def insert(self, vectors: Sequence[PFV]) -> dict:
+    def insert(
+        self, vectors: Sequence[PFV], *, trace: bool | str = False
+    ) -> dict:
         """Insert vectors; the response dict mirrors ``POST /insert``.
-        A 200 means the shared group-commit fsync completed."""
-        return self.request(
-            "insert", vectors=[pfv_to_json(v) for v in vectors]
-        )
+        A 200 means the shared group-commit fsync completed. ``trace``
+        as in :meth:`query` — the span tree covers the queue wait and
+        the group-commit (``wal.commit``) the batch shared."""
+        payload: dict = {"vectors": [pfv_to_json(v) for v in vectors]}
+        if trace:
+            payload["trace"] = trace
+        return self.request("insert", **payload)
 
     def healthz(self) -> dict:
         """The server's liveness payload (``GET /healthz`` shape, except
@@ -119,6 +130,11 @@ class JsonlClient:
         """The server's counters (``GET /stats`` shape, including the
         ``admission`` and ``coalescing`` sections)."""
         return self.request("stats")
+
+    def metrics(self) -> str:
+        """The server's Prometheus exposition text (the JSONL transport
+        of ``GET /metrics``)."""
+        return self.request("metrics").get("text", "")
 
     def close(self) -> None:
         """Close the connection (idempotent)."""

@@ -52,10 +52,19 @@ from repro.cluster.wire import (
     response_to_json,
     result_to_json,
     spec_from_json,
+    spec_to_json,
 )
 from repro.engine.result import ResultSet
 from repro.engine.session import Session
 from repro.engine.spec import is_write_spec
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    get_global_registry,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs import trace as obs_trace
 from repro.serve.admission import (
     AdmissionConfig,
     AdmissionError,
@@ -88,16 +97,23 @@ class _Pending:
     bound to the originating connection/protocol; the batch that serves
     the request calls it on the event loop. ``weight`` is the number of
     engine operations the request contributes to a coalesced batch.
+    ``trace`` is the request's :class:`~repro.obs.trace.Trace` when the
+    client asked for one; ``enqueued_at`` feeds the admission-wait
+    histogram and the trace's ``admission.wait`` span.
     """
 
-    __slots__ = ("op", "specs", "vectors", "respond", "done")
+    __slots__ = ("op", "specs", "vectors", "respond", "done", "trace",
+                 "enqueued_at")
 
-    def __init__(self, op, specs=None, vectors=None, respond=None):
+    def __init__(self, op, specs=None, vectors=None, respond=None,
+                 trace=None):
         self.op = op
         self.specs = specs
         self.vectors = vectors
         self.respond = respond
         self.done: asyncio.Future | None = None
+        self.trace = trace
+        self.enqueued_at = time.perf_counter()
 
     @property
     def weight(self) -> int:
@@ -116,6 +132,16 @@ class AsyncQueryServer:
     ``coalesce`` sets the batching window (``repro serve --async``
     surfaces both). ``drain_timeout`` caps how long :meth:`shutdown`
     waits for admitted requests to finish.
+
+    Observability (``docs/observability.md``): ``registry`` is the
+    server's private :class:`~repro.obs.metrics.MetricsRegistry`
+    (defaults to a fresh one; pass a
+    :class:`~repro.obs.metrics.NullRegistry` to disable serving-tier
+    instrumentation). ``GET /metrics`` renders it concatenated with the
+    process-global registry. ``slow_query_log`` (a path or an open
+    :class:`~repro.obs.slowlog.SlowQueryLog`) captures requests slower
+    than ``slow_query_ms`` end to end, each entry carrying the specs,
+    the span tree and the ``explain()`` plan.
     """
 
     def __init__(
@@ -130,6 +156,9 @@ class AsyncQueryServer:
         coalesce: CoalesceConfig | None = None,
         drain_timeout: float = 10.0,
         verbose: bool = False,
+        registry: MetricsRegistry | None = None,
+        slow_query_log: SlowQueryLog | str | None = None,
+        slow_query_ms: float = 250.0,
     ) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -148,11 +177,58 @@ class AsyncQueryServer:
         self.drain_timeout = drain_timeout
         self.verbose = verbose
         self.stats = ServingStats()
-        # Serving-tier counters (event-loop confined).
-        self.read_batches = 0
-        self.coalesced_reads = 0
-        self.write_batches = 0
-        self.coalesced_inserts = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if isinstance(slow_query_log, SlowQueryLog):
+            self.slow_log: SlowQueryLog | None = slow_query_log
+            self._owns_slow_log = False
+        elif slow_query_log is not None:
+            self.slow_log = SlowQueryLog(
+                slow_query_log, threshold_ms=slow_query_ms
+            )
+            self._owns_slow_log = True
+        else:
+            self.slow_log = None
+            self._owns_slow_log = False
+        # Serving-tier counters live in the registry — one code path
+        # feeds /stats, /metrics and the bench, no duplicated
+        # bookkeeping. Directly-incremented series first; the
+        # callback-backed ones (admission, pool) register in _main()
+        # once their backing state exists.
+        m = self.registry
+        self._m_read_batches = m.counter(
+            "repro_serve_read_batches_total",
+            "execute_many batches dispatched for coalesced reads.",
+        )
+        self._m_coalesced_reads = m.counter(
+            "repro_serve_coalesced_reads_total",
+            "Read requests answered from a multi-request batch.",
+        )
+        self._m_write_batches = m.counter(
+            "repro_serve_write_batches_total",
+            "insert_many group-commit batches dispatched.",
+        )
+        self._m_coalesced_inserts = m.counter(
+            "repro_serve_coalesced_inserts_total",
+            "Vectors committed from multi-request insert batches.",
+        )
+        self._m_batch_size = m.histogram(
+            "repro_serve_batch_size",
+            "Engine operations fused into one coalesced batch.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._m_admission_wait = m.histogram(
+            "repro_serve_admission_wait_seconds",
+            "Queue wait between admission and batch dispatch.",
+        )
+        self._m_execute = m.histogram(
+            "repro_serve_execute_seconds",
+            "Engine wall time per dispatched batch.",
+        )
+        self._m_demux = m.histogram(
+            "repro_serve_demux_fanout",
+            "Requests demultiplexed from one batch's results.",
+            buckets=SIZE_BUCKETS,
+        )
         # Runtime state, created on the event loop in _main().
         self._sessions: list[Session] = []
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -262,6 +338,7 @@ class AsyncQueryServer:
         self._per_slot_batches = [0] * self.pool_size
         self._version = 0
         self._slot_versions = [0] * self.pool_size
+        self._register_callback_metrics()
 
         self._server = await asyncio.start_server(
             self._handle_conn, self.host, self.port, limit=MAX_LINE_BYTES
@@ -282,6 +359,72 @@ class AsyncQueryServer:
     def _kick(self) -> None:
         """Wake both the main waiter and the dispatcher (loop-side)."""
         self._wake.set()
+
+    def _register_callback_metrics(self) -> None:
+        """Install callback-backed series over state that already counts
+        itself (admission queue, session pool, ServingStats) — the
+        registry reads the single source of truth at scrape time."""
+        m = self.registry
+        adm = self._admission
+        m.gauge(
+            "repro_serve_queue_depth",
+            "Admitted requests currently queued.",
+            callback=lambda: adm.pending,
+        )
+        m.gauge(
+            "repro_serve_queue_depth_peak",
+            "High-water mark of the admission queue.",
+            callback=lambda: adm.peak_pending,
+        )
+        m.counter(
+            "repro_serve_admitted_total",
+            "Requests accepted by admission control.",
+            callback=lambda: adm.admitted,
+        )
+        m.counter(
+            "repro_serve_shed_total",
+            "Requests rejected by admission control (429 + 503).",
+            callback=lambda: adm.rejected + adm.rejected_draining,
+        )
+        m.counter(
+            "repro_serve_clients_total",
+            "Distinct client queues seen since start.",
+            callback=lambda: adm.clients_seen,
+        )
+        m.gauge(
+            "repro_serve_pool_size",
+            "Pool sessions (one executor thread each).",
+        ).set(self.pool_size)
+        m.gauge(
+            "repro_serve_pool_in_use",
+            "Pool sessions currently checked out.",
+            callback=lambda: self.pool_size - len(self._free_slots),
+        )
+        m.counter(
+            "repro_serve_pool_acquires_total",
+            "Pool slot acquisitions.",
+            callback=lambda: self._pool_acquires,
+        )
+        m.counter(
+            "repro_serve_pool_waits_total",
+            "Slot acquisitions that had to wait for a busy pool.",
+            callback=lambda: self._pool_waits,
+        )
+        m.counter(
+            "repro_serve_queries_total",
+            "Query specs executed (batch members counted singly).",
+            callback=lambda: self.stats.queries,
+        )
+        m.counter(
+            "repro_serve_inserts_total",
+            "Vectors inserted.",
+            callback=lambda: self.stats.inserts,
+        )
+        m.counter(
+            "repro_serve_errors_total",
+            "Requests answered with a non-shed 4xx/5xx status.",
+            callback=lambda: self.stats.errors,
+        )
 
     async def _drain(self, dispatcher: asyncio.Task) -> None:
         self._admission.begin_drain()
@@ -304,6 +447,8 @@ class AsyncQueryServer:
                 session.close()
             except Exception:
                 pass
+        if self._owns_slow_log and self.slow_log is not None:
+            self.slow_log.close()
 
     # -- pool slots ----------------------------------------------------------
 
@@ -414,15 +559,49 @@ class AsyncQueryServer:
 
     # -- batch execution -----------------------------------------------------
 
+    def _record_batch_metrics(self, items: list, dispatched: float) -> None:
+        """Observe batch width and each member's queue wait."""
+        self._m_batch_size.observe(sum(it.weight for it in items))
+        for it in items:
+            self._m_admission_wait.observe(dispatched - it.enqueued_at)
+
     async def _run_read_batch(self, slot: int, items: list) -> None:
         specs = [s for it in items for s in it.specs]
+        dispatched = time.perf_counter()
+        self._record_batch_metrics(items, dispatched)
+        # One batch trace serves every traced member: execute_many runs
+        # once for the whole batch, so its spans are genuinely shared —
+        # each traced request gets them grafted under its own root,
+        # shifted into request-relative time.
+        traced = any(it.trace is not None for it in items)
+        batch_trace = obs_trace.Trace(epoch=dispatched) if traced else None
+        slow = self.slow_log
+
+        def run_batch(session: Session):
+            # run_in_executor does not propagate contextvars, so the
+            # trace activates here, on the executor thread, covering
+            # the whole synchronous engine path.
+            t0 = time.perf_counter()
+            with obs_trace.tracing(batch_trace):
+                result = session.execute_many(specs)
+            spent = time.perf_counter() - t0
+            plan = None
+            if slow is not None and spent >= slow.threshold_seconds:
+                # The batch is already over threshold: price the plan
+                # now, while this thread still holds the slot, so the
+                # slow-log entry can compare estimate vs observed.
+                try:
+                    plan = session.explain(specs).describe()
+                except Exception:
+                    plan = None
+            return result, spent, plan
+
         try:
             session = await self._reading_session(slot)
-            started = time.perf_counter()
-            rs: ResultSet = await self._loop.run_in_executor(
-                self._executor, session.execute_many, specs
+            rs: ResultSet
+            rs, elapsed, plan = await self._loop.run_in_executor(
+                self._executor, run_batch, session
             )
-            elapsed = time.perf_counter() - started
         except asyncio.CancelledError:
             await self._release_slot(slot)
             raise
@@ -434,10 +613,13 @@ class AsyncQueryServer:
             return
         await self._release_slot(slot)
         self.stats.record(specs, rs.stats, elapsed)
-        self.read_batches += 1
+        self._m_execute.observe(elapsed)
+        self._m_read_batches.inc()
+        self._m_demux.observe(len(items))
         if len(items) > 1:
-            self.coalesced_reads += len(items)
+            self._m_coalesced_reads.inc(len(items))
         payload = result_to_json(rs)
+        payload.pop("trace", None)  # per-request trees replace it below
         provenance = payload.get("provenance")
         offset = 0
         for it in items:
@@ -455,7 +637,66 @@ class AsyncQueryServer:
             if provenance is not None:
                 part["provenance"] = provenance
             offset += n
+            trace_dict = self._finish_item_trace(
+                it, dispatched, elapsed, batch_trace, len(specs),
+                "serve.execute",
+            )
+            if trace_dict is not None:
+                part["trace"] = trace_dict
+            if slow is not None:
+                wait = dispatched - it.enqueued_at
+                slow.maybe_log(
+                    wait + elapsed,
+                    queries=[spec_to_json(s) for s in it.specs],
+                    trace=trace_dict,
+                    plan=plan,
+                    stats=payload["stats"],
+                    source="serve-async",
+                )
             await self._answer(it, 200, part)
+
+    def _finish_item_trace(
+        self,
+        it: _Pending,
+        dispatched: float,
+        elapsed: float,
+        batch_trace: "obs_trace.Trace | None",
+        batch_width: int,
+        execute_name: str,
+    ) -> dict | None:
+        """Assemble one request's span tree from the shared batch trace.
+
+        The tree is request-relative: ``request`` spans admission to
+        response, ``admission.wait`` covers the queue, and the engine's
+        spans (recorded against the batch epoch == dispatch time) graft
+        under the execute span shifted by this request's own wait.
+        """
+        if it.trace is None:
+            return None
+        wait = dispatched - it.enqueued_at
+        # The engine spans are batch-epoch relative and include the
+        # dispatch -> executor-thread scheduling gap, which `elapsed`
+        # (measured around execute_many alone) does not; widen the
+        # execute window so children never overhang their parent.
+        span_end = elapsed
+        if batch_trace is not None:
+            span_end = max(
+                span_end,
+                max(
+                    (s.start + s.dur for s in batch_trace.spans),
+                    default=0.0,
+                ),
+            )
+        root = obs_trace.Span("request", 0.0, wait + span_end)
+        root.children.append(obs_trace.Span("admission.wait", 0.0, wait))
+        execute = obs_trace.Span(
+            execute_name, wait, span_end, count=batch_width
+        )
+        if batch_trace is not None:
+            execute.children = [s.shifted(wait) for s in batch_trace.spans]
+        root.children.append(execute)
+        it.trace.spans = [root]
+        return it.trace.to_dict()
 
     async def _reading_session(self, slot: int) -> Session:
         """The slot's session, refreshed first if it predates the last
@@ -484,13 +725,20 @@ class AsyncQueryServer:
 
     async def _run_insert_batch(self, slot: int, items: list) -> None:
         vectors = [v for it in items for v in it.vectors]
+        dispatched = time.perf_counter()
+        self._record_batch_metrics(items, dispatched)
+        traced = any(it.trace is not None for it in items)
+        batch_trace = obs_trace.Trace(epoch=dispatched) if traced else None
 
         def apply() -> int:
             # One insert_many = one group-commit WAL transaction per
             # touched index: every coalesced client shares its fsync.
-            count = self.session.insert_many(vectors)
-            if self.pool_size > 1:
-                self.session.flush()
+            # The trace activates on the executor thread (contextvars
+            # don't cross run_in_executor) so wal.commit spans attach.
+            with obs_trace.tracing(batch_trace):
+                count = self.session.insert_many(vectors)
+                if self.pool_size > 1:
+                    self.session.flush()
             return count
 
         try:
@@ -512,21 +760,26 @@ class AsyncQueryServer:
             self._slot_versions[0] = self._version
         await self._release_slot(slot)
         self.stats.record_inserts(len(vectors), elapsed)
-        self.write_batches += 1
+        self._m_execute.observe(elapsed)
+        self._m_write_batches.inc()
+        self._m_demux.observe(len(items))
         if len(items) > 1:
-            self.coalesced_inserts += len(vectors)
+            self._m_coalesced_inserts.inc(len(vectors))
         for it in items:
             # Acked only after the shared fsync returned.
-            await self._answer(
-                it,
-                200,
-                {
-                    "inserted": len(it.vectors),
-                    "objects": objects,
-                    "execute_seconds": round(elapsed, 6),
-                    "coalesced": len(items),
-                },
+            part = {
+                "inserted": len(it.vectors),
+                "objects": objects,
+                "execute_seconds": round(elapsed, 6),
+                "coalesced": len(items),
+            }
+            trace_dict = self._finish_item_trace(
+                it, dispatched, elapsed, batch_trace, len(vectors),
+                "serve.insert",
             )
+            if trace_dict is not None:
+                part["trace"] = trace_dict
+            await self._answer(it, 200, part)
 
     async def _answer(self, it: _Pending, status: int, payload: dict) -> None:
         if status >= 400 and status not in (429, 503):
@@ -654,6 +907,21 @@ class AsyncQueryServer:
             writer.write(head + body)
             await writer.drain()
 
+    async def _write_http_text(
+        self, writer, lock, text: str, content_type: str
+    ) -> None:
+        """A raw text 200 (the Prometheus exposition is not JSON)."""
+        body = text.encode("utf-8")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        async with lock:
+            writer.write(head + body)
+            await writer.drain()
+
     async def _handle_http(
         self, request_line: bytes, reader, writer, lock
     ) -> bool:
@@ -690,6 +958,12 @@ class AsyncQueryServer:
             return False
         body = await reader.readexactly(length) if length > 0 else b""
 
+        if (method, path) == ("GET", "/metrics"):
+            await self._write_http_text(
+                writer, lock, self.metrics_text(), CONTENT_TYPE
+            )
+            return headers.get("connection", "").lower() != "close"
+
         op = {
             ("GET", "/healthz"): "healthz",
             ("GET", "/stats"): "stats",
@@ -719,6 +993,11 @@ class AsyncQueryServer:
                 return False
         else:
             payload = {}
+        # X-Repro-Trace asks for a traced request (the header's value
+        # becomes the trace ID); a "trace" field in the body wins.
+        trace_header = headers.get("x-repro-trace")
+        if trace_header and "trace" not in payload:
+            payload["trace"] = trace_header
 
         done: asyncio.Future = self._loop.create_future()
 
@@ -775,6 +1054,22 @@ class AsyncQueryServer:
         if op == "stats":
             await reply(200, self._stats_payload())
             return
+        if op == "metrics":
+            # JSONL transport of the exposition text; HTTP serves the
+            # raw text/plain form at GET /metrics.
+            await reply(200, {"text": self.metrics_text()})
+            return
+
+        # A truthy "trace" field (or the X-Repro-Trace header, folded
+        # into the payload by the HTTP path) makes this request traced:
+        # a string supplies the trace ID, any other truthy value mints
+        # one. The span tree comes back on the response as "trace".
+        trace_req = payload.get("trace")
+        req_trace = None
+        if trace_req:
+            req_trace = obs_trace.Trace(
+                trace_req if isinstance(trace_req, str) else None
+            )
 
         if op == "query":
             try:
@@ -800,7 +1095,9 @@ class AsyncQueryServer:
                     },
                 )
                 return
-            item = _Pending("query", specs=specs, respond=respond)
+            item = _Pending(
+                "query", specs=specs, respond=respond, trace=req_trace
+            )
         else:  # insert
             if not self.session.writable:
                 await reply(
@@ -824,7 +1121,9 @@ class AsyncQueryServer:
             if not vectors:
                 await reply(400, {"error": "no vectors in request"})
                 return
-            item = _Pending("insert", vectors=vectors, respond=respond)
+            item = _Pending(
+                "insert", vectors=vectors, respond=respond, trace=req_trace
+            )
 
         item.done = done
         try:
@@ -837,17 +1136,28 @@ class AsyncQueryServer:
             return
         self._wake.set()
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition: this server's private registry
+        concatenated with the process-global one (WAL, cluster,
+        buffer series). Served by ``GET /metrics`` and the JSONL
+        ``metrics`` op."""
+        return self.registry.render() + get_global_registry().render()
+
     def _stats_payload(self) -> dict:
         payload = self.stats.snapshot()
         payload["backend"] = self.session.backend_name
         payload["objects"] = len(self.session)
         payload["session_pool"] = self._pool_snapshot()
         payload["admission"] = self._admission.snapshot()
+        # Sourced from the registry — the same counters /metrics
+        # exposes, no duplicated bookkeeping (keys are a stable
+        # contract; see docs/serving.md).
         payload["coalescing"] = {
-            "read_batches": self.read_batches,
-            "coalesced_reads": self.coalesced_reads,
-            "write_batches": self.write_batches,
-            "coalesced_inserts": self.coalesced_inserts,
+            "read_batches": int(self._m_read_batches.value),
+            "coalesced_reads": int(self._m_coalesced_reads.value),
+            "write_batches": int(self._m_write_batches.value),
+            "coalesced_inserts": int(self._m_coalesced_inserts.value),
+            "batch_size": self._m_batch_size.summary(),
             "max_batch": self.coalesce.max_batch,
             "max_delay_seconds": self.coalesce.max_delay_seconds,
             "reads": self.coalesce.coalesce_reads,
@@ -867,6 +1177,9 @@ def serve_async(
     coalesce: CoalesceConfig | None = None,
     drain_timeout: float = 10.0,
     verbose: bool = False,
+    registry: MetricsRegistry | None = None,
+    slow_query_log: SlowQueryLog | str | None = None,
+    slow_query_ms: float = 250.0,
 ) -> AsyncQueryServer:
     """Start the asyncio serving tier in a background thread; returns
     the running :class:`AsyncQueryServer` (use as a context manager to
@@ -881,4 +1194,7 @@ def serve_async(
         coalesce=coalesce,
         drain_timeout=drain_timeout,
         verbose=verbose,
+        registry=registry,
+        slow_query_log=slow_query_log,
+        slow_query_ms=slow_query_ms,
     ).serve_in_background()

@@ -30,6 +30,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable
 
+from repro.obs import metrics as _obs_metrics
+
 __all__ = ["BufferManager", "BufferStats"]
 
 
@@ -39,6 +41,15 @@ class BufferStats:
     __slots__ = ("accesses", "hits", "faults", "evictions", "writebacks")
 
     def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place (identity-preserving, so
+        scrape-time collectors keep observing this object)."""
         self.accesses = 0
         self.hits = 0
         self.faults = 0
@@ -97,6 +108,9 @@ class BufferManager:
         # Pin counts: pinned pages are skipped by LRU victim selection.
         self._pins: dict[int, int] = {}
         self._writeback: Callable[[int], None] | None = None
+        # Scrape-time metrics collection: the global /metrics series sum
+        # live buffers' counters, so access() pays nothing per page.
+        _obs_metrics.track_buffer(self)
 
     @classmethod
     def from_bytes(cls, capacity_bytes: int, page_size: int) -> "BufferManager":
@@ -263,7 +277,10 @@ class BufferManager:
         self._pins.clear()
 
     def reset_stats(self) -> None:
-        self.stats = BufferStats()
+        """Zero the counters; the pre-reset totals are folded into the
+        global metrics ledger so cumulative series stay monotone."""
+        _obs_metrics.retire_buffer_stats(self.stats)
+        self.stats.reset()
 
     def __repr__(self) -> str:
         return (

@@ -30,21 +30,29 @@ class AccessLog:
     ``pages_written`` counts page-image installs on the writable storage
     path; it is kept separate from ``pages_accessed`` because the
     paper's page-access metric is defined over query reads only.
+    ``evictions`` counts LRU evictions this query forced — the signal
+    that a query's working set outran the buffer, surfaced through
+    ``QueryStats.buffer_evictions`` into the slow-query log.
     """
 
-    __slots__ = ("pages_accessed", "page_faults", "io_seconds", "pages_written")
+    __slots__ = (
+        "pages_accessed", "page_faults", "io_seconds", "pages_written",
+        "evictions",
+    )
 
     def __init__(self) -> None:
         self.pages_accessed = 0
         self.page_faults = 0
         self.io_seconds = 0.0
         self.pages_written = 0
+        self.evictions = 0
 
     def reset(self) -> None:
         self.pages_accessed = 0
         self.page_faults = 0
         self.io_seconds = 0.0
         self.pages_written = 0
+        self.evictions = 0
 
 
 class PageStore:
@@ -69,6 +77,10 @@ class PageStore:
         self._next_page_id = 0
         self._allocated: set[int] = set()
         self.log = AccessLog()
+        # Buffer-eviction count at begin_query(); evictions only happen
+        # inside BufferManager.access(), so the per-query delta is exact
+        # and costs one subtraction on the fault path, nothing on hits.
+        self._evictions_base = self.buffer.stats.evictions
 
     # -- allocation --------------------------------------------------------
 
@@ -99,6 +111,9 @@ class PageStore:
         if not hit:
             self.log.page_faults += 1
             self.log.io_seconds += self.cost_model.random_read_seconds(1)
+            self.log.evictions = max(
+                0, self.buffer.stats.evictions - self._evictions_base
+            )
 
     def read_sequential_run(self, page_ids: list[int]) -> None:
         """Read a contiguous run of pages at streaming cost.
@@ -117,12 +132,16 @@ class PageStore:
                 faulted += 1
         if faulted:
             self.log.io_seconds += self.cost_model.sequential_read_seconds(faulted)
+            self.log.evictions = max(
+                0, self.buffer.stats.evictions - self._evictions_base
+            )
 
     # -- experiment plumbing -----------------------------------------------
 
     def begin_query(self) -> None:
         """Reset the per-query access log."""
         self.log.reset()
+        self._evictions_base = self.buffer.stats.evictions
 
     def cold_start(self) -> None:
         """Flush the buffer before an experiment, as the paper does."""

@@ -43,8 +43,12 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from typing import Callable
+
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 
 __all__ = [
     "WriteAheadLog",
@@ -120,11 +124,37 @@ class WriteAheadLog:
         self.append(REC_PAGE, struct.pack("<I", page_id) + image)
 
     def commit(self) -> None:
-        """Seal the buffered records with a COMMIT and make them durable."""
+        """Seal the buffered records with a COMMIT and make them durable.
+
+        Instrumented: counts the commit (and fsync, with its latency)
+        on the global metrics registry and adds a ``wal.commit`` span
+        when a trace is active — the bottom of the request timeline.
+        """
+        started = time.perf_counter()
         self.append(REC_COMMIT, b"")
         self._file.flush()
         if self.fsync:
+            fsync_started = time.perf_counter()
             os.fsync(self._file.fileno())
+            fsync_elapsed = time.perf_counter() - fsync_started
+            _obs_metrics.counter(
+                "repro_wal_fsync_total", "WAL commit fsync calls."
+            ).inc()
+            _obs_metrics.histogram(
+                "repro_wal_fsync_seconds", "WAL commit fsync latency."
+            ).observe(fsync_elapsed)
+        _obs_metrics.counter(
+            "repro_wal_commits_total", "Sealed WAL transactions."
+        ).inc()
+        active = _obs_trace.current_trace()
+        if active is not None:
+            elapsed = time.perf_counter() - started
+            active.add(
+                "wal.commit",
+                start=active.now() - elapsed,
+                dur=elapsed,
+                status="fsync" if self.fsync else "buffered",
+            )
 
     def sync(self) -> None:
         self._file.flush()
@@ -363,6 +393,11 @@ class WALGroup:
             raise ValueError(
                 "a WAL group needs its META header image before commit"
             )
+        _obs_metrics.histogram(
+            "repro_wal_group_pages",
+            "Deduplicated page images per group-commit transaction.",
+            buckets=_obs_metrics.SIZE_BUCKETS,
+        ).observe(self.n_pages)
         for page_id, image in self._pages.items():
             wal.append_page(page_id, image)
         if self._keys:

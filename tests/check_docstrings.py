@@ -50,9 +50,10 @@ def iter_surface():
     """Yield ``(qualified_name, object)`` for everything the gate covers."""
     import repro.cluster as cluster
     import repro.engine as engine
+    import repro.obs as obs
     import repro.serve as serve
 
-    for module in (engine, cluster, serve):
+    for module in (engine, cluster, serve, obs):
         yield module.__name__, module
         for name in module.__all__:
             obj = getattr(module, name)

@@ -1,0 +1,194 @@
+"""The zero-dependency metrics registry.
+
+Pins the exposition format (Prometheus text 0.0.4: HELP/TYPE comments,
+cumulative ``le`` buckets, integral floats printed as integers), the
+registration semantics (idempotent by name, kind conflicts rejected,
+callback-backed metrics read their source lazily) and the no-op mode
+(:class:`NullRegistry` discards writes and renders nothing — the
+``--no-metrics`` / overhead-benchmark contract).
+"""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    get_global_registry,
+    set_global_registry,
+)
+from repro.obs.metrics import (
+    SIZE_BUCKETS,
+    buffer_total,
+    counter as global_counter,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_and_renders(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "Things counted.")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        text = reg.render()
+        assert "# HELP repro_test_total Things counted." in text
+        assert "# TYPE repro_test_total counter" in text
+        assert "repro_test_total 5" in text
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_depth")
+        g.set(7)
+        g.dec(2)
+        g.inc()
+        assert g.value == 6
+        assert "repro_depth 6" in reg.render()
+
+    def test_registration_is_idempotent_by_name(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_same_total", "first help wins")
+        b = reg.counter("repro_same_total", "ignored")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_conflict_is_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_kind_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_kind_total")
+
+    def test_callback_metric_reads_source_lazily(self):
+        reg = MetricsRegistry()
+        state = {"n": 0}
+        reg.counter("repro_live_total", callback=lambda: state["n"])
+        state["n"] = 42
+        assert "repro_live_total 42" in reg.render()
+        state["n"] = 43
+        assert reg.snapshot()["repro_live_total"] == 43
+
+    def test_callback_with_labels_is_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter(
+                "repro_bad_total", labelnames=("shard",), callback=lambda: 0
+            )
+
+
+class TestLabels:
+    def test_labelled_children_render_sorted(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_shard_total", labelnames=("shard",))
+        fam.labels(shard="01").inc(2)
+        fam.labels(shard="00").inc()
+        text = reg.render()
+        assert 'repro_shard_total{shard="00"} 1' in text
+        assert 'repro_shard_total{shard="01"} 2' in text
+        assert text.index('shard="00"') < text.index('shard="01"')
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("repro_esc", labelnames=("name",))
+        fam.labels(name='a"b\\c').set(1)
+        assert 'name="a\\"b\\\\c"' in reg.render()
+
+    def test_snapshot_keys_labelled_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_lab_total", labelnames=("shard",))
+        fam.labels(shard="00").inc(3)
+        assert reg.snapshot()["repro_lab_total"] == {"shard=00": 3}
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_size", buckets=SIZE_BUCKETS)
+        for v in (1, 1, 3, 200):
+            h.observe(v)
+        text = reg.render()
+        # le="1" catches both 1s; le="4" adds the 3; 200 only in +Inf.
+        assert 'repro_size_bucket{le="1"} 2' in text
+        assert 'repro_size_bucket{le="4"} 3' in text
+        assert 'repro_size_bucket{le="+Inf"} 4' in text
+        assert "repro_size_sum 205" in text
+        assert "repro_size_count 4" in text
+
+    def test_summary_is_json_friendly(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_s", buckets=(1.0, 2.0))
+        h.observe(1)
+        h.observe(5)
+        s = h.summary()
+        assert s["count"] == 2 and s["sum"] == 6.0 and s["mean"] == 3.0
+        assert s["buckets"] == {"1": 1, "2": 1, "+Inf": 2}
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_bad", buckets=(2.0, 1.0))
+
+
+class TestNullRegistry:
+    def test_discards_everything(self):
+        reg = NullRegistry()
+        c = reg.counter("repro_x_total")
+        c.inc(100)
+        assert c.value == 0
+        h = reg.histogram("repro_y")
+        h.observe(1.0)
+        assert h.summary()["count"] == 0
+        assert h.labels(anything="x") is h
+        assert reg.render() == ""
+        assert reg.snapshot() == {}
+        assert reg.enabled is False
+
+    def test_global_swap_silences_module_helpers(self):
+        previous = set_global_registry(NullRegistry())
+        try:
+            c = global_counter("repro_swapped_total")
+            c.inc()
+            assert c.value == 0
+            assert get_global_registry().render() == ""
+        finally:
+            set_global_registry(previous)
+        # Restored: the helper registers on the real registry again.
+        global_counter("repro_swapped_total").inc()
+        assert get_global_registry().snapshot()["repro_swapped_total"] == 1
+
+
+class TestBufferCollection:
+    def test_buffer_series_installed_on_global_registry(self):
+        text = get_global_registry().render()
+        for name in (
+            "repro_buffer_accesses_total",
+            "repro_buffer_hits_total",
+            "repro_buffer_faults_total",
+            "repro_buffer_evictions_total",
+            "repro_buffer_hit_ratio",
+            "repro_buffers_live",
+        ):
+            assert name in text
+
+    def test_retirement_keeps_counters_monotone(self, tmp_path):
+        import gc
+
+        from tests.conftest import make_random_db, make_random_query
+        from repro.engine import MLIQ, connect
+        from repro.gausstree.bulkload import bulk_load
+        from repro.storage.layout import PageLayout
+
+        db = make_random_db(n=40, seed=77)
+        path = str(tmp_path / "mono.gauss")
+        tree = bulk_load(
+            db.vectors, layout=PageLayout(dims=3), sigma_rule=db.sigma_rule
+        )
+        tree.save(path)
+        session = connect(path)  # disk backend: a real page buffer
+        session.execute(MLIQ(make_random_query(seed=78), 3))
+        during = buffer_total("accesses")
+        assert during > 0
+        session.close()
+        del session, tree
+        gc.collect()
+        # The buffer is gone, but its totals were folded into the
+        # retirement ledger: the cumulative series never move back.
+        assert buffer_total("accesses") >= during

@@ -360,10 +360,16 @@ class TestDrainAndWrites:
             client.send("query", queries=[_mliq_spec(q, 5)])
             for _ in range(20)
         ]
-        # Wait for the first answer so the backlog is mid-flight, then
-        # shut down from another thread while 19 are still queued.
+        # Wait for the first answer so the backlog is mid-flight. That
+        # alone does not prove the server *read* the other 19 lines off
+        # the socket (they could still be in the kernel buffer and get
+        # 503 once draining starts); a stats round-trip on the same
+        # connection is a barrier — lines are processed in order, so by
+        # the time it answers, everything before it was admitted.
         first = client.recv_for(rids[0])
         assert first["status"] == 200
+        snap = client.request("stats")
+        assert snap["admission"]["admitted"] >= 20, snap["admission"]
         shutdown = threading.Thread(target=server.shutdown)
         shutdown.start()
         statuses = [client.recv_for(rid)["status"] for rid in rids[1:]]

@@ -184,7 +184,10 @@ EXPECTED_CLUSTER_SIGNATURES = {
     "serve": "(session: 'Session', host: 'str' = '127.0.0.1', "
     "port: 'int' = 8631, *, verbose: 'bool' = False, "
     "session_factory: 'Callable[[], Session] | None' = None, "
-    "pool_size: 'int' = 1) -> 'QueryServer'",
+    "pool_size: 'int' = 1, "
+    "registry: 'MetricsRegistry | None' = None, "
+    "slow_query_log: 'SlowQueryLog | str | None' = None, "
+    "slow_query_ms: 'float' = 250.0) -> 'QueryServer'",
     "make_pool": "(kind: 'str', opener: 'Callable[[int], Any]', "
     "runner: 'Callable[[Any, Any], Any]', *, n_shards: 'int', "
     "workers: 'int | None' = None, attempts: 'int' = 1, "
