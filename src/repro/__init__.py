@@ -21,8 +21,9 @@ Unified query engine (the recommended surface):
     database, a list of pfv, or a saved index file, through any
     registered backend (``tree``, ``disk``, ``seqscan``, ``xtree``);
     execute the composable specs :class:`repro.MLIQ`,
-    :class:`repro.TIQ` and :class:`repro.RankQuery`; ``explain()``
-    describes the plan. See README "Query API" for the migration table
+    :class:`repro.TIQ`, :class:`repro.RankQuery`,
+    :class:`repro.ConsensusTopK` and :class:`repro.ExpectedRank`;
+    ``explain()`` describes the plan. See README "Query API" for the migration table
     from the per-method entry points (now deprecation shims).
 
 Sharded serving (scale-out):
@@ -61,7 +62,9 @@ from repro.core import (
 from repro.engine import (
     MLIQ,
     TIQ,
+    ConsensusTopK,
     Delete,
+    ExpectedRank,
     Insert,
     RankQuery,
     ResultSet,
@@ -76,7 +79,7 @@ from repro.gausstree import GaussTree, bulk_load
 # box (the subsystem itself is stdlib-only on top of the engine).
 import repro.cluster  # noqa: E402,F401  (registration side effect)
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "PFV",
@@ -97,6 +100,8 @@ __all__ = [
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "ConsensusTopK",
+    "ExpectedRank",
     "Insert",
     "Delete",
     "ResultSet",

@@ -168,18 +168,30 @@ def _load_input_specs(path: str):
 
 
 def _cmd_query(args: argparse.Namespace) -> None:
-    from repro.engine import MLIQ, TIQ, RankQuery, connect
+    from repro.engine import (
+        MLIQ,
+        TIQ,
+        ConsensusTopK,
+        ExpectedRank,
+        RankQuery,
+        connect,
+    )
 
-    modes = sum(x is not None for x in (args.k, args.theta, args.rank))
+    modes = sum(
+        x is not None
+        for x in (args.k, args.theta, args.rank, args.consensus, args.erank)
+    )
     if args.input is not None:
         if modes:
             raise SystemExit(
-                "--input replays a spec file; drop --k/--theta/--rank "
+                "--input replays a spec file; drop "
+                "--k/--theta/--rank/--consensus/--erank "
                 "(each line carries its own kind and parameters)"
             )
     elif modes != 1:
         raise SystemExit(
-            "pass exactly one of --k (MLIQ), --theta (TIQ) or --rank "
+            "pass exactly one of --k (MLIQ), --theta (TIQ), --rank, "
+            "--consensus or --erank "
             "(or --input FILE for a JSONL workload)"
         )
     if args.min_mass is not None and args.rank is None:
@@ -208,6 +220,10 @@ def _cmd_query(args: argparse.Namespace) -> None:
                 specs = [MLIQ(w.q, args.k) for w in workload]
             elif args.theta is not None:
                 specs = [TIQ(w.q, args.theta) for w in workload]
+            elif args.consensus is not None:
+                specs = [ConsensusTopK(w.q, args.consensus) for w in workload]
+            elif args.erank is not None:
+                specs = [ExpectedRank(w.q, args.erank) for w in workload]
             else:
                 specs = [
                     RankQuery(w.q, args.rank, min_mass=args.min_mass)
@@ -844,6 +860,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="truncate --rank answers at this cumulative posterior mass",
+    )
+    p.add_argument(
+        "--consensus",
+        type=int,
+        default=None,
+        help="answer consensus top-k (ConsensusTopK) with this k",
+    )
+    p.add_argument(
+        "--erank",
+        type=int,
+        default=None,
+        help="answer expected-rank top-k (ExpectedRank) with this k",
     )
     p.add_argument(
         "--explain",

@@ -35,6 +35,18 @@ Correctness of the candidate sets:
   applies the exact global filter ``p(q|v)/Z >= tau``.
 * **RankQuery** — lowered to MLIQ by the session, which applies the
   ``min_mass`` cut *after* this merge, i.e. against global posteriors.
+* **ConsensusTopK / ExpectedRank** — the ranked semantics of
+  :mod:`repro.engine.semantics` need, beyond the global posteriors, the
+  count and posterior mass of the objects strictly above each answer —
+  all of which live inside the global top-k prefix. The dedicated
+  ``"ranked"`` payload generalises the log-Z pattern: each shard
+  piggybacks per query its candidate posteriors, its total density mass
+  ``log Z_s`` *and* the density mass at-or-above its own cutoff (the
+  returned candidates' logsumexp), so the coordinator can both compute
+  the scores exactly from the merged prefix and *certify* exactness —
+  a truncated shard whose cutoff outranks the global cutoff, or whose
+  above-cutoff mass exceeds its total, means a malformed reply and
+  raises :class:`ClusterError` instead of silently mis-ranking.
 
 **Writable sharded sessions (the write router).** Opened with
 ``connect(..., backend="sharded", writable=True)``, the fan-out also
@@ -126,10 +138,18 @@ class ShardReply:
     the shard-local answer list (posteriors still shard-normalised) and
     the shard's log Bayes denominator ``log Z_s`` for that query
     (``-inf`` for an empty shard or fully underflowed densities).
+
+    ``aux`` is ``None`` except for ``"ranked"`` payloads, where it
+    holds one ``(n_s, log_above)`` pair per query: the shard's object
+    count and the log density mass at-or-above the shard's own cutoff
+    (the returned candidates' logsumexp) — the per-shard sufficient
+    statistics the coordinator uses to certify that global consensus /
+    expected-rank scores are exact.
     """
 
     per_query: list[tuple[list[Match], float]]
     stats: QueryStats
+    aux: list[tuple[int, float]] | None = None
 
 
 class _ShardOpener:
@@ -224,10 +244,13 @@ def _run_shard_payload(session: Session, payload) -> ShardReply:
     """Execute one fanned-out payload on an open shard session.
 
     Runs in pool workers (and inline for the serial pool). Payloads are
-    ``("mliq", [(q, k), ...])`` or ``("tiq", [(q, tau, eps), ...])``;
-    TIQ payloads piggyback an ``MLIQ(q, 1)`` denominator probe per query
-    in the same batch, so a shard whose threshold answer is empty still
-    reports its total density mass.
+    ``("mliq", [(q, k), ...])``, ``("tiq", [(q, tau, eps), ...])`` or
+    ``("ranked", [(q, k), ...])``; TIQ payloads piggyback an
+    ``MLIQ(q, 1)`` denominator probe per query in the same batch, so a
+    shard whose threshold answer is empty still reports its total
+    density mass, and ranked payloads (consensus / expected-rank)
+    piggyback the per-shard sufficient statistics described on
+    :class:`ShardReply`.
     """
     kind, items = payload
     if kind == "mliq":
@@ -235,6 +258,21 @@ def _run_shard_payload(session: Session, payload) -> ShardReply:
         rs = session.execute_many(specs)
         per = [(list(matches), _shard_log_total(matches)) for matches in rs]
         return ShardReply(per, rs.stats)
+    if kind == "ranked":
+        specs = [MLIQ(q, k) for q, k in items]
+        rs = session.execute_many(specs)
+        per, aux = [], []
+        n_s = len(session)
+        for matches in rs:
+            matches = list(matches)
+            per.append((matches, _shard_log_total(matches)))
+            log_above = (
+                logsumexp([m.log_density for m in matches])
+                if matches
+                else -math.inf
+            )
+            aux.append((n_s, log_above))
+        return ShardReply(per, rs.stats, aux)
     if kind == "tiq":
         tiqs = [TIQ(q, tau, eps) for q, tau, eps in items]
         probes = [MLIQ(q, 1) for q, _, _ in items]
@@ -552,6 +590,87 @@ class ShardedBackend(BackendAdapter):
             )
         return results, total
 
+    def run_ranked(
+        self, specs
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer ``ConsensusTopK``/``ExpectedRank`` specs via the
+        dedicated ``"ranked"`` fan-out payload.
+
+        Each shard piggybacks the per-shard sufficient statistics the
+        semantics need (candidate posteriors + ``log Z_s`` + its
+        at-or-above-cutoff candidate mass); the coordinator merges to
+        exact global posteriors, certifies the merge with
+        :meth:`_check_ranked_stats`, and rescores the global prefix
+        with the same pure functions the single-tree path uses — so the
+        sharded answers are parity-identical to a single tree's.
+        """
+        self._require("mliq")
+        from repro.engine.semantics import score_ranked
+
+        results: list[list[Match]] = [[] for _ in specs]
+        if self.count() == 0:
+            return results, QueryStats()
+        live = [(i, s) for i, s in enumerate(specs) if s.k > 0]
+        if not live:
+            return results, QueryStats()
+        payload = ("ranked", [(s.q, s.k) for _, s in live])
+        shard_replies = self._fan_out(payload)
+        total = QueryStats()
+        for _, reply in shard_replies:
+            total.merge(reply.stats)
+        n = self.count()
+        for j, (i, spec) in enumerate(live):
+            merged = self._merge_candidates(shard_replies, j, n)
+            prefix = merged[: spec.k]
+            self._check_ranked_stats(shard_replies, j, prefix)
+            results[i] = score_ranked(spec, prefix)
+        return results, total
+
+    @staticmethod
+    def _check_ranked_stats(
+        shard_replies: list[tuple[int, ShardReply]],
+        j: int,
+        prefix: list[Match],
+    ) -> None:
+        """Certify query ``j``'s merge from the piggybacked statistics.
+
+        Two invariants must hold for the global prefix to be exact:
+        a shard's at-or-above-cutoff candidate mass cannot exceed its
+        total density mass (``log_above <= log Z_s``), and a *truncated*
+        shard's local cutoff cannot outrank the global cutoff while the
+        shard fills the whole prefix by itself — that would mean an
+        unreturned object could still displace a global answer, i.e.
+        the containment lemma was violated. Either failure indicates a
+        malformed shard reply (a faulty runner, a replica serving a
+        different population) and raises :class:`ClusterError` rather
+        than silently mis-ranking.
+        """
+        for shard_id, reply in shard_replies:
+            if reply.aux is None:
+                raise ClusterError(
+                    f"shard {shard_id} answered a ranked payload without "
+                    "its sufficient statistics"
+                )
+            matches, log_total = reply.per_query[j]
+            n_s, log_above = reply.aux[j]
+            if log_above > log_total + 1e-6:
+                raise ClusterError(
+                    f"shard {shard_id} reports more at-cutoff candidate "
+                    f"mass ({log_above:.6f}) than total density mass "
+                    f"({log_total:.6f}) over {n_s} object(s)"
+                )
+            if not prefix or not matches or len(matches) >= n_s:
+                continue  # nothing truncated away on this shard
+            if (
+                len(matches) >= len(prefix)
+                and matches[-1].log_density > prefix[-1].log_density
+            ):
+                raise ClusterError(
+                    f"shard {shard_id}'s local cutoff outranks the "
+                    "global cutoff with candidates truncated away — "
+                    "the merged ranking would not be exact"
+                )
+
     @staticmethod
     def _merge_candidates(
         shard_replies: list[tuple[int, ShardReply]], j: int, total_n: int
@@ -725,6 +844,13 @@ class ShardedBackend(BackendAdapter):
         share the key, the key fixes the shard); round-robin placement
         depends on historical insert order, so the delete probes every
         non-empty shard until one reports a hit.
+
+        An absent key is a clean not-found: the probes return ``False``
+        without touching any WAL (a tree-level miss never commits), a
+        shard with no index file yet is skipped instead of failing the
+        routing (a stale manifest can record a positive count for a
+        never-materialised shard), and neither the manifest nor the
+        replicas are refreshed.
         """
         self._require("writable")
         if self.policy == "hash":
@@ -733,6 +859,11 @@ class ShardedBackend(BackendAdapter):
         else:
             candidates = list(self._active)
         for shard_id in candidates:
+            if self._sources[shard_id] is None:
+                # Nothing was ever written here; routing a delete
+                # through _writable_session would raise ClusterError
+                # for the missing index file.
+                continue
             if self._writable_session(shard_id).delete(v):
                 self._note_count_change(shard_id, -1)
                 self._ship_replicas([shard_id])
@@ -843,6 +974,12 @@ class ShardedBackend(BackendAdapter):
             steps.append(
                 "tiq: per-shard TIQ(tau) superset + MLIQ(q, 1) "
                 "denominator probe per query"
+            )
+        if "consensus" in kinds or "erank" in kinds:
+            steps.append(
+                "ranked: shards piggyback sufficient statistics "
+                "(log Z_s + at-cutoff candidate mass) so global "
+                "consensus/expected-rank scores are exact"
             )
         return tuple(steps)
 

@@ -273,3 +273,25 @@ class ServeClient:
             {"vectors": [pfv_to_json(v) for v in vectors]},
             retries=0,
         )
+
+    def delete(self, vectors: Sequence[PFV] | PFV) -> dict:
+        """``POST /delete`` with one pfv or a batch of pfv.
+
+        The server deletes each vector through its writable primary
+        session and answers ``{"deleted": n_found, "requested": n,
+        "objects": total, "execute_seconds": s}`` — vectors absent from
+        the index are clean misses that lower ``deleted``, not errors.
+        A read-only server answers HTTP 403, raised here as
+        :class:`RemoteError`.
+        """
+        if isinstance(vectors, PFV):
+            vectors = [vectors]
+        if not vectors:
+            raise ValueError("delete() needs at least one pfv")
+        # Deletes are idempotent, but keep the no-transport-retry write
+        # discipline: a re-sent batch would report misleading counts.
+        return self._request(
+            "/delete",
+            {"vectors": [pfv_to_json(v) for v in vectors]},
+            retries=0,
+        )

@@ -16,6 +16,12 @@ clients:
     (group commit / placement routing) and answers ``{"inserted": n,
     "objects": total}``. Requires the primary session to be writable
     (403 otherwise). Writes always serialize on the primary slot.
+``POST /delete``
+    Body ``{"vectors": [pfv, ...]}`` (same shape as insert); deletes
+    each vector through the primary session and answers ``{"deleted":
+    n_found, "requested": n, "objects": total}``. A vector absent from
+    the index is a clean miss — it lowers ``deleted``, never errors.
+    Requires a writable primary (403 otherwise).
 ``GET /healthz``
     Liveness: backend name, object count, uptime.
 ``GET /stats``
@@ -216,6 +222,8 @@ class ServingStats:
         self.errors = 0
         self.inserts = 0
         self.insert_batches = 0
+        self.deletes = 0
+        self.delete_batches = 0
         self.pages_accessed = 0
         self.objects_refined = 0
         self.execute_seconds = 0.0
@@ -236,6 +244,12 @@ class ServingStats:
             self.inserts += count
             self.execute_seconds += elapsed
 
+    def record_deletes(self, count: int, elapsed: float) -> None:
+        with self._lock:
+            self.delete_batches += 1
+            self.deletes += count
+            self.execute_seconds += elapsed
+
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
@@ -250,6 +264,8 @@ class ServingStats:
                 "errors": self.errors,
                 "inserts": self.inserts,
                 "insert_batches": self.insert_batches,
+                "deletes": self.deletes,
+                "delete_batches": self.delete_batches,
                 "pages_accessed": self.pages_accessed,
                 "objects_refined": self.objects_refined,
                 "execute_seconds": round(self.execute_seconds, 4),
@@ -349,6 +365,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._do_query()
         elif self.path == "/insert":
             self._do_insert()
+        elif self.path == "/delete":
+            self._do_delete()
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
@@ -374,7 +392,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(
                 400,
                 "write specs are not served by /query; POST the vectors "
-                "to /insert (writes serialize on the primary session)",
+                "to /insert or /delete (writes serialize on the primary "
+                "session)",
             )
             return
         qs = self.query_server
@@ -506,6 +525,69 @@ class _Handler(BaseHTTPRequestHandler):
             payload["trace"] = req_trace.to_dict()
         self._send_json(200, payload)
 
+    def _do_delete(self) -> None:
+        data = self._read_json_body()
+        if data is None:
+            return
+        try:
+            if not isinstance(data, dict) or "vectors" not in data:
+                raise WireError(
+                    'delete body must be {"vectors": [pfv, ...]}'
+                )
+            raw = data["vectors"]
+            if not isinstance(raw, list):
+                raise WireError('"vectors" must be a list of pfv objects')
+            vectors = [pfv_from_json(item) for item in raw]
+        except WireError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if not vectors:
+            self._send_error_json(400, "no vectors in request")
+            return
+        qs = self.query_server
+        req_trace = self._request_trace(data)
+        # Deletes serialize on the primary like inserts; a vector
+        # absent from the index is a clean miss (False, no WAL commit),
+        # so stale client state lowers "deleted" instead of erroring.
+        slot = None
+        try:
+            started = time.perf_counter()
+            slot, session = qs.pool.acquire(slot=0)
+            if not session.writable:
+                self._send_error_json(
+                    403,
+                    "server session is read-only; restart `repro serve` "
+                    "with --writable to accept writes",
+                )
+                return
+            with obs_trace.tracing(req_trace):
+                with obs_trace.span("request", count=len(vectors)):
+                    deleted = sum(
+                        1 for v in vectors if session.delete(v)
+                    )
+                    if len(qs.pool) > 1 and deleted:
+                        session.flush()
+                        qs.pool.bump_version()
+            objects = len(session)
+            elapsed = time.perf_counter() - started
+        except Exception as exc:  # surface, don't kill the handler thread
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        finally:
+            if slot is not None:
+                qs.pool.release(slot)
+        qs.stats.record_deletes(deleted, elapsed)
+        qs.m_execute.observe(elapsed)
+        payload = {
+            "deleted": deleted,
+            "requested": len(vectors),
+            "objects": objects,
+            "execute_seconds": round(elapsed, 6),
+        }
+        if req_trace is not None:
+            payload["trace"] = req_trace.to_dict()
+        self._send_json(200, payload)
+
 
 class QueryServer:
     """A running (or startable) HTTP serving endpoint over a session pool.
@@ -601,6 +683,11 @@ class QueryServer:
             "repro_serve_inserts_total",
             "Vectors inserted.",
             callback=lambda: self.stats.inserts,
+        )
+        m.counter(
+            "repro_serve_deletes_total",
+            "Vectors deleted (found-and-removed, misses excluded).",
+            callback=lambda: self.stats.deletes,
         )
         m.counter(
             "repro_serve_errors_total",

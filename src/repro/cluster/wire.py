@@ -10,8 +10,11 @@ A spec is one JSON object::
     {"kind": "mliq", "mu": [..], "sigma": [..], "k": 5}
     {"kind": "tiq",  "mu": [..], "sigma": [..], "tau": 0.3, "eps": 0.0}
     {"kind": "rank", "mu": [..], "sigma": [..], "k": 5, "min_mass": 0.95}
+    {"kind": "consensus", "mu": [..], "sigma": [..], "k": 5}
+    {"kind": "erank", "mu": [..], "sigma": [..], "k": 5}
 
-Write specs (served by ``POST /insert`` and writable sessions)::
+Write specs (served by ``POST /insert`` / ``POST /delete`` and
+writable sessions)::
 
     {"kind": "insert", "mu": [..], "sigma": [..], "key": "O7"}
     {"kind": "delete", "mu": [..], "sigma": [..], "key": "O7"}
@@ -23,7 +26,9 @@ has no tuple type, and a bare list would decode as an unhashable key).
 A JSONL workload file holds one spec per line (blank lines ignored). A
 match serializes as ``{"key": .., "probability": .., "log_density": ..}``
 — the identification answer, not the stored vector (keys that are not
-JSON types are stringified, flagged by ``"key_repr": true``). The full
+JSON types are stringified, flagged by ``"key_repr": true``). Answers
+to the ranked semantics additionally carry ``"score"`` — the
+consensus membership probability or the expected rank. The full
 endpoint/error contract is documented in ``docs/wire-protocol.md``.
 """
 
@@ -35,7 +40,17 @@ from typing import IO, Iterable
 from repro.core.pfv import PFV
 from repro.core.queries import Match
 from repro.engine.result import ResultSet
-from repro.engine.spec import MLIQ, TIQ, Delete, Insert, Query, RankQuery, Spec
+from repro.engine.spec import (
+    MLIQ,
+    TIQ,
+    ConsensusTopK,
+    Delete,
+    ExpectedRank,
+    Insert,
+    Query,
+    RankQuery,
+    Spec,
+)
 
 __all__ = [
     "WireError",
@@ -52,11 +67,14 @@ __all__ = [
     "response_to_json",
 ]
 
-#: Operations a pipelined-JSONL request envelope may name. ``query``
-#: and ``insert`` mirror the HTTP POST endpoints; ``healthz``,
-#: ``stats`` and ``metrics`` the GET ones (``metrics`` answers with
-#: the Prometheus exposition text in a ``{"text": ..}`` payload).
-REQUEST_OPS = frozenset({"query", "insert", "healthz", "stats", "metrics"})
+#: Operations a pipelined-JSONL request envelope may name. ``query``,
+#: ``insert`` and ``delete`` mirror the HTTP POST endpoints;
+#: ``healthz``, ``stats`` and ``metrics`` the GET ones (``metrics``
+#: answers with the Prometheus exposition text in a ``{"text": ..}``
+#: payload).
+REQUEST_OPS = frozenset(
+    {"query", "insert", "delete", "healthz", "stats", "metrics"}
+)
 
 
 class WireError(ValueError):
@@ -135,6 +153,8 @@ def spec_to_json(spec: Spec) -> dict:
         base["k"] = spec.k
         if spec.min_mass is not None:
             base["min_mass"] = spec.min_mass
+    elif isinstance(spec, (ConsensusTopK, ExpectedRank)):
+        base["k"] = spec.k
     elif isinstance(spec, (Insert, Delete)):
         if spec.v.key is not None:
             base["key"] = _key_to_json(spec.v.key)
@@ -173,31 +193,40 @@ def spec_from_json(data: object) -> Spec:
                 int(data.get("k", 1)),
                 min_mass=None if min_mass is None else float(min_mass),
             )
+        if kind == "consensus":
+            return ConsensusTopK(q, int(data.get("k", 1)))
+        if kind == "erank":
+            return ExpectedRank(q, int(data.get("k", 1)))
     except (TypeError, ValueError) as exc:
         raise WireError(f"bad {kind} parameters: {exc}") from exc
     raise WireError(
         f"unknown query kind {kind!r} "
-        "(expected mliq, tiq, rank, insert or delete)"
+        "(expected mliq, tiq, rank, consensus, erank, insert or delete)"
     )
 
 
 def match_to_json(match: Match) -> dict:
-    """Serialize one answer match (key + posterior + log density)."""
+    """Serialize one answer match (key + posterior + log density, plus
+    the semantics ``score`` when the spec attached one)."""
     key = match.key
     try:
         json.dumps(key)
     except (TypeError, ValueError):
-        return {
+        out = {
             "key": repr(key),
             "key_repr": True,
             "probability": match.probability,
             "log_density": match.log_density,
         }
-    return {
-        "key": key,
-        "probability": match.probability,
-        "log_density": match.log_density,
-    }
+    else:
+        out = {
+            "key": key,
+            "probability": match.probability,
+            "log_density": match.log_density,
+        }
+    if match.score is not None:
+        out["score"] = match.score
+    return out
 
 
 def result_to_json(rs: ResultSet) -> dict:
@@ -239,13 +268,14 @@ def request_from_json(data: object) -> tuple:
     """Validate one pipelined-JSONL request envelope.
 
     The async serving tier (``docs/serving.md``) frames requests as one
-    JSON object per line: ``{"op": "query"|"insert"|"healthz"|"stats",
-    "id": .., ...payload}``. Returns ``(id, op, data)``; ``id`` is the
+    JSON object per line: ``{"op":
+    "query"|"insert"|"delete"|"healthz"|"stats", "id": ..,
+    ...payload}``. Returns ``(id, op, data)``; ``id`` is the
     client's correlation token (echoed verbatim on the response, so
     pipelined responses may arrive out of order), ``op`` selects the
     operation and the remaining keys are the op's payload — the same
     shapes the HTTP endpoints take (``"queries"`` for ``query``,
-    ``"vectors"`` for ``insert``).
+    ``"vectors"`` for ``insert`` and ``delete``).
     """
     if not isinstance(data, dict):
         raise WireError(f"a request must be a JSON object, got {data!r}")

@@ -65,11 +65,18 @@ class Match:
         ``log p(q | vector)`` — the (relative) Lemma-1 joint density.
     probability:
         The Bayes posterior ``P(vector | q)``.
+    score:
+        Semantics-specific value attached by the ranking specs of the
+        engine (``None`` for plain MLIQ/TIQ answers): the per-world
+        membership probability for ``ConsensusTopK``, the expected rank
+        for ``ExpectedRank``. Construction stays positional-compatible
+        for the three original fields.
     """
 
     vector: PFV
     log_density: float
     probability: float
+    score: float | None = None
 
     @property
     def key(self) -> Hashable:
@@ -77,9 +84,10 @@ class Match:
         return self.vector.key
 
     def __repr__(self) -> str:
+        extra = "" if self.score is None else f", score={self.score:.4f}"
         return (
             f"Match(key={self.vector.key!r}, P={self.probability:.4f}, "
-            f"log_p(q|v)={self.log_density:.2f})"
+            f"log_p(q|v)={self.log_density:.2f}{extra})"
         )
 
 

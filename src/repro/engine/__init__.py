@@ -7,8 +7,9 @@ This package makes that a literal API:
 * :func:`connect` opens a :class:`Session` over a database, a list of
   pfv, or a saved index file, through any registered backend
   (``tree``, ``disk``, ``seqscan``, ``xtree`` built in);
-* sessions execute the declarative specs :class:`MLIQ`, :class:`TIQ`
-  and :class:`RankQuery` — plus the write specs :class:`Insert` and
+* sessions execute the declarative specs :class:`MLIQ`, :class:`TIQ`,
+  :class:`RankQuery`, :class:`ConsensusTopK` and :class:`ExpectedRank`
+  — plus the write specs :class:`Insert` and
   :class:`Delete` on ``writable`` backends — via ``execute`` /
   ``execute_many``, always returning a :class:`ResultSet` (matches +
   merged stats + backend provenance), and ``explain`` describes the
@@ -35,7 +36,9 @@ from repro.engine.session import Session, connect, session_for
 from repro.engine.spec import (
     MLIQ,
     TIQ,
+    ConsensusTopK,
     Delete,
+    ExpectedRank,
     Insert,
     Query,
     RankQuery,
@@ -50,6 +53,8 @@ __all__ = [
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "ConsensusTopK",
+    "ExpectedRank",
     "Insert",
     "Delete",
     "Query",

@@ -152,6 +152,25 @@ class BackendAdapter:
             return [[] for _ in specs], QueryStats()
         return self._tiq_batch(list(specs))
 
+    def run_ranked(
+        self, specs: Sequence
+    ) -> tuple[list[list[Match]], QueryStats]:
+        """Answer a batch of ``ConsensusTopK``/``ExpectedRank`` specs by
+        MLIQ lowering plus exact rescoring of the returned prefix (see
+        :mod:`repro.engine.semantics`). Any backend that answers MLIQ
+        answers the ranked semantics; composite backends override to
+        merge per-shard sufficient statistics instead."""
+        from repro.engine.semantics import score_ranked
+
+        answered, stats = self.run_mliq([s.lower() for s in specs])
+        return (
+            [
+                score_ranked(spec, matches)
+                for spec, matches in zip(specs, answered)
+            ],
+            stats,
+        )
+
     def _require(self, capability: str) -> None:
         if capability not in self.capabilities:
             raise CapabilityError(

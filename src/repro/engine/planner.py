@@ -31,8 +31,8 @@ class Plan:
     backend:
         Name of the backend that will serve the batch (provenance).
     query_kind:
-        ``"mliq"``, ``"tiq"``, ``"rank"`` or ``"mixed"`` for a batch
-        spanning kinds.
+        ``"mliq"``, ``"tiq"``, ``"rank"``, ``"consensus"``, ``"erank"``
+        or ``"mixed"`` for a batch spanning kinds.
     n_queries:
         Batch size.
     strategy:
@@ -138,6 +138,15 @@ def build_plan(
     lowering: list[str] = []
     if "rank" in kinds:
         lowering.append("rank -> mliq(k) + cumulative-mass cut")
+    if "consensus" in kinds:
+        lowering.append(
+            "consensus -> mliq(k) + per-world membership probabilities"
+        )
+    if "erank" in kinds:
+        lowering.append(
+            "erank -> mliq(k) + expected-rank scores "
+            "(expected-rank order == density order)"
+        )
     if kind == "mixed":
         lowering.append("mixed batch split into one sub-batch per kind")
     # Composite backends (the sharded fan-out) describe their own extra
@@ -153,10 +162,11 @@ def build_plan(
     cpu_seconds = 0.0
     notes: list[str] = []
     # Price each kind's sub-batch with the backend's own cost model;
-    # rank is priced as the mliq it lowers to.
+    # rank/consensus/erank are priced as the mliq they lower to.
     by_kind: dict[str, list[Query]] = {}
     for q, k in zip(queries, kinds):
-        by_kind.setdefault("mliq" if k == "rank" else k, []).append(q)
+        sub = "mliq" if k in ("rank", "consensus", "erank") else k
+        by_kind.setdefault(sub, []).append(q)
     for sub_kind, sub in by_kind.items():
         est = backend.estimate(sub_kind, sub)
         pages += est.pages

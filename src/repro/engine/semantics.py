@@ -1,0 +1,137 @@
+"""Exact scoring for the consensus / expected-rank query semantics.
+
+Both :class:`~repro.engine.spec.ConsensusTopK` (Li & Deshpande,
+"Consensus Answers for Queries over Probabilistic Databases") and
+:class:`~repro.engine.spec.ExpectedRank` (Bernecker et al., "Scalable
+Probabilistic Similarity Ranking in Uncertain Databases") are defined
+over the identification model's possible-worlds space:
+
+* A **world** fixes the query's one true identity ``u`` and occurs with
+  the posterior probability ``P(u | q)`` (the probabilities the engine
+  already computes for every match).
+* In world ``u`` the induced ranking places ``u`` first and every other
+  object after it in density order; the per-world top-k answer is
+  ``{u}`` plus the ``k - 1`` densest remaining objects.
+
+Write ``r(v)`` for the number of objects whose density strictly exceeds
+``v``'s and ``M(v)`` for their total posterior mass. Enumerating worlds
+gives closed forms (the brute-force oracle in
+``tests/engine/test_rank_semantics.py`` re-derives both by explicit
+world enumeration):
+
+* **Expected rank** — ``ER(v) = (1 - P(v)) * (1 + r(v)) - M(v)``:
+  ``v`` has rank 0 in its own world; in a world ``u`` above it, rank
+  ``r(v)``; in any other world, rank ``r(v) + 1``.
+* **Consensus membership** — the probability that ``v`` appears in a
+  random world's top-k answer is ``1`` when ``r(v) <= k - 2`` (it makes
+  the cut with or without the true identity ahead of it),
+  ``P(v) + M(v)`` when ``r(v) == k - 1`` (it needs its own world or a
+  world drawn from strictly above), and ``P(v)`` when ``r(v) >= k``
+  (only its own world promotes it).
+
+Two consequences make the semantics cheap and exact on every backend:
+
+1. Both scores are **density-monotone** (``d_v > d_w`` implies
+   ``ER(v) < ER(w)`` and membership(v) >= membership(w)), so the answer
+   *set and order* of either semantic equals the MLIQ top-k — the
+   Gauss-tree's threshold-based early termination applies unchanged.
+2. Every object strictly above a top-k member is itself in the top-k
+   (an excluded object's density is at most the included minimum), so
+   ``r(v)`` and ``M(v)`` for returned objects are computable from the
+   returned prefix alone — no second pass over the database.
+
+The functions here are pure: they take an already globally-ranked,
+globally-renormalised match prefix (single tree or sharded merge — the
+merge piggybacks per-shard sufficient statistics so the posteriors are
+exact, see :mod:`repro.cluster.backend`) and attach ``Match.score``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.queries import Match
+
+__all__ = [
+    "consensus_scores",
+    "expected_rank_scores",
+    "expected_symmetric_difference",
+    "score_ranked",
+]
+
+
+def _strict_prefix_stats(
+    matches: Sequence[Match],
+) -> list[tuple[int, float]]:
+    """Per position, ``(r, M)``: count and posterior mass of the
+    objects *strictly* denser than the one at that position.
+
+    ``matches`` must be density-descending (the order every backend
+    returns). Ties share the ``(r, M)`` of the first member of their
+    tie group, which keeps both semantics tie-robust: equal densities
+    produce equal scores regardless of tie-break order.
+    """
+    stats: list[tuple[int, float]] = []
+    group_start = 0  # index of the first member of the current tie group
+    group_r, group_m = 0, 0.0
+    running_mass = 0.0
+    for i, m in enumerate(matches):
+        if i > 0 and m.log_density < matches[group_start].log_density:
+            group_start, group_r, group_m = i, i, running_mass
+        stats.append((group_r, group_m))
+        running_mass += m.probability
+    return stats
+
+
+def expected_rank_scores(matches: Sequence[Match]) -> list[Match]:
+    """Attach ``ER(v) = (1 - P(v)) * (1 + r(v)) - M(v)`` as each
+    match's ``score``, preserving order (ER order == density order)."""
+    stats = _strict_prefix_stats(matches)
+    return [
+        Match(
+            m.vector,
+            m.log_density,
+            m.probability,
+            (1.0 - m.probability) * (1.0 + r) - mass,
+        )
+        for m, (r, mass) in zip(matches, stats)
+    ]
+
+
+def consensus_scores(matches: Sequence[Match], k: int) -> list[Match]:
+    """Attach each match's per-world top-``k`` membership probability
+    as its ``score``, preserving order (the returned prefix *is* the
+    symmetric-difference-optimal consensus set)."""
+    stats = _strict_prefix_stats(matches)
+    scored = []
+    for m, (r, mass) in zip(matches, stats):
+        if r <= k - 2:
+            score = 1.0
+        elif r == k - 1:
+            score = min(1.0, m.probability + mass)
+        else:
+            score = m.probability
+        scored.append(Match(m.vector, m.log_density, m.probability, score))
+    return scored
+
+
+def expected_symmetric_difference(
+    scored: Sequence[Match], k: int, total_n: int
+) -> float:
+    """Expected symmetric-difference distance between the consensus set
+    (the ``scored`` prefix, as returned by :func:`consensus_scores`)
+    and a random world's top-``k`` answer:
+    ``sum(1 - p_v for v in S) + (min(k, n) - sum(p_v for v in S))``.
+    """
+    in_set = sum(m.score or 0.0 for m in scored)
+    return (len(scored) - in_set) + (min(k, total_n) - in_set)
+
+
+def score_ranked(spec, matches: Sequence[Match]) -> list[Match]:
+    """Dispatch a ``consensus``/``erank`` spec to its scoring function
+    over the (already merged and ranked) MLIQ prefix ``matches``."""
+    if spec.kind == "consensus":
+        return consensus_scores(matches, spec.k)
+    if spec.kind == "erank":
+        return expected_rank_scores(matches)
+    raise TypeError(f"not a ranked-semantics spec: {spec!r}")

@@ -32,6 +32,7 @@ from repro.engine.backends import (
 )
 from repro.engine.planner import Plan, build_plan
 from repro.engine.result import ResultSet
+from repro.engine.semantics import score_ranked
 from repro.engine.spec import Query, Spec, is_write_spec, spec_kind
 from repro.obs import trace as _obs_trace
 
@@ -157,6 +158,22 @@ class Session:
                 answered, stats = self._backend.run_mliq(subset)
             elif kind == "tiq":
                 answered, stats = self._backend.run_tiq(subset)
+            elif kind in ("consensus", "erank"):
+                # Ranked semantics: backends that can do better (the
+                # sharded fan-out piggybacks per-shard sufficient
+                # statistics) expose run_ranked; everything else lowers
+                # to MLIQ and rescores the exact prefix locally.
+                run_ranked = getattr(self._backend, "run_ranked", None)
+                if run_ranked is not None:
+                    answered, stats = run_ranked(subset)
+                else:
+                    answered, stats = self._backend.run_mliq(
+                        [s.lower() for s in subset]
+                    )
+                    answered = [
+                        score_ranked(spec, matches)
+                        for matches, spec in zip(answered, subset)
+                    ]
             else:  # rank: lower to mliq, then apply the mass cut
                 answered, stats = self._backend.run_mliq(
                     [s.lower() for s in subset]

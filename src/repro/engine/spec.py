@@ -20,6 +20,23 @@ whichever backend it was connected with, and
   ranking carries at least ``min_mass`` cumulative posterior mass — a
   "stop when the answer is probably complete" cut that MLIQ's fixed
   ``k`` cannot express.
+* :class:`ConsensusTopK` — the symmetric-difference-optimal top-k set
+  under possible-worlds semantics ("Consensus Answers for Queries over
+  Probabilistic Databases", Li & Deshpande). Each match carries its
+  per-world membership probability in ``Match.score``.
+* :class:`ExpectedRank` — ranking by expected per-world rank ("Scalable
+  Probabilistic Similarity Ranking in Uncertain Databases", Bernecker
+  et al.). Each match carries its expected rank in ``Match.score``.
+
+Both ranking semantics are defined over the identification model's
+possible-worlds space: a world fixes the query's one true identity
+``u``, and occurs with the posterior probability ``P(u | q)``. In world
+``u`` the induced ranking is ``u`` first, then every other object in
+density order. Because both semantics provably order candidates exactly
+as the density does (see :mod:`repro.engine.semantics` for the proofs
+and the closed forms), each lowers to the MLIQ top-k — inheriting the
+Gauss-tree's threshold-based early termination — followed by an exact,
+pure rescoring of the returned prefix.
 
 Write specs (capability-gated: the backend must declare ``"writable"``):
 
@@ -64,6 +81,8 @@ __all__ = [
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "ConsensusTopK",
+    "ExpectedRank",
     "Insert",
     "Delete",
     "Query",
@@ -183,6 +202,85 @@ class RankQuery:
 
 
 @dataclasses.dataclass(frozen=True)
+class ConsensusTopK:
+    """Symmetric-difference-optimal top-k set (Li & Deshpande).
+
+    Under possible-worlds semantics the consensus answer is the
+    deterministic ``k``-set minimising the expected symmetric-difference
+    distance to the per-world top-k answers; that optimum is the ``k``
+    objects of largest membership probability, which in this model is
+    exactly the density top-k (membership probability is monotone in
+    density). Each returned :class:`~repro.core.queries.Match` carries
+    its membership probability — the probability that the object
+    appears in a random world's top-k answer — in ``Match.score``.
+
+    Parameters
+    ----------
+    q:
+        The query observation (a pfv: means plus uncertainties).
+    k:
+        Consensus set size; ``0`` is valid and yields the empty result.
+    """
+
+    q: PFV
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    @property
+    def kind(self) -> str:
+        """Dispatch kind of this spec (``"consensus"``)."""
+        return "consensus"
+
+    def lower(self) -> "MLIQ":
+        """The engine MLIQ supplying the candidate prefix; the executor
+        attaches membership probabilities afterwards (see
+        :func:`repro.engine.semantics.consensus_scores`)."""
+        return MLIQ(self.q, self.k)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExpectedRank:
+    """Ranking by expected per-world rank (Bernecker et al.).
+
+    Orders objects by ``ER(v) = sum_w P(w) * rank(v | w)`` where
+    ``rank`` counts the objects strictly above ``v`` in world ``w``.
+    The expected-rank order provably coincides with the density order
+    (ties included), so the MLIQ top-k — with the Gauss-tree's
+    threshold-based early termination — supplies the exact answer
+    prefix; the executor then attaches each object's exact expected
+    rank in ``Match.score`` (see
+    :func:`repro.engine.semantics.expected_rank_scores`).
+
+    Parameters
+    ----------
+    q:
+        The query observation (a pfv: means plus uncertainties).
+    k:
+        Result size; ``0`` is valid and yields the empty result.
+    """
+
+    q: PFV
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    @property
+    def kind(self) -> str:
+        """Dispatch kind of this spec (``"erank"``)."""
+        return "erank"
+
+    def lower(self) -> "MLIQ":
+        """The engine MLIQ supplying the candidate prefix; the executor
+        attaches expected ranks afterwards."""
+        return MLIQ(self.q, self.k)
+
+
+@dataclasses.dataclass(frozen=True)
 class Insert:
     """Write spec: add one pfv to the connected database/index.
 
@@ -220,11 +318,11 @@ class Delete:
         return "delete"
 
 
-Query = Union[MLIQ, TIQ, RankQuery]
+Query = Union[MLIQ, TIQ, RankQuery, ConsensusTopK, ExpectedRank]
 WriteSpec = Union[Insert, Delete]
 Spec = Union[Query, WriteSpec]
 
-_READ_KINDS = ("mliq", "tiq", "rank")
+_READ_KINDS = ("mliq", "tiq", "rank", "consensus", "erank")
 _WRITE_KINDS = ("insert", "delete")
 
 
@@ -234,8 +332,9 @@ def query_kind(query: Query) -> str:
     kind = getattr(query, "kind", None)
     if kind not in _READ_KINDS:
         raise TypeError(
-            f"not an engine query spec: {query!r} (expected MLIQ, TIQ or "
-            "RankQuery; legacy MLIQuery/ThresholdQuery must be wrapped)"
+            f"not an engine query spec: {query!r} (expected MLIQ, TIQ, "
+            "RankQuery, ConsensusTopK or ExpectedRank; legacy "
+            "MLIQuery/ThresholdQuery must be wrapped)"
         )
     return kind
 
@@ -247,7 +346,7 @@ def spec_kind(spec: Spec) -> str:
     if kind not in _READ_KINDS and kind not in _WRITE_KINDS:
         raise TypeError(
             f"not an engine spec: {spec!r} (expected MLIQ, TIQ, "
-            "RankQuery, Insert or Delete)"
+            "RankQuery, ConsensusTopK, ExpectedRank, Insert or Delete)"
         )
     return kind
 

@@ -30,8 +30,9 @@ class JsonlClient:
 
     The low-level surface is :meth:`send` (returns the auto-assigned
     request id immediately) plus :meth:`recv` / :meth:`recv_for`; the
-    convenience methods (:meth:`query`, :meth:`insert`, :meth:`healthz`,
-    :meth:`stats`) each send one request and block for its response
+    convenience methods (:meth:`query`, :meth:`insert`, :meth:`delete`,
+    :meth:`healthz`, :meth:`stats`) each send one request and block for
+    its response
     dict, ``status`` field included. Not thread-safe — use one client
     per thread, which is also one fairness domain on the server.
     """
@@ -120,6 +121,18 @@ class JsonlClient:
         if trace:
             payload["trace"] = trace
         return self.request("insert", **payload)
+
+    def delete(
+        self, vectors: Sequence[PFV], *, trace: bool | str = False
+    ) -> dict:
+        """Delete vectors; the response dict mirrors ``POST /delete``
+        (``deleted`` counts vectors actually found — absent vectors are
+        clean misses, not errors). Deletes serialize on the primary
+        session like inserts. ``trace`` as in :meth:`query`."""
+        payload: dict = {"vectors": [pfv_to_json(v) for v in vectors]}
+        if trace:
+            payload["trace"] = trace
+        return self.request("delete", **payload)
 
     def healthz(self) -> dict:
         """The server's liveness payload (``GET /healthz`` shape, except

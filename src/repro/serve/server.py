@@ -15,7 +15,8 @@ the first line:
   client may keep many requests in flight on one keep-alive connection.
 * **HTTP/1.1 shim** (anything else): the exact endpoint contract of the
   threaded :class:`~repro.cluster.server.QueryServer` (``POST /query``,
-  ``POST /insert``, ``GET /healthz``, ``GET /stats``), so the stdlib
+  ``POST /insert``, ``POST /delete``, ``GET /healthz``, ``GET
+  /stats``), so the stdlib
   :class:`~repro.cluster.client.ServeClient` works unchanged. Requests
   on one HTTP connection are answered in order (responses to *different*
   connections interleave freely).
@@ -28,7 +29,11 @@ engine's batch entry points (~2x traversal amortization) without
 batching client-side. Results demultiplex back per request. Concurrent
 ``insert`` requests coalesce the same way into one ``insert_many`` —
 a single group-commit WAL transaction whose one fsync is shared by
-every client acked from it. Waiting for the session *before* forming
+every client acked from it. ``delete`` requests (the serving half of
+the ReID track-churn workload) take the same write path: they serialize
+on pool slot 0, coalesce into one flushed batch, and a vector absent
+from the index answers cleanly with a lower ``deleted`` count — never
+an error. Waiting for the session *before* forming
 the batch is what makes batch size track load: while every session is
 busy the queues grow, so the next batch is bigger exactly when
 amortization pays most.
@@ -421,6 +426,11 @@ class AsyncQueryServer:
             callback=lambda: self.stats.inserts,
         )
         m.counter(
+            "repro_serve_deletes_total",
+            "Vectors deleted (found-and-removed, misses excluded).",
+            callback=lambda: self.stats.deletes,
+        )
+        m.counter(
             "repro_serve_errors_total",
             "Requests answered with a non-shed 4xx/5xx status.",
             callback=lambda: self.stats.errors,
@@ -497,7 +507,7 @@ class AsyncQueryServer:
                 self._wake.clear()
                 await self._wake.wait()
                 continue
-            want_write = head.op == "insert"
+            want_write = head.op in ("insert", "delete")
             if want_write and 0 not in self._free_slots:
                 # Writes serialize on slot 0; while it is busy, don't
                 # head-of-line-block reads that a free replica could
@@ -507,7 +517,7 @@ class AsyncQueryServer:
                 ):
                     want_write = False
             slot = await self._acquire_slot(0 if want_write else None)
-            op = "insert" if want_write else "query"
+            op = head.op if want_write else "query"
             items = self._collect(op)
             if (
                 items
@@ -527,6 +537,10 @@ class AsyncQueryServer:
                 task = asyncio.ensure_future(
                     self._run_insert_batch(slot, items)
                 )
+            elif op == "delete":
+                task = asyncio.ensure_future(
+                    self._run_delete_batch(slot, items)
+                )
             else:
                 task = asyncio.ensure_future(
                     self._run_read_batch(slot, items)
@@ -537,7 +551,7 @@ class AsyncQueryServer:
     def _coalescing(self, op: str) -> bool:
         return (
             self.coalesce.coalesce_writes
-            if op == "insert"
+            if op in ("insert", "delete")
             else self.coalesce.coalesce_reads
         )
 
@@ -781,6 +795,65 @@ class AsyncQueryServer:
                 part["trace"] = trace_dict
             await self._answer(it, 200, part)
 
+    async def _run_delete_batch(self, slot: int, items: list) -> None:
+        dispatched = time.perf_counter()
+        self._record_batch_metrics(items, dispatched)
+        traced = any(it.trace is not None for it in items)
+        batch_trace = obs_trace.Trace(epoch=dispatched) if traced else None
+
+        def apply() -> list[int]:
+            # Deletes serialize on the primary like inserts; a vector
+            # absent from the index is a clean miss (False from
+            # Session.delete, no WAL commit), so the batch never fails
+            # on stale client state — it just reports a lower count.
+            with obs_trace.tracing(batch_trace):
+                found = [
+                    sum(1 for v in it.vectors if self.session.delete(v))
+                    for it in items
+                ]
+                if self.pool_size > 1 and any(found):
+                    self.session.flush()
+            return found
+
+        try:
+            started = time.perf_counter()
+            found = await self._loop.run_in_executor(self._executor, apply)
+            objects = len(self.session)
+            elapsed = time.perf_counter() - started
+        except asyncio.CancelledError:
+            await self._release_slot(slot)
+            raise
+        except Exception as exc:
+            await self._release_slot(slot)
+            message = f"{type(exc).__name__}: {exc}"
+            for it in items:
+                await self._answer(it, 500, {"error": message})
+            return
+        if self.pool_size > 1 and any(found):
+            self._version += 1
+            self._slot_versions[0] = self._version
+        await self._release_slot(slot)
+        self.stats.record_deletes(sum(found), elapsed)
+        self._m_execute.observe(elapsed)
+        self._m_write_batches.inc()
+        self._m_demux.observe(len(items))
+        n_vectors = sum(len(it.vectors) for it in items)
+        for it, n_found in zip(items, found):
+            part = {
+                "deleted": n_found,
+                "requested": len(it.vectors),
+                "objects": objects,
+                "execute_seconds": round(elapsed, 6),
+                "coalesced": len(items),
+            }
+            trace_dict = self._finish_item_trace(
+                it, dispatched, elapsed, batch_trace, n_vectors,
+                "serve.delete",
+            )
+            if trace_dict is not None:
+                part["trace"] = trace_dict
+            await self._answer(it, 200, part)
+
     async def _answer(self, it: _Pending, status: int, payload: dict) -> None:
         if status >= 400 and status not in (429, 503):
             self.stats.record_error()
@@ -969,13 +1042,14 @@ class AsyncQueryServer:
             ("GET", "/stats"): "stats",
             ("POST", "/query"): "query",
             ("POST", "/insert"): "insert",
+            ("POST", "/delete"): "delete",
         }.get((method, path))
         if op is None:
             await self._write_http(
                 writer, lock, 404, {"error": f"unknown path {path!r}"}
             )
             return headers.get("connection", "").lower() != "close"
-        if op in ("query", "insert"):
+        if op in ("query", "insert", "delete"):
             if not body:
                 await self._write_http(
                     writer, lock, 400, {"error": "empty request body"}
@@ -1026,9 +1100,9 @@ class AsyncQueryServer:
         *,
         done: asyncio.Future | None = None,
     ) -> None:
-        """Answer ``healthz``/``stats`` inline; queue ``query``/``insert``
-        through admission (responding 4xx immediately when rejected or
-        malformed)."""
+        """Answer ``healthz``/``stats`` inline; queue
+        ``query``/``insert``/``delete`` through admission (responding
+        4xx immediately when rejected or malformed)."""
 
         async def reply(status: int, body: dict) -> None:
             if status >= 400 and status not in (429, 503):
@@ -1090,21 +1164,21 @@ class AsyncQueryServer:
                     400,
                     {
                         "error": "write specs are not served by query; "
-                        "send the vectors through insert (writes "
-                        "serialize on the primary session)"
+                        "send the vectors through insert or delete "
+                        "(writes serialize on the primary session)"
                     },
                 )
                 return
             item = _Pending(
                 "query", specs=specs, respond=respond, trace=req_trace
             )
-        else:  # insert
+        else:  # insert / delete
             if not self.session.writable:
                 await reply(
                     403,
                     {
                         "error": "server session is read-only; restart "
-                        "`repro serve` with --writable to accept inserts"
+                        "`repro serve` with --writable to accept writes"
                     },
                 )
                 return
@@ -1112,7 +1186,7 @@ class AsyncQueryServer:
                 raw = payload.get("vectors")
                 if not isinstance(raw, list):
                     raise WireError(
-                        'insert body must be {"vectors": [pfv, ...]}'
+                        f'{op} body must be {{"vectors": [pfv, ...]}}'
                     )
                 vectors = [pfv_from_json(v) for v in raw]
             except WireError as exc:
@@ -1122,7 +1196,7 @@ class AsyncQueryServer:
                 await reply(400, {"error": "no vectors in request"})
                 return
             item = _Pending(
-                "insert", vectors=vectors, respond=respond, trace=req_trace
+                op, vectors=vectors, respond=respond, trace=req_trace
             )
 
         item.done = done

@@ -417,6 +417,74 @@ def test_round_robin_delete_probes_until_found(tmp_path):
         assert len(s) == 11
 
 
+def _shard_wal_sizes(manifest):
+    """Per-shard WAL file size (None = no WAL file on disk)."""
+    base = os.path.dirname(os.path.abspath(manifest.source_path))
+    sizes = {}
+    for info in manifest.shards:
+        if info.path is None:
+            continue
+        wal = os.path.join(base, info.path) + ".wal"
+        sizes[wal] = (
+            os.path.getsize(wal) if os.path.exists(wal) else None
+        )
+    return sizes
+
+
+@pytest.mark.parametrize("policy", ["hash", "round-robin"])
+def test_delete_of_absent_key_is_a_clean_not_found(tmp_path, policy):
+    """Regression: deleting a key present on *no* shard must answer
+    ``False`` — not raise :class:`ClusterError` — and commit nothing:
+    shard WALs untouched, manifest counts and epoch unchanged."""
+    db = make_random_db(n=12, seed=66)
+    manifest = build_shards(
+        db, 3, str(tmp_path / f"abs-{policy}"), policy=policy
+    )
+    ghost = PFV([0.9, 0.8, 0.7], [0.1, 0.1, 0.1], key="never-inserted")
+    before_counts, before_epoch = _count_map(manifest.source_path)
+    with connect(manifest.source_path, backend="sharded", writable=True) as s:
+        assert s.delete(ghost) is False
+        assert len(s) == 12
+        # The probes opened writable shard sessions (which materialize
+        # empty WAL headers); the *miss itself* must append nothing —
+        # a second miss leaves every WAL at exactly the same size.
+        baseline_wals = _shard_wal_sizes(manifest)
+        assert s.delete(ghost) is False
+        assert _shard_wal_sizes(manifest) == baseline_wals
+        # ... and no manifest refresh happened for either miss.
+        assert _count_map(manifest.source_path) == (
+            before_counts,
+            before_epoch,
+        )
+        # The session stays fully usable after the miss.
+        assert s.delete(list(db)[3]) is True
+        assert len(s) == 11
+
+
+def test_delete_skips_pathless_shards_instead_of_raising():
+    """Regression: a shard marked active but with no materialized source
+    (the state a stale count for a never-written shard leaves behind)
+    must not fail an absent-key delete with ClusterError — the probe
+    skips it and answers a clean not-found. ``connect`` validates
+    manifests up front, so the state is doctored in-session, exactly
+    where the probe loop would otherwise route through
+    ``_writable_session`` and raise."""
+    db = make_random_db(n=8, seed=67)
+    with connect(
+        db,
+        backend="sharded",
+        shards=3,
+        inner="tree",
+        policy="round-robin",
+        writable=True,
+    ) as s:
+        backend = s._backend
+        assert backend._counts[2] > 0  # round-robin fills every shard
+        backend._sources[2] = None  # stale manifest: count, no file
+        ghost = PFV([0.9, 0.8, 0.7], [0.1, 0.1, 0.1], key="never-inserted")
+        assert s.delete(ghost) is False
+
+
 def test_writable_writes_survive_crashless_close_and_reopen(tmp_path):
     db = make_random_db(n=18, seed=63)
     manifest = build_shards(db, 2, str(tmp_path / "dur"))

@@ -30,9 +30,10 @@ from repro.cluster import ClusterError, load_manifest, reshard
 from repro.cluster.backend import ShardedBackend, _run_shard_payload
 from repro.cluster.partition import build_shards
 from repro.cluster.pool import default_workers
+from repro.core.database import PFVDatabase
 from repro.core.pfv import PFV
 from repro.core.queries import MLIQuery
-from repro.engine import MLIQ, connect
+from repro.engine import MLIQ, ConsensusTopK, ExpectedRank, connect
 from repro.engine.session import Session
 from repro.gausstree.tree import GaussTree
 from repro.storage.fault import WorkerKillSwitch, killing_runner
@@ -517,5 +518,116 @@ def test_interleaved_workload_with_failovers_matches_single_tree(
                 assert m.probability == pytest.approx(
                     exp_p[m.key], abs=1e-9
                 )
+    finally:
+        writer.close()
+
+
+# ---------------------------------------------------------------------------
+# The re-identification churn property
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_base=st.integers(6, 14),
+    ops=st.lists(
+        st.sampled_from(
+            ["identify+insert", "kill+identify", "expire", "flush"]
+        ),
+        min_size=3,
+        max_size=8,
+    ),
+)
+def test_reid_churn_with_worker_kills_matches_single_tree_replay(
+    tmp_path_factory, seed, n_base, ops
+):
+    """The re-identification workload as a property: a randomized
+    identify-then-insert / sliding-window-expire stream over a writable
+    round-robin 2-shard x 2-replica cluster, with worker losses injected
+    mid-batch during identification, scores every ConsensusTopK and
+    ExpectedRank answer within 1e-9 of one in-memory tree replayed over
+    the same surviving tracks. Expiry also deletes an already-expired
+    ghost each round, pinning the clean not-found path under churn."""
+    tmp = tmp_path_factory.mktemp("reid")
+    db = make_random_db(n=n_base, seed=seed)
+    manifest = build_shards(
+        db, 2, str(tmp / "reid"), policy="round-robin", replicas=2
+    )
+    sentinel = str(tmp / "loss.sentinel")
+    alive = list(db)
+    window: list[PFV] = []  # FIFO of churned-in tracks, stalest first
+    serial = 0
+    writer = connect(manifest.source_path, backend="sharded", writable=True)
+    try:
+        for op in ops:
+            if op == "flush":
+                writer.flush()
+                continue
+            if op == "expire":
+                # Sliding window: the two stalest churned-in tracks go.
+                for _ in range(2):
+                    if window:
+                        stale = window.pop(0)
+                        assert writer.delete(stale) is True
+                        alive.remove(stale)
+                # A track expired in an earlier round (or never inserted)
+                # is a clean miss, never a ClusterError.
+                ghost = PFV([0.7] * 3, [0.1] * 3, key=("reid", "ghost"))
+                assert writer.delete(ghost) is False
+                continue
+            if op == "kill+identify":
+                with open(sentinel, "w"):
+                    pass
+            # Identify: rank the observation against the live cluster
+            # under both semantics, through a reader whose runner loses
+            # a worker mid-batch whenever the sentinel is armed.
+            q = make_random_query(seed=seed + 31 * serial + 7)
+            k = min(4, len(alive))
+            fresh = load_manifest(manifest.source_path)
+            backend = ShardedBackend(
+                fresh.shard_paths(),
+                [s.objects for s in fresh.shards],
+                inner="disk",
+                pool_kind="serial",
+                workers=None,
+                inner_options={"mliq_tolerance": 1e-12},
+                manifest=fresh,
+                replicas=fresh.replica_paths(),
+                runner=_FlakyRunner(sentinel),
+            )
+            reader = Session(backend)
+            try:
+                got_consensus = reader.execute(ConsensusTopK(q, k)).matches
+                got_erank = reader.execute(ExpectedRank(q, k)).matches
+            finally:
+                reader.close()
+            assert not os.path.exists(sentinel)
+            with connect(PFVDatabase(alive), backend="tree") as reference:
+                exp_consensus = reference.execute(
+                    ConsensusTopK(q, k)
+                ).matches
+                exp_erank = reference.execute(ExpectedRank(q, k)).matches
+            for got, exp in (
+                (got_consensus, exp_consensus),
+                (got_erank, exp_erank),
+            ):
+                assert {m.key for m in got} == {m.key for m in exp}
+                exp_by_key = {m.key: m for m in exp}
+                for m in got:
+                    ref = exp_by_key[m.key]
+                    assert m.probability == pytest.approx(
+                        ref.probability, abs=1e-9
+                    )
+                    assert m.score == pytest.approx(ref.score, abs=1e-9)
+            if op == "identify+insert":
+                # Identify-then-insert: the observation becomes a new
+                # track regardless of whether it matched (re-observation
+                # of a known identity keeps its own track version).
+                track = PFV(q.mu, q.sigma, key=("reid", serial))
+                serial += 1
+                writer.insert(track)
+                alive.append(track)
+                window.append(track)
     finally:
         writer.close()

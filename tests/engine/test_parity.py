@@ -25,7 +25,9 @@ from repro.core.pfv import PFV
 from repro.engine import (
     MLIQ,
     TIQ,
+    ConsensusTopK,
     Delete,
+    ExpectedRank,
     Insert,
     RankQuery,
     available_backends,
@@ -54,19 +56,47 @@ def parity_case(draw):
         ]
     )
     q = PFV(rng.uniform(0.0, 1.0, d), rng.uniform(0.05, 0.4, d))
-    kind = draw(st.sampled_from(["mliq", "tiq", "rank"]))
+    kind = draw(st.sampled_from(["mliq", "tiq", "rank", "consensus", "erank"]))
     if kind == "mliq":
         spec = MLIQ(q, draw(st.integers(0, n + 3)))
     elif kind == "tiq":
         spec = TIQ(q, tau=draw(st.sampled_from([0.0, 0.05, 0.2, 0.5, 0.9])))
+    elif kind == "consensus":
+        spec = ConsensusTopK(q, draw(st.integers(0, n + 3)))
+    elif kind == "erank":
+        spec = ExpectedRank(q, draw(st.integers(0, n + 3)))
     else:
         spec = RankQuery(q, draw(st.integers(0, n + 3)))
     return db, spec
 
 
 def _answer(session, spec):
+    """Per-key (posterior, semantics score) — score is None for the
+    plain MLIQ/TIQ/Rank kinds, so the same comparison covers all five."""
     rs = session.execute(spec)
-    return {m.key: m.probability for m in rs.matches}
+    return {m.key: (m.probability, m.score) for m in rs.matches}
+
+
+def _assert_close(backend, spec, got, reference, *, rel_tol, abs_tol):
+    assert set(got) == set(reference), (
+        f"{backend} answered keys {sorted(got)}, "
+        f"reference answered {sorted(reference)} for {spec}"
+    )
+    for key, (p, score) in got.items():
+        ref_p, ref_score = reference[key]
+        assert math.isclose(p, ref_p, rel_tol=rel_tol, abs_tol=abs_tol), (
+            f"{backend} posterior for {key}: {p} != {ref_p} for {spec}"
+        )
+        assert (score is None) == (ref_score is None), (
+            f"{backend} score presence mismatch for {key} on {spec}"
+        )
+        if score is not None:
+            assert math.isclose(
+                score, ref_score, rel_tol=rel_tol, abs_tol=abs_tol
+            ), (
+                f"{backend} score for {key}: {score} != {ref_score} "
+                f"for {spec}"
+            )
 
 
 @given(case=parity_case())
@@ -109,24 +139,17 @@ def test_every_exact_backend_returns_the_same_matches(case, tmp_path_factory):
     reference = answers.pop("seqscan")
     tree_reference = answers["tree"]
     for backend, got in answers.items():
-        assert set(got) == set(reference), (
-            f"{backend} answered keys {sorted(got)}, "
-            f"seqscan answered {sorted(reference)} for {spec}"
+        _assert_close(
+            backend, spec, got, reference, rel_tol=1e-6, abs_tol=1e-9
         )
-        for key, p in got.items():
-            assert math.isclose(
-                p, reference[key], rel_tol=1e-6, abs_tol=1e-9
-            ), f"{backend} posterior for {key}: {p} != {reference[key]}"
         if backend.startswith("sharded"):
             # The issue's acceptance bar: sharded(tree, N) within 1e-9
-            # of the single tree backend, match sets identical.
-            for key, p in got.items():
-                assert math.isclose(
-                    p, tree_reference[key], rel_tol=0.0, abs_tol=1e-9
-                ), (
-                    f"{backend} posterior for {key}: {p} != "
-                    f"{tree_reference[key]} (tree)"
-                )
+            # of the single tree backend — posteriors *and* the
+            # consensus/expected-rank scores, match sets identical.
+            _assert_close(
+                backend, spec, got, tree_reference, rel_tol=0.0,
+                abs_tol=1e-9,
+            )
     if bulk_answer is not None:
         # Disk-format acceptance bar, *bit for bit*: the columnar v3
         # file, the interleaved v2 file and the in-memory bulk-loaded

@@ -1,0 +1,243 @@
+"""Brute-force oracles for the ranked semantics (consensus / expected rank).
+
+The possible-worlds model behind :mod:`repro.engine.semantics` is small
+enough to enumerate on tiny databases: a world fixes the true identity
+``u`` with probability ``P(u | q)`` (the identification posterior), and
+in that world the ranking is ``[u]`` followed by every other object in
+density order. These tests compute consensus membership probabilities,
+expected ranks and expected symmetric difference by summing over all
+``n`` worlds explicitly, then assert the engine's closed-form scores
+match within 1e-9 — on random databases via hypothesis and on the
+spec-table edge cases (``k == 0``, ``k > n``, singleton, empty)
+deterministically.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import PFVDatabase
+from repro.core.pfv import PFV
+from repro.engine import MLIQ, ConsensusTopK, ExpectedRank, connect
+from repro.engine.semantics import (
+    consensus_scores,
+    expected_rank_scores,
+    expected_symmetric_difference,
+)
+
+
+def _random_db(rng, n, d):
+    return PFVDatabase(
+        [
+            PFV(
+                rng.uniform(0.0, 1.0, d),
+                rng.uniform(0.05, 0.4, d),
+                key=i,
+            )
+            for i in range(n)
+        ]
+    )
+
+
+def _full_posterior(db, q):
+    """Every object's match, in density order, posterior over the whole
+    database (the world distribution the semantics are defined over)."""
+    with connect(db, backend="seqscan") as session:
+        return list(session.execute(MLIQ(q, len(db))).matches)
+
+
+def _brute_worlds(matches, k):
+    """Enumerate all worlds; returns per-key (membership, expected rank).
+
+    World ``u`` (probability ``P(u)``) ranks ``u`` first, then every
+    other object in density order, 0-based. Membership counts worlds
+    whose top-``k`` prefix contains the object.
+    """
+    order = [m.key for m in matches]
+    post = {m.key: m.probability for m in matches}
+    member = {key: 0.0 for key in order}
+    erank = {key: 0.0 for key in order}
+    for u in order:
+        pu = post[u]
+        ranking = [u] + [v for v in order if v != u]
+        for rank, v in enumerate(ranking):
+            erank[v] += pu * rank
+            if rank < k:
+                member[v] += pu
+    return member, erank
+
+
+def _brute_expected_symmetric_difference(matches, answer_keys, k):
+    """E[|S Δ top-k(world)|] by summing |S Δ prefix| over all worlds."""
+    order = [m.key for m in matches]
+    post = {m.key: m.probability for m in matches}
+    s = set(answer_keys)
+    total = 0.0
+    for u in order:
+        ranking = [u] + [v for v in order if v != u]
+        world_topk = set(ranking[:k])
+        total += post[u] * len(s ^ world_topk)
+    return total
+
+
+@st.composite
+def oracle_case(draw):
+    d = draw(st.integers(1, 3))
+    n = draw(st.integers(1, 9))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    db = _random_db(rng, n, d)
+    q = PFV(rng.uniform(0.0, 1.0, d), rng.uniform(0.05, 0.4, d))
+    k = draw(st.integers(0, n + 2))
+    return db, q, k
+
+
+@given(case=oracle_case())
+@settings(deadline=None)
+def test_scores_match_world_enumeration(case):
+    db, q, k = case
+    matches = _full_posterior(db, q)
+    member, erank = _brute_worlds(matches, k)
+    for backend in ("tree", "seqscan"):
+        with connect(db, backend=backend) as session:
+            consensus = session.execute(ConsensusTopK(q, k)).matches
+            expected = session.execute(ExpectedRank(q, k)).matches
+        assert len(consensus) == min(k, len(db))
+        assert len(expected) == min(k, len(db))
+        for m in consensus:
+            assert math.isclose(
+                m.score, member[m.key], rel_tol=0.0, abs_tol=1e-9
+            ), (backend, m.key, m.score, member[m.key])
+        for m in expected:
+            assert math.isclose(
+                m.score, erank[m.key], rel_tol=0.0, abs_tol=1e-9
+            ), (backend, m.key, m.score, erank[m.key])
+
+
+@given(case=oracle_case())
+@settings(deadline=None)
+def test_answer_sets_are_optimal(case):
+    """Consensus answers maximize total membership probability (the
+    symmetric-difference-optimal set); expected-rank answers are the
+    ``min(k, n)`` smallest expected ranks, ascending."""
+    db, q, k = case
+    matches = _full_posterior(db, q)
+    member, erank = _brute_worlds(matches, k)
+    with connect(db, backend="tree") as session:
+        consensus = session.execute(ConsensusTopK(q, k)).matches
+        expected = session.execute(ExpectedRank(q, k)).matches
+    want = min(k, len(db))
+    best_member = sum(sorted(member.values(), reverse=True)[:want])
+    got_member = sum(member[m.key] for m in consensus)
+    assert got_member >= best_member - 1e-9, (got_member, best_member)
+    # Optimality equivalently: no other same-size set has smaller
+    # expected symmetric difference from the random world top-k.
+    got_sd = _brute_expected_symmetric_difference(
+        matches, [m.key for m in consensus], k
+    )
+    best_keys = [
+        key
+        for key, _ in sorted(
+            member.items(), key=lambda kv: kv[1], reverse=True
+        )[:want]
+    ]
+    best_sd = _brute_expected_symmetric_difference(matches, best_keys, k)
+    assert got_sd <= best_sd + 1e-9, (got_sd, best_sd)
+    best_eranks = sorted(erank.values())[:want]
+    got_eranks = [erank[m.key] for m in expected]
+    assert got_eranks == sorted(got_eranks), "expected ranks not ascending"
+    for got, best in zip(got_eranks, best_eranks):
+        assert math.isclose(got, best, rel_tol=0.0, abs_tol=1e-9)
+
+
+@given(case=oracle_case())
+@settings(deadline=None)
+def test_expected_symmetric_difference_matches_enumeration(case):
+    db, q, k = case
+    matches = _full_posterior(db, q)
+    with connect(db, backend="tree") as session:
+        scored = session.execute(ConsensusTopK(q, k)).matches
+    got = expected_symmetric_difference(scored, k, len(db))
+    brute = _brute_expected_symmetric_difference(
+        matches, [m.key for m in scored], k
+    )
+    assert math.isclose(got, brute, rel_tol=0.0, abs_tol=1e-9), (got, brute)
+
+
+def test_edge_cases():
+    rng = np.random.default_rng(11)
+    db = _random_db(rng, 5, 2)
+    q = PFV([0.5, 0.5], [0.2, 0.2])
+    with connect(db, backend="tree") as session:
+        # k == 0: empty answer for both semantics.
+        assert session.execute(ConsensusTopK(q, 0)).matches == []
+        assert session.execute(ExpectedRank(q, 0)).matches == []
+        # k > n: every object comes back, scored.
+        all_c = session.execute(ConsensusTopK(q, 50)).matches
+        all_e = session.execute(ExpectedRank(q, 50)).matches
+        assert len(all_c) == len(all_e) == 5
+        member, erank = _brute_worlds(_full_posterior(db, q), 50)
+        for m in all_c:
+            # k >= n: every world's top-k holds every object.
+            assert math.isclose(m.score, 1.0, abs_tol=1e-9)
+            assert math.isclose(m.score, member[m.key], abs_tol=1e-9)
+        for m in all_e:
+            assert math.isclose(m.score, erank[m.key], abs_tol=1e-9)
+    # Empty database: clean empties whatever k.
+    with connect(PFVDatabase([]), backend="tree") as session:
+        assert session.execute(ConsensusTopK(q, 3)).matches == []
+        assert session.execute(ExpectedRank(q, 3)).matches == []
+    # Singleton: the only object is in every world's top-1 (membership
+    # 1.0) and always ranks first (expected rank 0.0).
+    solo = PFVDatabase([PFV([0.5, 0.5], [0.2, 0.2], key="only")])
+    with connect(solo, backend="tree") as session:
+        (m,) = session.execute(ConsensusTopK(q, 1)).matches
+        assert math.isclose(m.score, 1.0, abs_tol=1e-12)
+        (m,) = session.execute(ExpectedRank(q, 1)).matches
+        assert math.isclose(m.score, 0.0, abs_tol=1e-12)
+
+
+def test_tied_densities_share_prefix_stats():
+    """Objects at identical density are one tie group: the closed forms
+    must use the group's (r, M), not the arbitrary sort position —
+    tie-broken orderings would otherwise give tied objects different
+    scores for the same evidence."""
+    vecs = [
+        PFV([0.0, 0.0], [0.2, 0.2], key="a"),
+        PFV([0.0, 0.0], [0.2, 0.2], key="b"),
+        PFV([3.0, 3.0], [0.2, 0.2], key="far"),
+    ]
+    q = PFV([0.0, 0.0], [0.2, 0.2])
+    with connect(PFVDatabase(vecs), backend="tree") as session:
+        consensus = session.execute(ConsensusTopK(q, 1)).matches
+        expected = session.execute(ExpectedRank(q, 3)).matches
+    scores = {m.key: m.score for m in expected}
+    # a and b tie in density and posterior, so their scores agree.
+    assert math.isclose(scores["a"], scores["b"], rel_tol=0.0, abs_tol=1e-12)
+    # Tie group at r=0, M=0: ER = (1 - P) * 1.
+    post = {m.key: m.probability for m in expected}
+    for key in ("a", "b"):
+        assert math.isclose(
+            scores[key], 1.0 - post[key], rel_tol=0.0, abs_tol=1e-12
+        )
+    # Consensus boundary (k=1, tie group of two at r=0): membership is
+    # P(v) + M(v) capped at 1.0 — here M is the group's (0.0), so the
+    # single returned object scores its own posterior... plus nothing.
+    (m,) = consensus
+    assert m.key in ("a", "b")
+    assert math.isclose(m.score, post[m.key], rel_tol=0.0, abs_tol=1e-12)
+
+
+def test_pure_functions_reject_foreign_specs():
+    q = PFV([0.0], [0.2])
+    assert consensus_scores([], 3) == []
+    assert expected_rank_scores([]) == []
+    try:
+        from repro.engine.semantics import score_ranked
+
+        score_ranked(MLIQ(q, 1), [])
+    except TypeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("score_ranked accepted a non-ranked spec")

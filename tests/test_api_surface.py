@@ -26,6 +26,8 @@ EXPECTED_ENGINE_EXPORTS = {
     "MLIQ",
     "TIQ",
     "RankQuery",
+    "ConsensusTopK",
+    "ExpectedRank",
     "Insert",
     "Delete",
     "Query",
@@ -55,6 +57,8 @@ EXPECTED_SIGNATURES = {
     "TIQ": "(q: 'PFV', tau: 'float' = 0.5, eps: 'float' = 0.0) -> None",
     "RankQuery": "(q: 'PFV', k: 'int' = 1, "
     "min_mass: 'float | None' = None) -> None",
+    "ConsensusTopK": "(q: 'PFV', k: 'int' = 1) -> None",
+    "ExpectedRank": "(q: 'PFV', k: 'int' = 1) -> None",
     "Insert": "(v: 'PFV') -> None",
     "Delete": "(v: 'PFV') -> None",
 }
@@ -100,10 +104,16 @@ def test_backend_protocol_members():
     # The capability-declaring protocol every backend implements.
     members = {
         name
-        for name in ("run_mliq", "run_tiq", "count", "estimate")
+        for name in ("run_mliq", "run_tiq", "run_ranked", "count", "estimate")
         if callable(getattr(engine.BackendAdapter, name, None))
     }
-    assert members == {"run_mliq", "run_tiq", "count", "estimate"}
+    assert members == {
+        "run_mliq",
+        "run_tiq",
+        "run_ranked",
+        "count",
+        "estimate",
+    }
 
 
 def test_top_level_reexports():
@@ -114,6 +124,8 @@ def test_top_level_reexports():
         "MLIQ",
         "TIQ",
         "RankQuery",
+        "ConsensusTopK",
+        "ExpectedRank",
         "Insert",
         "Delete",
         "ResultSet",
